@@ -1,0 +1,91 @@
+"""Figure 10 — MSR on natural version graphs.
+
+Paper shape to reproduce: ``DP-MSR <= LMG-All <= LMG`` in total
+retrieval across storage budgets, with DP-MSR near OPT (ILP) on
+datasharing and the gap widening on larger graphs, especially at tight
+budgets.  Run times are collected per solver (DP-MSR is one run for the
+whole budget range).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench import ascii_plot, run_msr_experiment
+from repro.bench.harness import msr_budget_grid
+from repro.algorithms import lmg, lmg_all
+from repro.algorithms.dp_msr import DPMSRSolver
+
+DATASETS = ["datasharing", "styleguide", "996.ICU", "freeCodeCamp"]
+
+
+def geomean(xs):
+    xs = [max(x, 1e-12) for x in xs]
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig10_panel(benchmark, dataset, dataset_cache, result_store):
+    g = dataset_cache(dataset)
+
+    def run():
+        return run_msr_experiment(
+            g,
+            name="fig10",
+            solvers=["lmg", "lmg-all", "dp-msr"],
+            include_ilp=(dataset == "datasharing"),
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    result_store[("fig10", dataset)] = res
+    res.save()
+    print()
+    print(ascii_plot(res.objective, title=f"fig10 / {dataset}: retrieval vs storage"))
+    print(ascii_plot(res.runtime, title=f"fig10 / {dataset}: run time (s)"))
+
+    dp = res.objective["dp-msr"]
+    la = res.objective["lmg-all"]
+    lm = res.objective["lmg"]
+
+    # Paper shape 1: DP-MSR dominates LMG overall (geometric mean).
+    ratios_lmg = [
+        l / d for d, l in zip(dp.y, lm.y) if math.isfinite(l) and math.isfinite(d) and d > 0
+    ]
+    assert geomean(ratios_lmg) >= 0.95, "DP-MSR should not lose to LMG on natural graphs"
+
+    # Paper shape 2: LMG-All never (meaningfully) loses to LMG.
+    ratios = [
+        l / a for a, l in zip(la.y, lm.y) if math.isfinite(l) and math.isfinite(a) and a > 0
+    ]
+    assert geomean(ratios) >= 0.9
+
+    # Paper shape 3: every curve is non-increasing in the budget.
+    for s in (dp, la, lm):
+        ys = [y for y in s.y if math.isfinite(y)]
+        assert all(a >= b - max(1e-9, 1e-9 * abs(a)) for a, b in zip(ys, ys[1:]))
+
+    if dataset == "datasharing":
+        opt = res.objective["opt-ilp"]
+        for d, o in zip(dp.y, opt.y):
+            if math.isfinite(o) and o > 0:
+                assert d <= o * 1.3 + 1e-6, "DP-MSR should track OPT on datasharing"
+
+
+def bench_fig10_lmg_single_budget(benchmark, dataset_cache):
+    g = dataset_cache("styleguide")
+    budget = msr_budget_grid(g)[3]
+    benchmark(lambda: lmg(g, budget))
+
+
+def bench_fig10_lmg_all_single_budget(benchmark, dataset_cache):
+    g = dataset_cache("styleguide")
+    budget = msr_budget_grid(g)[3]
+    benchmark(lambda: lmg_all(g, budget))
+
+
+def bench_fig10_dp_msr_full_frontier(benchmark, dataset_cache):
+    g = dataset_cache("styleguide")
+    benchmark.pedantic(
+        lambda: DPMSRSolver(g, ticks=96).frontier(), rounds=1, iterations=2
+    )

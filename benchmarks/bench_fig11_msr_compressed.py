@@ -1,0 +1,66 @@
+"""Figure 11 — MSR on randomly-compressed natural graphs (+ run times).
+
+Random compression decouples storage and retrieval costs, which the
+paper reports narrows (but does not erase) DP-MSR's lead — the
+extracted spanning tree no longer contains all the information.  The
+run-time panel's headline is that LMG-All is no slower than LMG on
+sparse graphs despite the larger move set.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import ascii_plot, run_msr_experiment
+
+DATASETS = ["datasharing", "styleguide", "996.ICU"]
+
+
+def geomean(xs):
+    xs = [max(x, 1e-12) for x in xs]
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig11_panel(benchmark, dataset, dataset_cache, result_store):
+    g = dataset_cache(dataset, True)  # compressed variant
+
+    def run():
+        return run_msr_experiment(
+            g,
+            name="fig11",
+            solvers=["lmg", "lmg-all", "dp-msr"],
+            include_ilp=(dataset == "datasharing"),
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    result_store[("fig11", dataset)] = res
+    res.save()
+    print()
+    print(ascii_plot(res.objective, title=f"fig11 / {dataset} (compressed): retrieval"))
+    print(ascii_plot(res.runtime, title=f"fig11 / {dataset} (compressed): run time (s)"))
+
+    dp = res.objective["dp-msr"]
+    la = res.objective["lmg-all"]
+    lm = res.objective["lmg"]
+
+    # LMG-All still dominates LMG on compressed graphs.
+    ratios = [
+        l / a for a, l in zip(la.y, lm.y) if math.isfinite(l) and math.isfinite(a) and a > 0
+    ]
+    assert geomean(ratios) >= 0.9
+
+    # DP stays competitive (paper: "dominance less significant"): allow
+    # DP to lose by a bounded factor but require overall competitiveness.
+    pairs = [
+        (d, min(l, a))
+        for d, l, a in zip(dp.y, lm.y, la.y)
+        if math.isfinite(d) and math.isfinite(min(l, a)) and min(l, a) > 0
+    ]
+    assert geomean([d / b for d, b in pairs]) <= 2.0
+
+    # Run-time claim: LMG-All is not slower than LMG beyond a small
+    # factor on sparse (natural-shape) graphs.
+    t_lmg = sum(res.runtime["lmg"].y)
+    t_la = sum(res.runtime["lmg-all"].y)
+    assert t_la <= max(t_lmg * 3.0, t_lmg + 0.5)

@@ -1,0 +1,65 @@
+"""Figure 13 — BMR on natural version graphs: MP vs DP-BMR (+ run time).
+
+Paper shape: DP-BMR's storage is at most MP's on most of the retrieval-
+budget range, the gap widening as the budget grows; DP-BMR's objective
+decreases *monotonically* in the budget (it is optimal on the extracted
+tree) whereas MP's need not; at R = 0 both materialize everything and
+DP-BMR can be marginally worse (it only sees the extracted tree).
+"""
+
+import math
+
+import pytest
+
+from repro.bench import ascii_plot, run_bmr_experiment
+from repro.algorithms import dp_bmr_heuristic, extract_index, mp
+
+DATASETS = ["styleguide", "freeCodeCamp"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig13_panel(benchmark, dataset, dataset_cache, result_store):
+    g = dataset_cache(dataset)
+
+    def run():
+        return run_bmr_experiment(g, name="fig13", solvers=["mp", "dp-bmr"])
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    result_store[("fig13", dataset)] = res
+    res.save()
+    print()
+    print(ascii_plot(res.objective, title=f"fig13 / {dataset}: storage vs retrieval budget"))
+    print(ascii_plot(res.runtime, title=f"fig13 / {dataset}: run time (s)"))
+
+    dp = res.objective["dp-bmr"]
+    mp_series = res.objective["mp"]
+
+    # DP-BMR is monotone non-increasing in the budget.
+    assert all(a >= b - 1e-6 for a, b in zip(dp.y, dp.y[1:]))
+
+    # At generous budgets DP-BMR matches or beats MP.
+    tail = list(zip(dp.y, mp_series.y))[len(dp.y) // 2 :]
+    assert all(d <= m * 1.02 + 1e-6 for d, m in tail)
+
+    # At R=0 both must pay full materialization.
+    assert dp.y[0] >= mp_series.y[0] * 0.98 - 1e-6
+
+    # Run times comparable within a constant factor (paper's claim).
+    t_mp = sum(res.runtime["mp"].y)
+    t_dp = sum(res.runtime["dp-bmr"].y)
+    assert t_dp <= max(t_mp * 200, 60.0)
+
+
+def bench_fig13_mp_single_budget(benchmark, dataset_cache):
+    g = dataset_cache("styleguide")
+    budget = g.max_retrieval_cost() * 3
+    benchmark(lambda: mp(g, budget))
+
+
+def bench_fig13_dp_bmr_single_budget(benchmark, dataset_cache):
+    g = dataset_cache("styleguide")
+    budget = g.max_retrieval_cost() * 3
+    index = extract_index(g)
+    benchmark.pedantic(
+        lambda: dp_bmr_heuristic(g, budget, index=index), rounds=1, iterations=2
+    )

@@ -1,0 +1,32 @@
+"""Table 4 — dataset overview (generation cost + statistics vs paper).
+
+Regenerates the "#nodes / #edges / avg cost s_v / avg cost s_e" table
+for every emulated repository and asserts our synthetic graphs land in
+the paper's ballpark (same node counts at scale 1, cost magnitudes
+within a small factor, ER edge counts tracking n(n-1)p).
+"""
+
+import pytest
+
+from repro.bench import table4
+from repro.gen import TABLE4_PAPER, load_dataset
+
+
+def bench_table4_report(benchmark):
+    rows = benchmark.pedantic(table4, kwargs={"verbose": True}, rounds=1, iterations=1)
+    assert len(rows) == len(TABLE4_PAPER)
+
+
+@pytest.mark.parametrize("name", ["datasharing", "LeetCodeAnimation", "LeetCode (1)"])
+def bench_full_scale_statistics_match_paper(benchmark, name):
+    g = benchmark.pedantic(load_dataset, args=(name, 1.0), rounds=1, iterations=1)
+    n, e, sv, se = TABLE4_PAPER[name]
+    assert g.num_versions == n
+    assert abs(g.num_deltas - e) / e < 0.25
+    assert 0.2 * sv <= g.average_version_storage() <= 5 * sv
+    assert 0.2 * se <= g.average_delta_storage() <= 5 * se
+
+
+def bench_build_datasharing(benchmark):
+    g = benchmark(load_dataset, "datasharing", 1.0)
+    assert g.num_versions == 29

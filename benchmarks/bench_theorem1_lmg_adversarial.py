@@ -1,0 +1,19 @@
+"""Theorem 1 — LMG is arbitrarily bad on the adversarial chain.
+
+Measures LMG vs OPT on the Figure-2 chain for growing ``c/b`` and
+asserts the approximation gap grows proportionally — the executable
+version of the proof of Theorem 1.
+"""
+
+from repro.bench import theorem1
+
+
+def bench_theorem1_gap_growth(benchmark):
+    rows = benchmark.pedantic(theorem1, kwargs={"verbose": True}, rounds=1, iterations=1)
+    gaps = [r.gap for r in rows]
+    ratios = [r.c_over_b for r in rows]
+    # gap strictly increases with c/b ...
+    assert all(a < b for a, b in zip(gaps, gaps[1:]))
+    # ... and tracks it within a factor of ~2 (theory: gap -> c/b)
+    for gap, cb in zip(gaps, ratios):
+        assert gap >= cb / 2

@@ -1,0 +1,44 @@
+"""Footnote 7 — version graphs are tree-like; ER graphs are not.
+
+The paper reports heuristic treewidths of 2/3/6 for datasharing /
+styleguide / leetcode and motivates the bounded-treewidth FPTAS with
+them; ER graphs have treewidth Θ(n) whp (footnote 18).  We reproduce
+both qualitative facts on the emulated datasets.
+"""
+
+from repro.bench import footnote7_treewidth
+from repro.gen import load_dataset
+from repro.treewidth import treewidth_upper_bound, undirected_adjacency
+
+
+def bench_footnote7_table(benchmark):
+    rows = benchmark.pedantic(
+        footnote7_treewidth, kwargs={"verbose": True}, rounds=1, iterations=1
+    )
+    widths = {name: w for name, _, _, w in rows}
+    # natural graphs: small constant treewidth (paper: 2, 3, 6; our
+    # emulations come out 3-8 — styleguide's merge process is a touch
+    # busier than the real repo, see EXPERIMENTS.md)
+    assert widths["datasharing"] <= 4
+    assert widths["styleguide"] <= 10
+    assert widths["LeetCodeAnimation"] <= 8
+    # the ER construction destroys tree-likeness
+    assert widths["LeetCode (0.05)"] >= 2 * max(
+        widths["datasharing"], widths["LeetCodeAnimation"]
+    )
+
+
+def bench_er_treewidth_grows_with_density(benchmark):
+    def run():
+        out = []
+        for p in (0.05, 0.2):
+            g = load_dataset(f"LeetCode ({p})", scale=0.4)
+            w, _ = treewidth_upper_bound(undirected_adjacency(g))
+            out.append((p, g.num_versions, w))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    (p1, n1, w1), (p2, n2, w2) = rows
+    print(f"\nER treewidth: p={p1}: tw<={w1} (n={n1});  p={p2}: tw<={w2} (n={n2})")
+    assert w2 > w1
+    assert w2 >= n2 / 4  # Θ(n) regime at p = 0.2

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets and one-shot experiment results are cached per session so each
+figure's data is computed once and shared between the pytest-benchmark
+timing functions and the shape-assertion report tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    cache: dict[tuple[str, bool], object] = {}
+
+    def get(name: str, compressed: bool = False):
+        key = (name, compressed)
+        if key not in cache:
+            cache[key] = build(name, compressed=compressed)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def result_store():
+    """Cross-test scratch space for experiment results."""
+    return {}

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Theorem 1, live: watch LMG's greedy ratio walk into the trap.
+
+The paper's Figure-2 chain ``A -> B -> C`` (single weight function,
+triangle inequality, a directed path!) defeats LMG: the first greedy
+step's ratio prefers materializing B (rho = 2/eps - 1) over C
+(rho = 1/eps - eps), after which the budget cannot accommodate C —
+leaving total retrieval (1-eps)c instead of the optimal (1-eps)b.
+The gap c/b is unbounded.
+
+The script prints the greedy ledger for growing c/b and shows DP-MSR /
+brute force recovering the optimum every time.
+
+Run:  python examples/adversarial_lmg.py
+"""
+
+from repro.core import MSR
+from repro.core.instances import lmg_adversarial_chain
+from repro.algorithms import brute_force_solve, dp_msr, lmg
+
+
+def main() -> None:
+    b = 100.0
+    print(f"{'c/b':>8} {'LMG picks':>10} {'LMG retrieval':>14} "
+          f"{'OPT retrieval':>14} {'DP-MSR':>10} {'gap':>8}")
+    for c in (1e3, 1e4, 1e5, 1e6):
+        g = lmg_adversarial_chain(a=c, b=b, c=c)
+        eps = b / c
+        budget = c + (1 - eps) * b + c
+
+        tree = lmg(g, budget)
+        picked = ",".join(sorted(map(str, tree.materialized_versions())))
+        r_lmg = tree.total_retrieval
+
+        opt_plan, opt_score = brute_force_solve(g, MSR(budget))
+        r_dp = dp_msr(g, budget, ticks=None).score.sum_retrieval
+
+        print(
+            f"{c / b:>8.0f} {picked:>10} {r_lmg:>14.1f} "
+            f"{opt_score.sum_retrieval:>14.1f} {r_dp:>10.1f} "
+            f"{r_lmg / opt_score.sum_retrieval:>8.1f}x"
+        )
+    print("\nLMG's gap grows linearly in c/b — Theorem 1. DP-MSR is exact here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — dataset versioning via graph optimization.
+
+A production-quality reproduction of Guo, Li, Sukprasert, Khuller,
+Deshpande, Mukherjee: *"To Store or Not to Store: a graph theoretical
+approach for Dataset Versioning"* (IPPS 2024, arXiv:2402.11741).
+
+The library answers one question: given a graph of dataset versions and
+deltas between them, which versions should be stored in full and which
+should be reconstructed through deltas, trading storage cost against
+retrieval cost?
+
+Subpackages
+-----------
+``repro.core``
+    Version graphs, storage plans, the MSR/MMR/BSR/BMR problem family.
+``repro.algorithms``
+    Baselines, LMG / LMG-All greedy heuristics, tree DPs (DP-BMR exact,
+    DP-MSR frontier), ILP exacts, Lemma-7 reductions.
+``repro.treewidth``
+    Tree decompositions and the bounded-treewidth DP (Section 5.3).
+``repro.vcs``
+    A miniature version-control substrate (Myers diff, deltas, commits)
+    used to derive "natural" version graphs.
+``repro.gen``
+    Synthetic workload generators emulating the paper's datasets.
+``repro.parallel``
+    Process-based scatter/gather helpers for sweeps and the tree DP.
+``repro.bench``
+    The experiment harness regenerating every table/figure of Section 7.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

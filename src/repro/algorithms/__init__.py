@@ -1,0 +1,102 @@
+"""Algorithms: baselines, heuristics, tree DPs, exact solvers.
+
+Solver naming follows the paper:
+
+* :func:`lmg` — Local Move Greedy (Algorithm 1), the prior MSR heuristic.
+* :func:`lmg_all` — the paper's improved greedy (Algorithm 7).
+* :func:`mp` — Modified Prim's, the prior BMR heuristic.
+* :func:`dp_bmr` / :func:`dp_bmr_heuristic` — exact tree DP (Algorithm 2)
+  and its tree-extraction heuristic (Section 6.2).
+* :func:`dp_msr` / :func:`dp_msr_frontier` — the practical frontier DP
+  for MSR (Section 6.2) on extracted bidirectional trees.
+* :func:`dp_msr_tree_reference` — the Section-5.1 FPTAS reference DP.
+* :func:`msr_ilp` / :func:`mmr_ilp` / :func:`bsr_ilp` / :func:`bmr_ilp` —
+  exact ILPs (Appendix D) via HiGHS.
+* :mod:`~repro.algorithms.reductions` — Lemma-7 binary-search bridges.
+"""
+
+from .arborescence import (
+    extract_tree_parent_map,
+    min_storage_arborescence,
+    min_storage_plan_tree,
+    minimum_arborescence,
+)
+from .brute_force import (
+    brute_force_frontier,
+    brute_force_solve,
+    enumerate_parent_maps,
+    enumerate_plan_scores,
+)
+from .dp_bmr import (
+    DPBMRResult,
+    TreeIndex,
+    build_bidirectional_tree,
+    dp_bmr,
+    dp_bmr_heuristic,
+    extract_index,
+)
+from .dp_msr import DPMSRResult, DPMSRSolver, dp_msr, dp_msr_frontier
+from .dp_msr_tree import TreeRefResult, dp_msr_tree_reference
+from .frontier import Frontier, ThinningGrid, merge_frontiers
+from .ilp import ILPResult, bmr_ilp, bsr_ilp, mmr_ilp, msr_ilp
+from .last import last_sweep, last_tree
+from .lmg import lmg
+from .lmg_all import lmg_all
+from .mp import mp
+from .reductions import (
+    ReductionResult,
+    bmr_via_mmr,
+    bsr_via_msr,
+    minimize_budget,
+    mmr_via_bmr,
+    msr_via_bsr,
+)
+from .spt import shortest_path_plan_tree, shortest_path_tree, single_source_retrieval
+from .variants import solve_bsr, solve_mmr
+
+__all__ = [
+    "minimum_arborescence",
+    "min_storage_arborescence",
+    "min_storage_plan_tree",
+    "extract_tree_parent_map",
+    "shortest_path_tree",
+    "shortest_path_plan_tree",
+    "single_source_retrieval",
+    "brute_force_solve",
+    "brute_force_frontier",
+    "enumerate_parent_maps",
+    "enumerate_plan_scores",
+    "last_tree",
+    "last_sweep",
+    "lmg",
+    "lmg_all",
+    "mp",
+    "dp_bmr",
+    "dp_bmr_heuristic",
+    "dp_msr",
+    "dp_msr_frontier",
+    "dp_msr_tree_reference",
+    "TreeRefResult",
+    "DPMSRSolver",
+    "DPMSRResult",
+    "Frontier",
+    "ThinningGrid",
+    "merge_frontiers",
+    "build_bidirectional_tree",
+    "extract_index",
+    "TreeIndex",
+    "DPBMRResult",
+    "msr_ilp",
+    "bsr_ilp",
+    "mmr_ilp",
+    "bmr_ilp",
+    "ILPResult",
+    "minimize_budget",
+    "mmr_via_bmr",
+    "msr_via_bsr",
+    "bmr_via_mmr",
+    "bsr_via_msr",
+    "ReductionResult",
+    "solve_bsr",
+    "solve_mmr",
+]

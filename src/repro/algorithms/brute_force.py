@@ -1,0 +1,128 @@
+"""Exhaustive exact solvers for tiny instances — the test oracle.
+
+W.l.o.g. optimal plans are spanning arborescences of the extended graph
+(Section 2.1: storing edges outside the retrieval forest only adds
+storage).  The oracle therefore enumerates every *parent function*
+(each version picks one in-edge of the extended graph), filters the
+acyclic ones, and scores the resulting plan trees.  The number of
+assignments is ``prod_v (in_degree(v) + 1)``, so keep instances below
+~10 versions / ~20 deltas.
+
+These solvers are used throughout the test-suite to validate LMG,
+LMG-All, MP, the tree DPs, the treewidth DP and the ILPs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator
+
+from ..core.graph import AUX, GraphError, Node, VersionGraph
+from ..core.problems import Objective, PlanScore, Problem
+from ..core.solution import PlanTree, StoragePlan
+
+__all__ = [
+    "enumerate_parent_maps",
+    "enumerate_plan_scores",
+    "brute_force_solve",
+    "brute_force_frontier",
+    "MAX_BRUTE_FORCE_ASSIGNMENTS",
+]
+
+MAX_BRUTE_FORCE_ASSIGNMENTS = 2_000_000
+
+
+def enumerate_parent_maps(graph: VersionGraph) -> Iterator[dict[Node, Node]]:
+    """Yield every acyclic parent map over the extended graph."""
+    ext = graph if graph.has_aux else graph.extended()
+    versions = [v for v in ext.versions if v is not AUX]
+    choice_lists = [sorted(ext.predecessors(v), key=_order_key) for v in versions]
+    count = 1
+    for choices in choice_lists:
+        count *= max(1, len(choices))
+        if count > MAX_BRUTE_FORCE_ASSIGNMENTS:
+            raise GraphError(
+                f"instance too large for brute force (> {MAX_BRUTE_FORCE_ASSIGNMENTS} "
+                "parent assignments)"
+            )
+    for combo in itertools.product(*choice_lists):
+        pm = dict(zip(versions, combo))
+        if _acyclic(pm):
+            yield pm
+
+
+def _order_key(v: Node) -> tuple[int, str]:
+    return (0 if v is AUX else 1, str(v))
+
+
+def _acyclic(parent: dict[Node, Node]) -> bool:
+    state: dict[Node, int] = {}
+    for start in parent:
+        x = start
+        path = []
+        while x in parent and x not in state:
+            state[x] = 1
+            path.append(x)
+            x = parent[x]
+        if x in state and state[x] == 1 and x in parent:
+            return False
+        for y in path:
+            state[y] = 2
+    return True
+
+
+def enumerate_plan_scores(
+    graph: VersionGraph,
+) -> Iterator[tuple[StoragePlan, PlanScore]]:
+    """Yield ``(plan, score)`` for every tree-shaped plan."""
+    ext = graph if graph.has_aux else graph.extended()
+    for pm in enumerate_parent_maps(ext):
+        tree = PlanTree(ext, pm)
+        plan = tree.to_plan()
+        score = PlanScore(
+            storage=tree.total_storage,
+            sum_retrieval=tree.total_retrieval,
+            max_retrieval=tree.max_retrieval(),
+        )
+        yield plan, score
+
+
+def brute_force_solve(
+    graph: VersionGraph, problem: Problem
+) -> tuple[StoragePlan, PlanScore] | None:
+    """Optimal plan for ``problem`` or None when no plan is feasible."""
+    best: tuple[StoragePlan, PlanScore] | None = None
+    for plan, score in enumerate_plan_scores(graph):
+        if not problem.is_feasible(score):
+            continue
+        if best is None or problem.objective_value(score) < problem.objective_value(best[1]):
+            best = (plan, score)
+    return best
+
+
+def brute_force_frontier(
+    graph: VersionGraph, objective: Objective = Objective.SUM_RETRIEVAL
+) -> list[tuple[float, float]]:
+    """The exact storage/objective Pareto frontier, sorted by storage.
+
+    Returns ``[(storage, objective_value), ...]`` with strictly
+    increasing storage and strictly decreasing objective — the ground
+    truth for DP frontier tests and the OPT curves of Figures 10-13.
+    """
+    points: list[tuple[float, float]] = []
+    for _, score in enumerate_plan_scores(graph):
+        if not math.isfinite(score.storage):
+            continue
+        points.append((score.storage, score.objective(objective)))
+    points.sort()
+    frontier: list[tuple[float, float]] = []
+    best = math.inf
+    for s, r in points:
+        if r < best - 1e-12:
+            best = r
+            if frontier and frontier[-1][0] == s:
+                frontier[-1] = (s, r)
+            else:
+                frontier.append((s, r))
+    return frontier

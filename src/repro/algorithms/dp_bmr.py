@@ -1,0 +1,365 @@
+"""DP-BMR — exact O(n²) dynamic program for BMR on bidirectional trees.
+
+Implements Algorithm 2 / Theorem 8 of the paper.  ``DP[v][u]`` is the
+minimum storage of a partial plan on the subtree ``T[v]`` where ``v`` is
+retrieved from the *materialized* version ``u`` (``u`` may sit outside
+``T[v]``; only the last edge of the retrieval path is charged inside the
+subproblem) and every other node of ``T[v]`` is retrieved from within
+``T[v]``.  The recurrence distinguishes the three cases of Figure 5:
+
+1. ``u = v`` — materialize ``v`` and charge ``s_v``;
+2. ``u`` below ``v`` — charge the up-edge from the child subtree
+   containing ``u``; that child must share ``u``;
+3. ``u`` outside ``T[v]`` — charge the down-edge from ``v``'s parent.
+
+Each child ``w`` not on the retrieval path contributes
+``min(OPT[w], DP[w][u])`` where ``OPT[w] = min_x DP[w][x]`` over
+``x ∈ T[w]``.
+
+The module also provides the Section-6.2 heuristic wrapper
+(:func:`dp_bmr_heuristic`): extract a bidirectional tree from a general
+digraph, run the exact DP, and map the plan back (synthetic reverse
+deltas become materializations — cost-equivalent by construction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.graph import GraphError, Node, VersionGraph
+from ..core.solution import StoragePlan
+from .arborescence import extract_tree_parent_map
+
+__all__ = [
+    "TreeIndex",
+    "dp_bmr",
+    "dp_bmr_heuristic",
+    "build_bidirectional_tree",
+    "DPBMRResult",
+]
+
+INF = math.inf
+
+
+class TreeIndex:
+    """Rooted view of a bidirectional tree with all-pairs path costs.
+
+    Precomputes, for a tree with ``n`` nodes:
+
+    * parent/children structure and a post-order,
+    * ``path_cost[u][v]`` — retrieval cost of the unique directed path
+      ``u -> v`` (O(n²) via one BFS per source),
+    * Euler intervals for O(1) "is ``u`` inside ``T[v]``" tests,
+    * ``step_from[u][v]`` — the next node after ``u`` on the path
+      ``u -> v`` (used to find ``p^u_v``, the node *preceding* ``v``).
+    """
+
+    def __init__(self, graph: VersionGraph, root: Node, parent: dict[Node, Node]):
+        self.graph = graph
+        self.root = root
+        self.parent = dict(parent)
+        self.children: dict[Node, list[Node]] = {v: [] for v in graph.versions}
+        for v, p in parent.items():
+            self.children[p].append(v)
+        # deterministic child order
+        for p in self.children:
+            self.children[p].sort(key=str)
+
+        # post-order and Euler intervals
+        self.post_order: list[Node] = []
+        self.tin: dict[Node, int] = {}
+        self.tout: dict[Node, int] = {}
+        timer = 0
+        stack: list[tuple[Node, bool]] = [(root, False)]
+        while stack:
+            x, done = stack.pop()
+            if done:
+                self.post_order.append(x)
+                self.tout[x] = timer
+                timer += 1
+                continue
+            self.tin[x] = timer
+            timer += 1
+            stack.append((x, True))
+            for c in reversed(self.children[x]):
+                stack.append((c, False))
+
+        # undirected adjacency for path walks
+        self._adj: dict[Node, list[Node]] = {v: [] for v in graph.versions}
+        for v, p in parent.items():
+            self._adj[v].append(p)
+            self._adj[p].append(v)
+
+        # all-pairs directed path costs + first step on each path
+        self.path_cost: dict[Node, dict[Node, float]] = {}
+        self._next: dict[Node, dict[Node, Node]] = {}
+        for u in graph.versions:
+            cost = {u: 0.0}
+            first: dict[Node, Node] = {}
+            stack2 = [u]
+            while stack2:
+                x = stack2.pop()
+                for y in self._adj[x]:
+                    if y in cost:
+                        continue
+                    cost[y] = cost[x] + graph.delta(x, y).retrieval
+                    first[y] = x  # predecessor of y on the path from u
+                    stack2.append(y)
+            self.path_cost[u] = cost
+            self._next[u] = first
+
+    def in_subtree(self, u: Node, v: Node) -> bool:
+        """True when ``u`` lies in the subtree rooted at ``v``."""
+        return self.tin[v] <= self.tin[u] and self.tout[u] <= self.tout[v]
+
+    def subtree_nodes(self, v: Node) -> list[Node]:
+        """All nodes of ``T[v]`` (cached; O(subtree) on first call)."""
+        cached = getattr(self, "_subtree_cache", None)
+        if cached is None:
+            cached = {}
+            self._subtree_cache = cached
+        if v not in cached:
+            out: list[Node] = []
+            stack = [v]
+            while stack:
+                x = stack.pop()
+                out.append(x)
+                stack.extend(self.children[x])
+            cached[v] = out
+        return cached[v]
+
+    def pred_on_path(self, u: Node, v: Node) -> Node:
+        """``p^u_v``: the node preceding ``v`` on the path ``u -> v``."""
+        return self._next[u][v]
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self.tin)
+
+
+@dataclass
+class DPBMRResult:
+    """Output of :func:`dp_bmr`.
+
+    Attributes
+    ----------
+    storage:
+        Optimal storage cost under the max-retrieval budget.
+    plan:
+        The reconstructed :class:`StoragePlan` achieving it.
+    centers:
+        Mapping node -> the materialized version it retrieves from.
+    """
+
+    storage: float
+    plan: StoragePlan
+    centers: dict[Node, Node]
+
+
+def dp_bmr(
+    graph: VersionGraph,
+    retrieval_budget: float,
+    *,
+    root: Node | None = None,
+    index: TreeIndex | None = None,
+) -> DPBMRResult:
+    """Exact BMR on a bidirectional tree (Algorithm 2).
+
+    ``graph`` must be a bidirectional tree; pass ``index`` to reuse the
+    O(n²) precomputation across budgets (the Figure-13 sweeps do).
+    """
+    if index is None:
+        if not graph.is_bidirectional_tree():
+            raise GraphError("dp_bmr requires a bidirectional tree input")
+        if root is None:
+            root = min(graph.versions, key=str)
+        parent = _orient(graph, root)
+        index = TreeIndex(graph, root, parent)
+    g = index.graph
+    budget = retrieval_budget
+
+    # DP[v] maps u -> minimum storage; OPT[v] = (value, argmin u)
+    DP: dict[Node, dict[Node, float]] = {}
+    OPT: dict[Node, tuple[float, Node]] = {}
+
+    for v in index.post_order:
+        row: dict[Node, float] = {}
+        pc_to_v = {u: index.path_cost[u][v] for u in index.nodes}
+        for u, ruv in pc_to_v.items():
+            if ruv > budget * (1 + 1e-12) + 1e-9:
+                continue
+            if u == v:
+                base = g.storage_cost(v)
+            else:
+                pred = index.pred_on_path(u, v)
+                base = g.delta(pred, v).storage
+            total = base
+            for w in index.children[v]:
+                if u != v and index.in_subtree(u, w):
+                    dw = DP[w].get(u, INF)
+                else:
+                    dw = min(OPT[w][0], DP[w].get(u, INF))
+                total += dw
+                if total == INF:
+                    break
+            if total < INF:
+                row[u] = total
+        DP[v] = row
+        best_u = None
+        best = INF
+        for u, val in row.items():
+            if index.in_subtree(u, v) and val < best:
+                best = val
+                best_u = u
+        if best_u is None:
+            raise GraphError(f"no feasible partial solution at {v!r}")
+        OPT[v] = (best, best_u)
+
+    # ------------------------------------------------------------------
+    # reconstruction: walk top-down assigning each node its center
+    # ------------------------------------------------------------------
+    centers: dict[Node, Node] = {}
+    stack: list[tuple[Node, Node]] = [(index.root, OPT[index.root][1])]
+    while stack:
+        v, u = stack.pop()
+        centers[v] = u
+        for w in index.children[v]:
+            if u != v and index.in_subtree(u, w):
+                stack.append((w, u))
+            else:
+                dw = DP[w].get(u, INF)
+                if OPT[w][0] <= dw:
+                    stack.append((w, OPT[w][1]))
+                else:
+                    stack.append((w, u))
+
+    materialized = [v for v, u in centers.items() if v == u]
+    deltas = []
+    for v, u in centers.items():
+        if v != u:
+            deltas.append((index.pred_on_path(u, v), v))
+    plan = StoragePlan.of(materialized, deltas)
+    return DPBMRResult(storage=OPT[index.root][0], plan=plan, centers=centers)
+
+
+def _orient(graph: VersionGraph, root: Node) -> dict[Node, Node]:
+    """Parent map of the underlying tree rooted at ``root``."""
+    parent: dict[Node, Node] = {}
+    seen = {root}
+    stack = [root]
+    while stack:
+        x = stack.pop()
+        for y in graph.successors(x):
+            if y not in seen:
+                seen.add(y)
+                parent[y] = x
+                stack.append(y)
+    if len(seen) != graph.num_versions:
+        raise GraphError("tree is not connected")
+    return parent
+
+
+def build_bidirectional_tree(
+    graph: VersionGraph, root: Node, parent: dict[Node, Node]
+) -> tuple[VersionGraph, set[tuple[Node, Node]]]:
+    """Section 6.2 step 2: arborescence -> bidirectional tree.
+
+    For each tree edge ``(p, v)`` the forward delta comes from the input
+    graph; the reverse delta is taken from the graph when present and
+    otherwise synthesized as ``(storage=s_p, retrieval=0)`` — the paper's
+    "worse-than-trivial delta" convention (Section 2.2), cost-equivalent
+    to materializing ``p``.  Returns the tree graph and the set of
+    synthesized (reverse) edges.
+    """
+    tree = VersionGraph(name=f"{graph.name}-tree")
+    for v in graph.versions:
+        tree.add_version(v, graph.storage_cost(v))
+    synthetic: set[tuple[Node, Node]] = set()
+    for v, p in parent.items():
+        if graph.has_delta(p, v):
+            d = graph.delta(p, v)
+            tree.add_delta(p, v, d.storage, d.retrieval)
+        else:
+            # forest-stitching link (disconnected inputs): behaves like
+            # materializing the child
+            tree.add_delta(p, v, graph.storage_cost(v), 0.0)
+            synthetic.add((p, v))
+        if graph.has_delta(v, p):
+            rd = graph.delta(v, p)
+            tree.add_delta(v, p, rd.storage, rd.retrieval)
+        else:
+            tree.add_delta(v, p, graph.storage_cost(p), 0.0)
+            synthetic.add((v, p))
+    return tree, synthetic
+
+
+def dp_bmr_heuristic(
+    graph: VersionGraph,
+    retrieval_budget: float,
+    *,
+    root: Node | None = None,
+    index: TreeIndex | None = None,
+) -> DPBMRResult:
+    """DP-BMR on a general digraph via tree extraction (Section 6.2).
+
+    Not optimal in general (the DP only sees the extracted tree) but a
+    valid feasible plan for the original graph is always returned.
+    Synthetic reverse deltas chosen by the DP are converted into
+    materializations of their target, which never increases cost.
+    """
+    if index is None:
+        index = extract_index(graph, root)
+    result = dp_bmr(index.graph, retrieval_budget, index=index)
+    plan = _map_back(graph, index.graph, result.plan)
+    return DPBMRResult(storage=plan.storage_cost(graph), plan=plan, centers=result.centers)
+
+
+def extract_index(graph: VersionGraph, root: Node | None = None) -> TreeIndex:
+    """Extract the Section-6.2 bidirectional tree and index it.
+
+    Disconnected inputs (no spanning root in the base graph) fall back
+    to extracting the minimum ``s+r`` forest through the auxiliary root
+    and stitching its component roots together with synthetic
+    materialization-equivalent links.
+    """
+    try:
+        root, parent = extract_tree_parent_map(graph, root)
+    except GraphError:
+        root, parent = _extract_forest_parent_map(graph)
+    tree, _synthetic = build_bidirectional_tree(graph, root, parent)
+    return TreeIndex(tree, root, parent)
+
+
+def _extract_forest_parent_map(graph: VersionGraph) -> tuple[Node, dict[Node, Node]]:
+    """Spanning structure for disconnected graphs via the extended graph."""
+    from ..core.graph import AUX
+    from .arborescence import minimum_arborescence, storage_plus_retrieval_weight
+
+    ext = graph if graph.has_aux else graph.extended()
+    pm = minimum_arborescence(ext, AUX, storage_plus_retrieval_weight)
+    roots = sorted((v for v, p in pm.items() if p is AUX), key=str)
+    root = roots[0]
+    parent = {v: p for v, p in pm.items() if p is not AUX}
+    for other in roots[1:]:
+        parent[other] = root  # synthetic stitch; build_bidirectional_tree
+        # synthesizes both directions as materialization-equivalents
+    return root, parent
+
+
+def _map_back(
+    graph: VersionGraph, tree: VersionGraph, plan: StoragePlan
+) -> StoragePlan:
+    """Replace synthetic tree deltas by materializations of their target."""
+    mats = set(plan.materialized)
+    deltas = set()
+    for u, v in plan.stored_deltas:
+        if graph.has_delta(u, v):
+            td = tree.delta(u, v)
+            gd = graph.delta(u, v)
+            # tree deltas always mirror graph deltas when the edge exists
+            if (td.storage, td.retrieval) == (gd.storage, gd.retrieval):
+                deltas.add((u, v))
+                continue
+        mats.add(v)
+    return StoragePlan.of(mats, deltas)

@@ -1,0 +1,225 @@
+"""Storage/retrieval Pareto frontiers with geometric thinning.
+
+The practical DP-MSR (Section 6.2) manipulates, per DP state, the set of
+achievable ``(storage, total retrieval)`` pairs.  Exact sets grow
+exponentially, so the paper's implementation discretizes storage into
+geometric "ticks" and prunes states above a storage threshold.  This
+module packages that as a small immutable value type:
+
+* a :class:`Frontier` is a pair of parallel NumPy arrays, sorted by
+  strictly increasing storage with strictly decreasing retrieval
+  (a maximal antichain);
+* a :class:`ThinningGrid` optionally coarsens frontiers to at most one
+  point per geometric storage bucket (keeping each bucket's best point
+  with its **true** storage, so rounding never compounds) and drops
+  points above the pruning cap;
+* :meth:`Frontier.combine` is the (min,+) product used when two
+  independent subproblems merge; :func:`merge_frontiers` is the
+  min-union used when taking the best over alternative states.
+
+With ``grid=None`` all operations are exact — the test-suite checks the
+exact DP against brute force and the thinned DP against the exact one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Frontier", "ThinningGrid", "merge_frontiers"]
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class ThinningGrid:
+    """Pruning cap plus a per-frontier point budget.
+
+    ``cap`` discards any point with storage above it (the paper's
+    pruning threshold — partial solutions costlier than the budget of
+    interest can never win).  ``max_points`` bounds each frontier's
+    size: when exceeded, points are bucketed on a geometric grid spanned
+    by the frontier's *own* storage range ("geometric discretization",
+    Section 6.2) and only the best point per bucket survives — keeping
+    its **true** storage, so rounding never compounds across folds.
+    """
+
+    cap: float = math.inf
+    max_points: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_points < 1:
+            raise ValueError("max_points must be >= 1")
+
+
+class Frontier:
+    """An immutable Pareto set of ``(storage, retrieval)`` points."""
+
+    __slots__ = ("sto", "ret")
+
+    def __init__(self, sto: np.ndarray, ret: np.ndarray):
+        # trusted constructor: arrays must already be canonical
+        self.sto = sto
+        self.ret = ret
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "Frontier":
+        return _EMPTY_FRONTIER
+
+    @staticmethod
+    def single(storage: float, retrieval: float, grid: "ThinningGrid | None" = None) -> "Frontier":
+        if grid is not None and storage > grid.cap:
+            return _EMPTY_FRONTIER
+        return Frontier(
+            np.array([storage], dtype=np.float64), np.array([retrieval], dtype=np.float64)
+        )
+
+    @staticmethod
+    def from_points(
+        sto, ret, grid: "ThinningGrid | None" = None
+    ) -> "Frontier":
+        """Canonicalize arbitrary point arrays (prune + thin)."""
+        sto = np.asarray(sto, dtype=np.float64)
+        ret = np.asarray(ret, dtype=np.float64)
+        return _prune(sto, ret, grid)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.sto.shape[0]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.sto.shape[0] == 0
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.sto.tolist(), self.ret.tolist()))
+
+    def min_storage(self) -> float:
+        return float(self.sto[0]) if len(self) else math.inf
+
+    def best_retrieval_within(self, storage_budget: float) -> float:
+        """Min retrieval among points with storage <= budget (inf if none)."""
+        i = int(np.searchsorted(self.sto, storage_budget * (1 + 1e-12) + 1e-9, side="right"))
+        if i == 0:
+            return math.inf
+        return float(self.ret[i - 1])
+
+    def best_point_within(self, storage_budget: float) -> tuple[float, float] | None:
+        i = int(np.searchsorted(self.sto, storage_budget * (1 + 1e-12) + 1e-9, side="right"))
+        if i == 0:
+            return None
+        return float(self.sto[i - 1]), float(self.ret[i - 1])
+
+    def dominates_point(self, storage: float, retrieval: float, tol: float = 1e-9) -> bool:
+        """True when some frontier point is <= (storage, retrieval)."""
+        best = self.best_retrieval_within(storage)
+        return best <= retrieval + tol
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def shift(self, d_storage: float, d_retrieval: float, grid: "ThinningGrid | None" = None) -> "Frontier":
+        """Add fixed costs to every point (attaching an edge / a node)."""
+        if self.is_empty:
+            return self
+        return _prune(self.sto + d_storage, self.ret + d_retrieval, grid)
+
+    def combine(self, other: "Frontier", grid: "ThinningGrid | None" = None) -> "Frontier":
+        """(min,+) product: independent subproblems side by side."""
+        if self.is_empty or other.is_empty:
+            return _EMPTY_FRONTIER
+        s = (self.sto[:, None] + other.sto[None, :]).ravel()
+        r = (self.ret[:, None] + other.ret[None, :]).ravel()
+        return _prune(s, r, grid)
+
+    def union(self, other: "Frontier", grid: "ThinningGrid | None" = None) -> "Frontier":
+        """Min-union: either alternative may realize the state."""
+        if self.is_empty:
+            return other if grid is None else _prune(other.sto, other.ret, grid)
+        if other.is_empty:
+            return self if grid is None else _prune(self.sto, self.ret, grid)
+        return _prune(
+            np.concatenate([self.sto, other.sto]),
+            np.concatenate([self.ret, other.ret]),
+            grid,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Frontier {len(self)} pts, sto[{self.min_storage():.3g}..]>"
+
+    # -- invariants (used by hypothesis tests) --------------------------
+    def check_invariants(self) -> None:
+        s, r = self.sto, self.ret
+        assert s.shape == r.shape
+        if len(s) == 0:
+            return
+        assert np.all(np.diff(s) > 0), "storage must strictly increase"
+        assert np.all(np.diff(r) < 0), "retrieval must strictly decrease"
+        assert np.all(np.isfinite(s)) and np.all(np.isfinite(r))
+
+
+_EMPTY_FRONTIER = Frontier(_EMPTY, _EMPTY)
+
+
+def _prune(sto: np.ndarray, ret: np.ndarray, grid: ThinningGrid | None) -> Frontier:
+    """Canonicalize: cap-filter, Pareto-reduce, optionally thin."""
+    if sto.shape[0] == 0:
+        return _EMPTY_FRONTIER
+    if grid is not None:
+        keep = sto <= grid.cap
+        if not np.all(keep):
+            sto = sto[keep]
+            ret = ret[keep]
+            if sto.shape[0] == 0:
+                return _EMPTY_FRONTIER
+    order = np.lexsort((ret, sto))
+    s = sto[order]
+    r = ret[order]
+    cm = np.minimum.accumulate(r)
+    keep = np.empty(len(r), dtype=bool)
+    keep[0] = True
+    # keep a point iff it strictly improves on the best retrieval so far
+    keep[1:] = r[1:] < cm[:-1]
+    s = s[keep]
+    r = r[keep]
+    if grid is not None and s.shape[0] > grid.max_points:
+        lo, hi = float(s[0]), float(s[-1])
+        if lo <= 0:
+            # linear buckets when zero-storage points exist
+            edges = np.linspace(hi / grid.max_points, hi, num=grid.max_points)
+        else:
+            edges = np.geomspace(lo, hi, num=grid.max_points)
+        edges[-1] = hi
+        bucket = np.searchsorted(edges, s, side="left")
+        # retrieval strictly decreases along s, so the best point of each
+        # bucket is its last element; the global min-storage point is
+        # always kept so tight budgets stay feasible
+        last = np.empty(len(s), dtype=bool)
+        last[:-1] = bucket[:-1] != bucket[1:]
+        last[-1] = True
+        last[0] = True
+        s = s[last]
+        r = r[last]
+    return Frontier(s, r)
+
+
+def merge_frontiers(
+    frontiers, grid: ThinningGrid | None = None
+) -> Frontier:
+    """Min-union of many frontiers (best over alternative states)."""
+    stos = []
+    rets = []
+    for f in frontiers:
+        if not f.is_empty:
+            stos.append(f.sto)
+            rets.append(f.ret)
+    if not stos:
+        return _EMPTY_FRONTIER
+    return _prune(np.concatenate(stos), np.concatenate(rets), grid)

@@ -1,0 +1,389 @@
+"""Exact integer-linear-programming solvers (Appendix D), via HiGHS.
+
+The paper computes OPT with Gurobi; offline we use
+``scipy.optimize.milp`` (the bundled HiGHS solver) on the same
+formulations:
+
+MSR / BSR — single-commodity flow on the extended graph (Appendix D):
+    variables ``x_e ∈ {0..n}`` (how many versions retrieve through
+    ``e``) and ``I_e ∈ {0,1}`` (is ``e`` stored);
+    ``sum_in(u) x - sum_out(u) x = 1`` for every version ``u``;
+    ``x_e <= n · I_e``.  Then ``sum_e r_e x_e`` *is* the total
+    retrieval cost and ``sum_e s_e I_e`` the total storage (aux edges
+    carry the materialization costs).
+
+MMR / BMR — multicommodity: one binary flow ``y^t`` per target version
+    (path from AUX to ``t``), coupled by ``y^t_e <= I_e``; the retrieval
+    cost of ``t`` is ``sum_e r_e y^t_e``, constrained per target.
+
+Like the paper (Figure 10 caption: "ILP takes too long to finish on all
+graphs except datasharing"), use these on small graphs only; callers can
+pass a time limit and must check :attr:`ILPResult.optimal`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..core.graph import AUX, Node, VersionGraph
+from ..core.problems import PlanScore, evaluate_plan
+from ..core.solution import StoragePlan
+
+__all__ = ["ILPResult", "msr_ilp", "bsr_ilp", "mmr_ilp", "bmr_ilp"]
+
+
+@dataclass(frozen=True)
+class ILPResult:
+    """Outcome of an exact solve.
+
+    Attributes
+    ----------
+    plan:
+        The optimal storage plan (None when infeasible / not solved).
+    objective:
+        Objective value reported by the solver (inf when infeasible).
+    optimal:
+        True when HiGHS proved optimality within the time limit.
+    status:
+        HiGHS status message for diagnostics.
+    score:
+        Re-evaluated plan costs (validation happens in tests).
+    """
+
+    plan: StoragePlan | None
+    objective: float
+    optimal: bool
+    status: str
+    score: PlanScore | None = None
+
+
+def _edge_arrays(ext: VersionGraph):
+    edges = [(u, v) for u, v, _ in ext.deltas()]
+    storage = np.array([ext.delta(u, v).storage for u, v in edges], dtype=float)
+    retrieval = np.array([ext.delta(u, v).retrieval for u, v in edges], dtype=float)
+    return edges, storage, retrieval
+
+
+def _flow_matrix(ext: VersionGraph, edges: list[tuple[Node, Node]]):
+    """Rows: one conservation constraint per version (not AUX)."""
+    versions = [v for v in ext.versions if v is not AUX]
+    vidx = {v: i for i, v in enumerate(versions)}
+    rows, cols, vals = [], [], []
+    for j, (u, v) in enumerate(edges):
+        if v in vidx:
+            rows.append(vidx[v])
+            cols.append(j)
+            vals.append(1.0)
+        if u in vidx:
+            rows.append(vidx[u])
+            cols.append(j)
+            vals.append(-1.0)
+    mat = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(len(versions), len(edges))
+    )
+    return versions, mat
+
+
+def _single_commodity(
+    graph: VersionGraph,
+    *,
+    minimize_retrieval: bool,
+    storage_budget: float | None,
+    retrieval_budget: float | None,
+    time_limit: float | None,
+    mip_rel_gap: float | None,
+) -> ILPResult:
+    ext = graph if graph.has_aux else graph.extended()
+    edges, s_cost, r_cost = _edge_arrays(ext)
+    m = len(edges)
+    n = sum(1 for v in ext.versions if v is not AUX)
+    versions, flow = _flow_matrix(ext, edges)
+
+    # variable layout: [x_0..x_{m-1}, I_0..I_{m-1}]
+    c = np.concatenate([r_cost, np.zeros(m)]) if minimize_retrieval else np.concatenate(
+        [np.zeros(m), s_cost]
+    )
+    constraints = []
+    # flow conservation: flow @ x == 1
+    constraints.append(
+        LinearConstraint(sparse.hstack([flow, sparse.csr_matrix((n, m))]), 1.0, 1.0)
+    )
+    # indicator coupling: x_e - n I_e <= 0
+    eye = sparse.eye(m, format="csr")
+    constraints.append(
+        LinearConstraint(sparse.hstack([eye, -float(n) * eye]), -np.inf, 0.0)
+    )
+    # strengthening cut: every version needs a stored in-edge
+    # (sum_{e in in(v)} I_e >= 1) — valid for all feasible plans and
+    # dramatically tightens the big-M LP relaxation for HiGHS.
+    in_rows, in_cols, in_vals = [], [], []
+    vidx = {v: i for i, v in enumerate(versions)}
+    for j, (u, v) in enumerate(edges):
+        if v in vidx:
+            in_rows.append(vidx[v])
+            in_cols.append(j)
+            in_vals.append(1.0)
+    in_mat = sparse.csr_matrix((in_vals, (in_rows, in_cols)), shape=(n, m))
+    constraints.append(
+        LinearConstraint(sparse.hstack([sparse.csr_matrix((n, m)), in_mat]), 1.0, np.inf)
+    )
+    if storage_budget is not None:
+        row = sparse.hstack(
+            [sparse.csr_matrix((1, m)), sparse.csr_matrix(s_cost[None, :])]
+        )
+        constraints.append(LinearConstraint(row, -np.inf, storage_budget))
+    if retrieval_budget is not None:
+        row = sparse.hstack(
+            [sparse.csr_matrix(r_cost[None, :]), sparse.csr_matrix((1, m))]
+        )
+        constraints.append(LinearConstraint(row, -np.inf, retrieval_budget))
+
+    bounds = Bounds(
+        lb=np.zeros(2 * m), ub=np.concatenate([np.full(m, float(n)), np.ones(m)])
+    )
+    integrality = np.ones(2 * m)
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    if mip_rel_gap is not None:
+        options["mip_rel_gap"] = mip_rel_gap
+    res = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        options=options,
+    )
+    if res.x is None:
+        return ILPResult(None, math.inf, False, res.message)
+    x = res.x[:m]
+    plan = _plan_from_flow(ext, edges, x)
+    score = evaluate_plan(graph, plan)
+    return ILPResult(
+        plan=plan,
+        objective=float(res.fun),
+        optimal=bool(res.status == 0),
+        status=res.message,
+        score=score,
+    )
+
+
+def _plan_from_flow(
+    ext: VersionGraph, edges: list[tuple[Node, Node]], x: np.ndarray
+) -> StoragePlan:
+    mats = []
+    deltas = []
+    for (u, v), flow in zip(edges, x):
+        if flow > 0.5:
+            if u is AUX:
+                mats.append(v)
+            else:
+                deltas.append((u, v))
+    return StoragePlan.of(mats, deltas)
+
+
+def msr_ilp(
+    graph: VersionGraph,
+    storage_budget: float,
+    *,
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+) -> ILPResult:
+    """Exact MinSum Retrieval (Appendix D formulation).
+
+    ``mip_rel_gap`` trades proof-of-optimality for speed (the benchmark
+    harness uses a small gap; tests use the exact default).
+    """
+    return _single_commodity(
+        graph,
+        minimize_retrieval=True,
+        storage_budget=storage_budget,
+        retrieval_budget=None,
+        time_limit=time_limit,
+        mip_rel_gap=mip_rel_gap,
+    )
+
+
+def bsr_ilp(
+    graph: VersionGraph,
+    retrieval_budget: float,
+    *,
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+) -> ILPResult:
+    """Exact BoundedSum Retrieval (storage objective, retrieval budget)."""
+    return _single_commodity(
+        graph,
+        minimize_retrieval=False,
+        storage_budget=None,
+        retrieval_budget=retrieval_budget,
+        time_limit=time_limit,
+        mip_rel_gap=mip_rel_gap,
+    )
+
+
+def _multicommodity(
+    graph: VersionGraph,
+    *,
+    storage_budget: float | None,
+    retrieval_budget: float | None,
+    minimize_max_retrieval: bool,
+    time_limit: float | None,
+) -> ILPResult:
+    """Shared MMR/BMR model: binary per-target flows coupled to I_e.
+
+    Variable layout: ``[y^t_e for t in targets for e] + [I_e] (+ [z])``
+    where ``z`` is the max-retrieval epigraph variable for MMR.
+    """
+    ext = graph if graph.has_aux else graph.extended()
+    edges, s_cost, r_cost = _edge_arrays(ext)
+    m = len(edges)
+    targets = [v for v in ext.versions if v is not AUX]
+    n = len(targets)
+    vidx = {v: i for i, v in enumerate(targets)}
+
+    num_y = n * m
+    num_vars = num_y + m + (1 if minimize_max_retrieval else 0)
+
+    def ycol(t_i: int, e_j: int) -> int:
+        return t_i * m + e_j
+
+    icol0 = num_y
+    zcol = num_y + m  # only valid for MMR
+
+    rows, cols, vals, lbs, ubs = [], [], [], [], []
+    r = 0
+
+    # per-target unit flow from AUX to t: in(u) - out(u) = [u == t]
+    for t_i, t in enumerate(targets):
+        for u in targets:
+            for e_j, (a, b) in enumerate(edges):
+                if b == u:
+                    rows.append(r)
+                    cols.append(ycol(t_i, e_j))
+                    vals.append(1.0)
+                elif a == u:
+                    rows.append(r)
+                    cols.append(ycol(t_i, e_j))
+                    vals.append(-1.0)
+            lbs.append(1.0 if u == t else 0.0)
+            ubs.append(1.0 if u == t else 0.0)
+            r += 1
+
+    # coupling y^t_e <= I_e
+    for t_i in range(n):
+        for e_j in range(m):
+            rows.append(r)
+            cols.append(ycol(t_i, e_j))
+            vals.append(1.0)
+            rows.append(r)
+            cols.append(icol0 + e_j)
+            vals.append(-1.0)
+            lbs.append(-np.inf)
+            ubs.append(0.0)
+            r += 1
+
+    # per-target retrieval constraint
+    for t_i in range(n):
+        for e_j in range(m):
+            if r_cost[e_j] != 0.0:
+                rows.append(r)
+                cols.append(ycol(t_i, e_j))
+                vals.append(r_cost[e_j])
+        if minimize_max_retrieval:
+            rows.append(r)
+            cols.append(zcol)
+            vals.append(-1.0)
+            lbs.append(-np.inf)
+            ubs.append(0.0)
+        else:
+            lbs.append(-np.inf)
+            ubs.append(retrieval_budget)
+        r += 1
+
+    # storage budget (MMR) — BMR minimizes storage instead
+    if storage_budget is not None:
+        for e_j in range(m):
+            rows.append(r)
+            cols.append(icol0 + e_j)
+            vals.append(s_cost[e_j])
+        lbs.append(-np.inf)
+        ubs.append(storage_budget)
+        r += 1
+
+    A = sparse.csr_matrix((vals, (rows, cols)), shape=(r, num_vars))
+    constraint = LinearConstraint(A, np.array(lbs), np.array(ubs))
+
+    c = np.zeros(num_vars)
+    if minimize_max_retrieval:
+        c[zcol] = 1.0
+    else:
+        c[icol0 : icol0 + m] = s_cost
+
+    ub = np.ones(num_vars)
+    if minimize_max_retrieval:
+        ub[zcol] = np.inf
+    bounds = Bounds(lb=np.zeros(num_vars), ub=ub)
+    integrality = np.ones(num_vars)
+    if minimize_max_retrieval:
+        integrality[zcol] = 0.0
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    res = milp(
+        c=c, constraints=[constraint], integrality=integrality, bounds=bounds, options=options
+    )
+    if res.x is None:
+        return ILPResult(None, math.inf, False, res.message)
+    stored = res.x[icol0 : icol0 + m] > 0.5
+    # keep only stored edges actually used by some flow (prunes free I_e)
+    used = np.zeros(m, dtype=bool)
+    y = res.x[:num_y].reshape(n, m) > 0.5
+    used = y.any(axis=0)
+    mats, deltas = [], []
+    for e_j, (u, v) in enumerate(edges):
+        if stored[e_j] and used[e_j]:
+            if u is AUX:
+                mats.append(v)
+            else:
+                deltas.append((u, v))
+    plan = StoragePlan.of(mats, deltas)
+    score = evaluate_plan(graph, plan)
+    return ILPResult(
+        plan=plan,
+        objective=float(res.fun),
+        optimal=bool(res.status == 0),
+        status=res.message,
+        score=score,
+    )
+
+
+def mmr_ilp(
+    graph: VersionGraph, storage_budget: float, *, time_limit: float | None = None
+) -> ILPResult:
+    """Exact MinMax Retrieval (epigraph multicommodity model)."""
+    return _multicommodity(
+        graph,
+        storage_budget=storage_budget,
+        retrieval_budget=None,
+        minimize_max_retrieval=True,
+        time_limit=time_limit,
+    )
+
+
+def bmr_ilp(
+    graph: VersionGraph, retrieval_budget: float, *, time_limit: float | None = None
+) -> ILPResult:
+    """Exact BoundedMax Retrieval (multicommodity model)."""
+    return _multicommodity(
+        graph,
+        storage_budget=None,
+        retrieval_budget=retrieval_budget,
+        minimize_max_retrieval=False,
+        time_limit=time_limit,
+    )

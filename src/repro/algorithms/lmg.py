@@ -1,0 +1,100 @@
+"""LMG — Local Move Greedy (Algorithm 1 of the paper; Bhattacherjee et al.).
+
+The previously best-known heuristic for MinSum Retrieval:
+
+1. start from the minimum-*storage* arborescence of the extended graph;
+2. repeatedly **materialize** the version with the best ratio
+
+   ``rho = (reduction in total retrieval) / (increase in storage)``
+
+   among versions whose materialization keeps total storage within the
+   budget;
+3. stop when the budget is exhausted, no candidate remains, or no move
+   reduces retrieval.
+
+Theorem 1 of the paper shows this can be arbitrarily bad even on
+directed paths under a single weight function with triangle inequality
+(see :func:`repro.core.instances.lmg_adversarial_chain` and the
+``bench_theorem1_lmg_adversarial`` benchmark).
+
+Implementation notes
+--------------------
+* A move "materialize v" is the edge swap ``(P(v), v) -> (AUX, v)`` on
+  the :class:`~repro.core.solution.PlanTree`; evaluating it is O(1)
+  thanks to cached subtree sizes, so one greedy round costs O(V) and the
+  whole run O(V^2) plus O(subtree) per applied move.
+* Following Algorithm 1, each version is materialized at most once
+  (the ``U`` set); a move with non-positive retrieval reduction is never
+  taken.
+* The paper assumes materialization costs exceed delta costs; when a
+  swap *reduces* storage while also reducing retrieval we treat its
+  ratio as infinite (such moves are always safe and taken first).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.graph import AUX, Node, VersionGraph
+from ..core.solution import PlanTree
+from .arborescence import min_storage_plan_tree
+
+__all__ = ["lmg"]
+
+
+def lmg(
+    graph: VersionGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> PlanTree:
+    """Run LMG for MSR. Returns the final :class:`PlanTree`.
+
+    Parameters
+    ----------
+    graph:
+        Base version graph (extended internally).
+    storage_budget:
+        The MSR storage constraint ``S``.  Must admit the minimum
+        storage configuration, otherwise the instance is infeasible and
+        a ``ValueError`` is raised.
+    max_iterations:
+        Optional safety cap on greedy rounds (defaults to ``|V|``, the
+        natural bound since each round removes one version from ``U``).
+    """
+    tree = min_storage_plan_tree(graph)
+    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
+        raise ValueError(
+            f"storage budget {storage_budget} below minimum storage "
+            f"{tree.total_storage}: MSR infeasible"
+        )
+    candidates = {v for v in tree.parent if tree.parent[v] is not AUX}
+    rounds = max_iterations if max_iterations is not None else len(tree.parent)
+
+    for _ in range(rounds):
+        if tree.total_storage >= storage_budget or not candidates:
+            break
+        best_rho = 0.0
+        best_v: Node | None = None
+        best_dr = 0.0
+        for v in sorted(candidates, key=str):
+            if tree.parent[v] is AUX:
+                continue
+            ds, dr = tree.swap_deltas(AUX, v)
+            if tree.total_storage + ds > storage_budget * (1 + 1e-12) + 1e-9:
+                continue
+            reduction = -dr
+            if reduction <= 0:
+                continue
+            rho = math.inf if ds <= 0 else reduction / ds
+            if rho > best_rho or (
+                rho == best_rho == math.inf and reduction > -best_dr
+            ):
+                best_rho = rho
+                best_v = v
+                best_dr = dr
+        if best_v is None:
+            break
+        tree.apply_swap(AUX, best_v)
+        candidates.discard(best_v)
+    return tree

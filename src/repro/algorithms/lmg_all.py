@@ -1,0 +1,88 @@
+"""LMG-All — the paper's improved greedy for MSR (Algorithm 7, §6.1).
+
+LMG only ever *materializes* versions.  LMG-All enlarges the move set to
+every edge of the extended graph: a greedy step may re-route any version
+``v`` to retrieve through any non-descendant ``u`` (materialization is
+the special case ``u = AUX``).  Each step picks the move maximizing
+
+``rho_e = (retrieval reduction) / (storage increase)``
+
+with storage-non-increasing, retrieval-reducing moves ranked first
+(``rho = inf``).  Moves that would exceed the storage budget or create a
+cycle are skipped.
+
+The paper finds LMG-All beats LMG on every dataset and — surprisingly —
+runs *faster* on large sparse natural graphs because its moves are
+smaller and cheaper to apply; our implementation preserves that
+behaviour (see ``benchmarks/bench_fig11_msr_compressed.py``).
+
+Complexity: one greedy round scans all O(E) edges with O(1) move
+evaluation (cached subtree sizes + Euler-interval ancestor tests);
+applying a move costs O(subtree + depth) and marks the Euler intervals
+dirty (rebuilt lazily in O(V)).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.graph import AUX, Node, VersionGraph
+from ..core.solution import PlanTree
+from .arborescence import min_storage_plan_tree
+
+__all__ = ["lmg_all"]
+
+
+def lmg_all(
+    graph: VersionGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> PlanTree:
+    """Run LMG-All for MSR. Returns the final :class:`PlanTree`.
+
+    ``max_iterations`` caps greedy rounds (default ``4|V| + 64``; the
+    loop almost always stops far earlier because every applied move
+    strictly reduces total retrieval).
+    """
+    tree = min_storage_plan_tree(graph)
+    ext = tree.graph
+    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
+        raise ValueError(
+            f"storage budget {storage_budget} below minimum storage "
+            f"{tree.total_storage}: MSR infeasible"
+        )
+    # Candidate edges: all deltas of the extended graph (aux edges model
+    # materialization).  Precomputed once; per-round filtering handles
+    # the tree-dependent conditions.
+    edges: list[tuple[Node, Node]] = [(u, v) for u, v, _ in ext.deltas()]
+    rounds = max_iterations if max_iterations is not None else 4 * len(tree.parent) + 64
+
+    for _ in range(rounds):
+        if tree.total_storage >= storage_budget:
+            break
+        best_key: tuple[int, float] | None = None  # (finite?, rho or reduction)
+        best_move: tuple[Node, Node] | None = None
+        tree.refresh_euler()
+        for u, v in edges:
+            if tree.parent[v] == u:
+                continue
+            if u is not AUX and tree.is_ancestor(v, u):
+                continue  # would create a cycle (u descends from v)
+            ds, dr = tree.swap_deltas(u, v)
+            if dr >= 0:
+                continue  # Algorithm 7 line 9: skip retrieval-non-improving
+            if tree.total_storage + ds > storage_budget * (1 + 1e-12) + 1e-9:
+                continue
+            reduction = -dr
+            if ds <= 0:
+                key = (1, reduction)  # rho = inf tier, larger reduction first
+            else:
+                key = (0, reduction / ds)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_move = (u, v)
+        if best_move is None:
+            break
+        tree.apply_swap(*best_move)
+    return tree

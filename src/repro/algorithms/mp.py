@@ -1,0 +1,90 @@
+"""MP — Modified Prim's heuristic for BoundedMax Retrieval.
+
+MP is the prior best-performing baseline the paper compares DP-BMR
+against (Section 7; originally from Bhattacherjee et al. VLDB'15).  The
+VLDB description: grow a spanning structure from scratch Prim-style,
+always attaching the version with the cheapest *storage* attachment
+whose resulting retrieval cost stays within the budget ``R``.
+
+Our interpretation (documented because no reference implementation is
+available offline):
+
+* maintain a growing plan tree rooted at AUX; every version starts
+  un-attached with its materialization edge ``(AUX, v)`` as the default
+  candidate (retrieval 0, always feasible);
+* at each step attach the version with the cheapest candidate edge
+  (by storage cost), breaking ties toward smaller resulting retrieval;
+* after attaching ``v`` with retrieval ``R(v)``, relax every out-delta
+  ``(v, w)``: the edge becomes a candidate for ``w`` iff
+  ``R(v) + r_vw <= R`` and its storage cost beats ``w``'s current
+  candidate.
+
+This is exactly Prim's algorithm on the extended graph with storage
+weights, filtered by the retrieval budget — hence "Modified Prim".  The
+output is always feasible (materialization is always available) and
+equals the minimum-storage arborescence when ``R = inf``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from ..core.graph import AUX, Node, VersionGraph
+from ..core.solution import PlanTree
+
+__all__ = ["mp"]
+
+
+def mp(graph: VersionGraph, retrieval_budget: float) -> PlanTree:
+    """Run Modified Prim's for BMR. Returns a feasible :class:`PlanTree`.
+
+    ``retrieval_budget`` is the max-retrieval constraint ``R``; the plan
+    satisfies ``max_v R(v) <= R`` by construction.
+    """
+    ext = graph if graph.has_aux else graph.extended()
+    versions = [v for v in ext.versions if v is not AUX]
+
+    # best known attachment per unattached version: (storage, retrieval, parent)
+    best: dict[Node, tuple[float, float, Node]] = {
+        v: (ext.delta(AUX, v).storage, 0.0, AUX) for v in versions
+    }
+    attached: dict[Node, Node] = {}
+    ret: dict[Node, float] = {}
+    # heap entries: (storage, retrieval, seq, v, parent) — lazy deletion
+    heap: list[tuple[float, float, int, Node, Node]] = []
+    seq = 0
+    for v in sorted(versions, key=str):
+        s, r, p = best[v]
+        heap.append((s, r, seq, v, p))
+        seq += 1
+    heapq.heapify(heap)
+
+    while heap:
+        s, r, _, v, p = heapq.heappop(heap)
+        if v in attached or best[v][:2] != (s, r) or best[v][2] != p:
+            continue
+        attached[v] = p
+        ret[v] = r
+        for w, delta in ext.successors(v).items():
+            if w is AUX or w in attached:
+                continue
+            nr = r + delta.retrieval
+            if nr > retrieval_budget * (1 + 1e-12) + 1e-9:
+                continue
+            cand = (delta.storage, nr, v)
+            if (cand[0], cand[1]) < best[w][:2]:
+                best[w] = cand
+                heapq.heappush(heap, (delta.storage, nr, seq, w, v))
+                seq += 1
+
+    assert len(attached) == len(versions), "materialization keeps MP feasible"
+    tree = PlanTree(ext, attached)
+    if math.isfinite(retrieval_budget):
+        assert tree.max_retrieval() <= retrieval_budget * (1 + 1e-9) + 1e-6
+    return tree
+
+
+def mp_storage(graph: VersionGraph, retrieval_budget: float) -> float:
+    """Convenience: the storage cost MP achieves under budget ``R``."""
+    return mp(graph, retrieval_budget).total_storage

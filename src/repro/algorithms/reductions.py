@@ -1,0 +1,191 @@
+"""Lemma-7 reductions: solve one variant with a solver for its dual.
+
+The storage and retrieval roles of the four problems are exchangeable
+(Section 2.2): an algorithm for BMR yields one for MMR by binary-
+searching the smallest max-retrieval budget whose optimal storage fits
+``S``, and symmetrically in the other three directions.  The search
+space is finite (``n · r_max`` for max-retrieval, ``n² · r_max`` for
+sum-retrieval), so with the *snap-to-achieved* refinement below the
+search is exact on integral instances and converges to machine
+precision otherwise.
+
+Snap-to-achieved: whenever the inner solver returns a feasible plan, its
+*actual* constrained value (e.g. the true max retrieval of the plan) is
+used as the next upper bound instead of the probed midpoint.  Each
+accepted probe therefore lands exactly on an achievable value and the
+search terminates after O(log(range / gap)) probes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.graph import VersionGraph
+from ..core.problems import PlanScore, evaluate_plan
+from ..core.solution import StoragePlan
+
+__all__ = [
+    "BudgetSolver",
+    "ReductionResult",
+    "minimize_budget",
+    "mmr_via_bmr",
+    "msr_via_bsr",
+    "bmr_via_mmr",
+    "bsr_via_msr",
+]
+
+# A budget solver takes (graph, budget) and returns a feasible plan for
+# the budgeted problem (constraint <= budget), minimizing its objective —
+# or None when no plan fits the budget (e.g. storage below the minimum
+# arborescence cost).
+BudgetSolver = Callable[[VersionGraph, float], StoragePlan | None]
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """Outcome of a Lemma-7 binary search.
+
+    Attributes
+    ----------
+    budget:
+        The smallest probed budget whose inner solution met the outer
+        constraint (snapped to an achieved value).
+    plan:
+        The plan realizing it.
+    score:
+        Full cost aggregates of ``plan``.
+    probes:
+        Number of inner-solver invocations (for run-time accounting).
+    """
+
+    budget: float
+    plan: StoragePlan
+    score: PlanScore
+    probes: int
+
+
+def minimize_budget(
+    graph: VersionGraph,
+    solver: BudgetSolver,
+    *,
+    outer_limit: float,
+    outer_of: Callable[[PlanScore], float],
+    inner_of: Callable[[PlanScore], float],
+    hi: float,
+    lo: float = 0.0,
+    tol: float = 1e-6,
+    max_probes: int = 80,
+) -> ReductionResult:
+    """Find the smallest inner budget whose optimal plan satisfies the
+    outer constraint ``outer_of(score) <= outer_limit``.
+
+    ``solver(graph, budget)`` should be monotone: loosening the inner
+    budget never worsens the outer quantity of its optimal plan.  Exact
+    solvers are monotone by definition; MP and DP-BMR are monotone by
+    construction.  With a non-monotone heuristic the search still
+    returns a feasible plan, just not necessarily the best probe.
+    """
+    best: tuple[float, StoragePlan, PlanScore] | None = None
+    probes = 0
+
+    def probe(budget: float) -> tuple[PlanScore | None, StoragePlan | None]:
+        nonlocal probes
+        probes += 1
+        plan = solver(graph, budget)
+        if plan is None:
+            return None, None
+        return evaluate_plan(graph, plan), plan
+
+    score, plan = probe(hi)
+    if score is None or outer_of(score) > outer_limit * (1 + 1e-12) + 1e-9:
+        raise ValueError(
+            f"outer constraint {outer_limit} unreachable even at inner budget {hi}"
+        )
+    hi = min(hi, inner_of(score))
+    best = (hi, plan, score)
+
+    while probes < max_probes and hi - lo > tol * max(1.0, abs(hi)):
+        mid = (lo + hi) / 2
+        score, plan = probe(mid)
+        if score is not None and outer_of(score) <= outer_limit * (1 + 1e-12) + 1e-9:
+            achieved = min(mid, inner_of(score))
+            if achieved < best[0]:
+                best = (achieved, plan, score)
+            hi = achieved
+        else:
+            lo = mid
+    budget, plan, score = best
+    return ReductionResult(budget=budget, plan=plan, score=score, probes=probes)
+
+
+def _sum_retrieval_upper(graph: VersionGraph) -> float:
+    n = graph.num_versions
+    return n * n * max(1.0, graph.max_retrieval_cost())
+
+
+def _max_retrieval_upper(graph: VersionGraph) -> float:
+    return graph.num_versions * max(1.0, graph.max_retrieval_cost())
+
+
+def mmr_via_bmr(
+    graph: VersionGraph, bmr_solver: BudgetSolver, storage_budget: float, **kw
+) -> ReductionResult:
+    """MinMax Retrieval using a BMR solver (Lemma 7)."""
+    return minimize_budget(
+        graph,
+        bmr_solver,
+        outer_limit=storage_budget,
+        outer_of=lambda s: s.storage,
+        inner_of=lambda s: s.max_retrieval,
+        hi=_max_retrieval_upper(graph),
+        **kw,
+    )
+
+
+def msr_via_bsr(
+    graph: VersionGraph, bsr_solver: BudgetSolver, storage_budget: float, **kw
+) -> ReductionResult:
+    """MinSum Retrieval using a BSR solver (Lemma 7)."""
+    return minimize_budget(
+        graph,
+        bsr_solver,
+        outer_limit=storage_budget,
+        outer_of=lambda s: s.storage,
+        inner_of=lambda s: s.sum_retrieval,
+        hi=_sum_retrieval_upper(graph),
+        **kw,
+    )
+
+
+def bmr_via_mmr(
+    graph: VersionGraph, mmr_solver: BudgetSolver, retrieval_budget: float, **kw
+) -> ReductionResult:
+    """BMR using an MMR solver: search the smallest storage budget whose
+    min-max-retrieval fits ``retrieval_budget`` (the reverse direction,
+    Section 2.2)."""
+    return minimize_budget(
+        graph,
+        mmr_solver,
+        outer_limit=retrieval_budget,
+        outer_of=lambda s: s.max_retrieval,
+        inner_of=lambda s: s.storage,
+        hi=graph.total_version_storage() + sum(d.storage for _, _, d in graph.deltas()),
+        **kw,
+    )
+
+
+def bsr_via_msr(
+    graph: VersionGraph, msr_solver: BudgetSolver, retrieval_budget: float, **kw
+) -> ReductionResult:
+    """BSR using an MSR solver (reverse direction)."""
+    return minimize_budget(
+        graph,
+        msr_solver,
+        outer_limit=retrieval_budget,
+        outer_of=lambda s: s.sum_retrieval,
+        inner_of=lambda s: s.storage,
+        hi=graph.total_version_storage() + sum(d.storage for _, _, d in graph.deltas()),
+        **kw,
+    )

@@ -1,0 +1,93 @@
+"""Solver registry: names -> budgeted solver callables.
+
+Benchmarks, the CLI and the parallel sweep workers all address solvers
+by name, so the mapping lives in one place.  Two families:
+
+* **MSR solvers** ``f(graph, storage_budget) -> StoragePlan | None``
+  (None = budget below the minimum achievable storage);
+* **BMR solvers** ``f(graph, retrieval_budget) -> StoragePlan``.
+
+The DP entries rebuild their tree index per call; sweep code that wants
+index reuse calls the solver classes directly (see
+:mod:`repro.bench.figures`).
+"""
+
+from __future__ import annotations
+
+from ..core.graph import VersionGraph
+from ..core.solution import StoragePlan
+from .dp_bmr import dp_bmr_heuristic
+from .dp_msr import dp_msr
+from .ilp import bmr_ilp, msr_ilp
+from .lmg import lmg
+from .lmg_all import lmg_all
+from .mp import mp
+
+__all__ = ["MSR_SOLVERS", "BMR_SOLVERS", "get_msr_solver", "get_bmr_solver"]
+
+
+def _lmg(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return lmg(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _lmg_all(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return lmg_all(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _dp_msr(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    from ..core.graph import GraphError
+
+    try:
+        return dp_msr(graph, budget).plan
+    except GraphError:
+        return None
+
+
+def _msr_ilp(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    return msr_ilp(graph, budget).plan
+
+
+def _mp(graph: VersionGraph, budget: float) -> StoragePlan:
+    return mp(graph, budget).to_plan()
+
+
+def _dp_bmr(graph: VersionGraph, budget: float) -> StoragePlan:
+    return dp_bmr_heuristic(graph, budget).plan
+
+
+def _bmr_ilp(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    return bmr_ilp(graph, budget).plan
+
+
+MSR_SOLVERS = {
+    "lmg": _lmg,
+    "lmg-all": _lmg_all,
+    "dp-msr": _dp_msr,
+    "ilp": _msr_ilp,
+}
+
+BMR_SOLVERS = {
+    "mp": _mp,
+    "dp-bmr": _dp_bmr,
+    "ilp": _bmr_ilp,
+}
+
+
+def get_msr_solver(name: str):
+    try:
+        return MSR_SOLVERS[name]
+    except KeyError:
+        raise KeyError(f"unknown MSR solver {name!r}; options: {sorted(MSR_SOLVERS)}") from None
+
+
+def get_bmr_solver(name: str):
+    try:
+        return BMR_SOLVERS[name]
+    except KeyError:
+        raise KeyError(f"unknown BMR solver {name!r}; options: {sorted(BMR_SOLVERS)}") from None

@@ -1,0 +1,65 @@
+"""Shortest-path-tree baseline (Problem 2 of Table 1).
+
+Running Dijkstra from the auxiliary root with retrieval-cost weights
+yields the plan that minimizes every version's retrieval cost
+simultaneously (each ``R(v)`` is its graph-theoretic minimum; in
+particular both ``max_v R(v)`` and ``sum_v R(v)`` are minimized),
+ignoring storage entirely.  Together with the minimum-storage
+arborescence it brackets the storage axis of every trade-off figure:
+LMG-style heuristics interpolate between these two extremes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.graph import AUX, GraphError, Node, VersionGraph
+from ..core.solution import PlanTree
+
+__all__ = ["shortest_path_tree", "shortest_path_plan_tree", "single_source_retrieval"]
+
+
+def single_source_retrieval(
+    graph: VersionGraph, source: Node
+) -> tuple[dict[Node, float], dict[Node, Node]]:
+    """Dijkstra over retrieval costs. Returns ``(dist, parent)``.
+
+    Deterministic: ties broken by insertion order of heap pushes.
+    """
+    dist: dict[Node, float] = {source: 0.0}
+    parent: dict[Node, Node] = {}
+    heap: list[tuple[float, int, Node]] = [(0.0, 0, source)]
+    counter = 1
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if d > dist.get(u, float("inf")):
+            continue
+        for w, delta in graph.successors(u).items():
+            nd = d + delta.retrieval
+            if nd < dist.get(w, float("inf")):
+                dist[w] = nd
+                parent[w] = u
+                heapq.heappush(heap, (nd, counter, w))
+                counter += 1
+    return dist, parent
+
+
+def shortest_path_tree(graph: VersionGraph) -> dict[Node, Node]:
+    """Parent map of the retrieval-shortest-path tree from AUX."""
+    ext = graph if graph.has_aux else graph.extended()
+    dist, parent = single_source_retrieval(ext, AUX)
+    missing = [v for v in ext.versions if v is not AUX and v not in parent]
+    if missing:
+        raise GraphError(f"versions unreachable from AUX: {missing[:5]!r}")
+    return parent
+
+
+def shortest_path_plan_tree(graph: VersionGraph) -> PlanTree:
+    """The minimum-retrieval configuration as a :class:`PlanTree`.
+
+    Note that Dijkstra from AUX with zero-retrieval aux edges tends to
+    materialize aggressively: any version whose cheapest retrieval path
+    is direct materialization hangs off AUX.
+    """
+    ext = graph if graph.has_aux else graph.extended()
+    return PlanTree(ext, shortest_path_tree(ext))

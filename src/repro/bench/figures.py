@@ -1,0 +1,197 @@
+"""One entry point per paper table/figure (the experiment index).
+
+Each ``fig*``/``table*`` function builds the dataset(s) at a benchmark-
+friendly scale, runs the corresponding experiment, prints the rendered
+panel, saves ``results/*.json`` and returns the structured result so
+the pytest benchmarks can assert the paper's qualitative shape.
+
+Default scales (recorded in EXPERIMENTS.md):
+
+=================  =====  ==========================================
+dataset            scale  note
+=================  =====  ==========================================
+datasharing        1.00   full size (29 nodes) — ILP runs here too
+styleguide         0.50   ~246 nodes
+996.ICU            0.08   ~255 nodes
+freeCodeCamp       0.012  ~375 nodes
+LeetCode family    1.00   full size (246 nodes), ER p ∈ {.05,.2,1}
+=================  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.graph import VersionGraph
+from ..gen.presets import PRESETS, TABLE4_PAPER, load_dataset
+from .harness import (
+    ExperimentResult,
+    ascii_plot,
+    markdown_table,
+    run_bmr_experiment,
+    run_msr_experiment,
+)
+
+__all__ = [
+    "DEFAULT_SCALES",
+    "build",
+    "table4",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "theorem1",
+    "footnote7_treewidth",
+]
+
+DEFAULT_SCALES: dict[str, float] = {
+    "datasharing": 1.0,
+    "styleguide": 0.5,
+    "996.ICU": 0.08,
+    "freeCodeCamp": 0.012,
+    "LeetCodeAnimation": 1.0,
+    "LeetCode (0.05)": 1.0,
+    "LeetCode (0.2)": 1.0,
+    "LeetCode (1)": 1.0,
+}
+
+
+def build(name: str, *, compressed: bool = False, scale: float | None = None) -> VersionGraph:
+    """Dataset at its benchmark scale (see DEFAULT_SCALES)."""
+    return load_dataset(
+        name, scale if scale is not None else DEFAULT_SCALES[name], compressed=compressed
+    )
+
+
+# ----------------------------------------------------------------------
+def table4(verbose: bool = True) -> list[list]:
+    """Table 4: dataset overview (ours vs paper)."""
+    rows = []
+    for name in PRESETS:
+        g = build(name)
+        paper_n, paper_e, paper_sv, paper_se = TABLE4_PAPER[name]
+        rows.append(
+            [
+                name,
+                g.num_versions,
+                g.num_deltas,
+                g.average_version_storage(),
+                g.average_delta_storage(),
+                f"paper: {paper_n}/{paper_e}/{paper_sv:.2g}/{paper_se:.2g}",
+            ]
+        )
+    if verbose:
+        print(
+            markdown_table(
+                ["dataset", "#nodes", "#edges", "avg s_v", "avg s_e", "paper row"], rows
+            )
+        )
+    return rows
+
+
+def _msr_panel(
+    name: str, *, compressed: bool, include_ilp: bool, panel: str, verbose: bool = True
+) -> ExperimentResult:
+    g = build(name, compressed=compressed)
+    res = run_msr_experiment(
+        g,
+        name=panel,
+        solvers=["lmg", "lmg-all", "dp-msr"],
+        include_ilp=include_ilp,
+    )
+    if verbose:
+        print()
+        print(ascii_plot(res.objective, title=f"{panel} / {name}: total retrieval vs storage budget"))
+        print(ascii_plot(res.runtime, title=f"{panel} / {name}: run time (s) vs storage budget"))
+    res.save()
+    return res
+
+
+def fig10(dataset: str = "datasharing", verbose: bool = True) -> ExperimentResult:
+    """Figure 10: MSR on natural graphs (OPT via ILP on datasharing)."""
+    return _msr_panel(
+        dataset,
+        compressed=False,
+        include_ilp=(dataset == "datasharing"),
+        panel="fig10",
+        verbose=verbose,
+    )
+
+
+def fig11(dataset: str = "styleguide", verbose: bool = True) -> ExperimentResult:
+    """Figure 11: MSR on randomly-compressed natural graphs + run time."""
+    return _msr_panel(
+        dataset, compressed=True, include_ilp=(dataset == "datasharing"), panel="fig11",
+        verbose=verbose,
+    )
+
+
+def fig12(dataset: str = "LeetCode (0.2)", verbose: bool = True) -> ExperimentResult:
+    """Figure 12: MSR on compressed ER graphs + run time."""
+    return _msr_panel(dataset, compressed=True, include_ilp=False, panel="fig12", verbose=verbose)
+
+
+def fig13(dataset: str = "styleguide", verbose: bool = True) -> ExperimentResult:
+    """Figure 13: BMR on natural graphs (MP vs DP-BMR) + run time."""
+    g = build(dataset)
+    res = run_bmr_experiment(g, name="fig13")
+    if verbose:
+        print()
+        print(ascii_plot(res.objective, title=f"fig13 / {dataset}: storage vs max-retrieval budget"))
+        print(ascii_plot(res.runtime, title=f"fig13 / {dataset}: run time (s)"))
+    res.save()
+    return res
+
+
+@dataclass
+class Theorem1Row:
+    c_over_b: float
+    lmg_retrieval: float
+    opt_retrieval: float
+
+    @property
+    def gap(self) -> float:
+        return self.lmg_retrieval / self.opt_retrieval
+
+
+def theorem1(verbose: bool = True) -> list[Theorem1Row]:
+    """Theorem 1: LMG's gap on the adversarial chain grows like c/b."""
+    from ..core.instances import lmg_adversarial_chain
+    from ..algorithms import brute_force_solve, lmg
+    from ..core.problems import MSR
+
+    rows = []
+    b = 100.0
+    for c in (1e3, 1e4, 1e5, 1e6):
+        g = lmg_adversarial_chain(a=c, b=b, c=c)
+        eps = b / c
+        budget = c + (1 - eps) * b + c
+        r_lmg = lmg(g, budget).total_retrieval
+        r_opt = brute_force_solve(g, MSR(budget))[1].sum_retrieval
+        rows.append(Theorem1Row(c / b, r_lmg, r_opt))
+    if verbose:
+        print(
+            markdown_table(
+                ["c/b", "LMG retrieval", "OPT retrieval", "gap"],
+                [[r.c_over_b, r.lmg_retrieval, r.opt_retrieval, r.gap] for r in rows],
+            )
+        )
+    return rows
+
+
+def footnote7_treewidth(verbose: bool = True) -> list[list]:
+    """Footnote 7: heuristic treewidth of the (emulated) repositories.
+
+    Paper: datasharing 2, styleguide 3, leetcode 6 — natural graphs are
+    tree-like, ER graphs are not.
+    """
+    from ..treewidth import treewidth_upper_bound, undirected_adjacency
+
+    rows = []
+    for name in ("datasharing", "styleguide", "LeetCodeAnimation", "LeetCode (0.05)"):
+        g = build(name)
+        w, _ = treewidth_upper_bound(undirected_adjacency(g))
+        rows.append([name, g.num_versions, g.num_deltas, w])
+    if verbose:
+        print(markdown_table(["dataset", "#nodes", "#edges", "treewidth (ub)"], rows))
+    return rows

@@ -1,0 +1,261 @@
+"""Experiment harness: sweeps, series, reports.
+
+Every Section-7 artifact is a set of *series* — objective (log scale)
+against a constraint grid, per algorithm — plus run-time panels.  This
+module runs the sweeps (reusing one DP run for all budgets, exactly as
+the paper does: "the DP algorithm returns a whole spectrum of solutions
+at once") and renders results as Markdown tables and ASCII log-plots so
+benchmark output is self-contained in the terminal and in
+``results/*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.graph import VersionGraph
+from ..core.problems import evaluate_plan
+from ..algorithms.dp_bmr import dp_bmr, extract_index
+from ..algorithms.dp_msr import DPMSRSolver
+from ..algorithms.ilp import msr_ilp
+from ..algorithms.registry import BMR_SOLVERS, MSR_SOLVERS
+from ..algorithms.arborescence import min_storage_plan_tree
+
+__all__ = [
+    "Series",
+    "ExperimentResult",
+    "msr_budget_grid",
+    "run_msr_experiment",
+    "run_bmr_experiment",
+    "ascii_plot",
+    "markdown_table",
+    "results_dir",
+]
+
+
+@dataclass
+class Series:
+    """One labeled line of a figure: x (budgets) vs y (objective)."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def finite(self) -> "Series":
+        pts = [(a, b) for a, b in zip(self.x, self.y) if math.isfinite(b)]
+        return Series(self.label, [a for a, _ in pts], [b for _, b in pts])
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one panel plus metadata for EXPERIMENTS.md."""
+
+    name: str
+    dataset: str
+    objective: dict[str, Series] = field(default_factory=dict)
+    runtime: dict[str, Series] = field(default_factory=dict)
+    notes: dict[str, float | str] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "objective": {
+                k: {"x": s.x, "y": s.y} for k, s in self.objective.items()
+            },
+            "runtime": {k: {"x": s.x, "y": s.y} for k, s in self.runtime.items()},
+            "notes": self.notes,
+        }
+
+    def save(self, directory: Path | None = None) -> Path:
+        directory = directory or results_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        safe = f"{self.name}_{self.dataset}".replace(" ", "_").replace("(", "").replace(")", "")
+        path = directory / f"{safe}.json"
+        path.write_text(json.dumps(self.to_json_dict(), indent=1))
+        return path
+
+
+def results_dir() -> Path:
+    return Path(__file__).resolve().parents[3] / "results"
+
+
+def msr_budget_grid(
+    graph: VersionGraph, points: int = 7, span: float = 4.0
+) -> list[float]:
+    """Storage budgets from just-feasible to ``span`` × minimum storage,
+    capped at the materialize-everything cost (the useful range)."""
+    base = min_storage_plan_tree(graph).total_storage
+    hi = min(base * span, graph.total_version_storage() * 1.0)
+    hi = max(hi, base * 1.05)
+    return list(np.geomspace(base * 1.02, hi, points))
+
+
+def run_msr_experiment(
+    graph: VersionGraph,
+    *,
+    name: str,
+    solvers: list[str] = ("lmg", "lmg-all", "dp-msr"),
+    budgets: list[float] | None = None,
+    dp_ticks: int = 96,
+    include_ilp: bool = False,
+    ilp_time_limit: float = 10.0,
+    ilp_rel_gap: float = 0.003,
+) -> ExperimentResult:
+    """One Figure-10/11/12 panel.
+
+    Greedy solvers run once per budget; DP-MSR runs **once** and its
+    frontier is read at every budget (run time recorded once, shown
+    flat, as in the paper).  ILP (OPT) is optional and time-limited.
+    """
+    budgets = budgets or msr_budget_grid(graph)
+    result = ExperimentResult(name=name, dataset=graph.name)
+
+    for solver_name in solvers:
+        obj = Series(solver_name)
+        rt = Series(solver_name)
+        if solver_name == "dp-msr":
+            t0 = time.perf_counter()
+            frontier = DPMSRSolver(graph, ticks=dp_ticks).frontier()
+            dt = time.perf_counter() - t0
+            for b in budgets:
+                obj.add(b, frontier.best_retrieval_within(b))
+                rt.add(b, dt)
+        else:
+            fn = MSR_SOLVERS[solver_name]
+            for b in budgets:
+                t0 = time.perf_counter()
+                plan = fn(graph, b)
+                dt = time.perf_counter() - t0
+                y = math.inf if plan is None else evaluate_plan(graph, plan).sum_retrieval
+                obj.add(b, y)
+                rt.add(b, dt)
+        result.objective[solver_name] = obj
+        result.runtime[solver_name] = rt
+
+    if include_ilp:
+        obj = Series("opt-ilp")
+        rt = Series("opt-ilp")
+        for b in budgets:
+            t0 = time.perf_counter()
+            res = msr_ilp(graph, b, time_limit=ilp_time_limit, mip_rel_gap=ilp_rel_gap)
+            dt = time.perf_counter() - t0
+            y = math.inf if res.plan is None else res.score.sum_retrieval
+            obj.add(b, y)
+            rt.add(b, dt)
+        result.objective["opt-ilp"] = obj
+        result.runtime["opt-ilp"] = rt
+
+    result.notes["min_storage"] = min_storage_plan_tree(graph).total_storage
+    result.notes["nodes"] = graph.num_versions
+    result.notes["edges"] = graph.num_deltas
+    return result
+
+
+def run_bmr_experiment(
+    graph: VersionGraph,
+    *,
+    name: str,
+    solvers: list[str] = ("mp", "dp-bmr"),
+    budgets: list[float] | None = None,
+) -> ExperimentResult:
+    """One Figure-13 panel (storage objective vs retrieval budget).
+
+    DP-BMR reuses a single extracted tree index across budgets, the
+    same O(n²) precomputation amortization the paper's sweep uses.
+    """
+    if budgets is None:
+        hi = graph.max_retrieval_cost() * 6
+        budgets = [0.0] + list(np.geomspace(max(hi / 64, 1.0), hi, 6))
+    result = ExperimentResult(name=name, dataset=graph.name)
+    shared_index = extract_index(graph) if "dp-bmr" in solvers else None
+
+    for solver_name in solvers:
+        obj = Series(solver_name)
+        rt = Series(solver_name)
+        for b in budgets:
+            t0 = time.perf_counter()
+            if solver_name == "dp-bmr":
+                from ..algorithms.dp_bmr import dp_bmr_heuristic
+
+                plan = dp_bmr_heuristic(graph, b, index=shared_index).plan
+            else:
+                plan = BMR_SOLVERS[solver_name](graph, b)
+            dt = time.perf_counter() - t0
+            score = evaluate_plan(graph, plan)
+            assert score.max_retrieval <= b * (1 + 1e-9) + 1e-6
+            obj.add(b, score.storage)
+            rt.add(b, dt)
+        result.objective[solver_name] = obj
+        result.runtime[solver_name] = rt
+    result.notes["nodes"] = graph.num_versions
+    result.notes["edges"] = graph.num_deltas
+    return result
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def ascii_plot(
+    series_map: dict[str, Series],
+    *,
+    title: str = "",
+    width: int = 68,
+    height: int = 14,
+    log_y: bool = True,
+) -> str:
+    """Log-scale ASCII line chart, one marker per series (paper figures
+    are log-scale line charts; this is their terminal rendering)."""
+    markers = "ox+*#@%&"
+    finite = {k: s.finite() for k, s in series_map.items()}
+    finite = {k: s for k, s in finite.items() if s.x}
+    if not finite:
+        return f"{title}\n(no finite data)"
+    xs = [x for s in finite.values() for x in s.x]
+    ys = [max(y, 1e-12) for s in finite.values() for y in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        y_lo, y_hi = math.log10(y_lo), math.log10(max(y_hi, y_lo * (1 + 1e-9)))
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+    grid = [[" "] * width for _ in range(height)]
+    for (label, s), marker in zip(sorted(finite.items()), markers):
+        for x, y in zip(s.x, s.y):
+            yy = math.log10(max(y, 1e-12)) if log_y else y
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yy - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    legend = "  ".join(
+        f"{m}={label}" for (label, _), m in zip(sorted(finite.items()), markers)
+    )
+    lines = [title, legend] if title else [legend]
+    top = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    bot = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    lines.append(f"y: {bot} .. {top} (log)" if log_y else f"y: {bot} .. {top}")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f"x: {x_lo:.3g} .. {x_hi:.3g}")
+    return "\n".join(lines)
+
+
+def markdown_table(headers: list[str], rows: list[list]) -> str:
+    def fmt(x) -> str:
+        if isinstance(x, float):
+            return f"{x:.4g}"
+        return str(x)
+
+    out = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    out.extend("| " + " | ".join(fmt(c) for c in row) + " |" for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+Examples
+--------
+Regenerate a paper figure::
+
+    repro-versioning figure fig10 --dataset datasharing
+    repro-versioning figure fig13 --dataset styleguide
+
+Optimize a version graph stored as JSON::
+
+    repro-versioning solve msr graph.json --budget 21000 --solver lmg-all
+    repro-versioning solve bmr graph.json --budget 600 --solver dp-bmr
+
+Inspect a dataset preset::
+
+    repro-versioning dataset styleguide --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core.graph import VersionGraph
+from .core.problems import evaluate_plan
+
+__all__ = ["main"]
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from . import bench
+
+    fn = {
+        "table4": lambda: bench.table4(),
+        "fig10": lambda: bench.fig10(args.dataset or "datasharing"),
+        "fig11": lambda: bench.fig11(args.dataset or "styleguide"),
+        "fig12": lambda: bench.fig12(args.dataset or "LeetCode (0.2)"),
+        "fig13": lambda: bench.fig13(args.dataset or "styleguide"),
+        "theorem1": lambda: bench.theorem1(),
+        "treewidth": lambda: bench.footnote7_treewidth(),
+    }.get(args.name)
+    if fn is None:
+        print(f"unknown figure {args.name!r}", file=sys.stderr)
+        return 2
+    fn()
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .algorithms.registry import get_bmr_solver, get_msr_solver
+
+    graph = VersionGraph.from_json(Path(args.graph).read_text())
+    if args.problem == "msr":
+        solver = get_msr_solver(args.solver)
+    else:
+        solver = get_bmr_solver(args.solver)
+    plan = solver(graph, args.budget)
+    if plan is None:
+        print("infeasible: budget below the minimum achievable", file=sys.stderr)
+        return 1
+    score = evaluate_plan(graph, plan)
+    print(
+        json.dumps(
+            {
+                "problem": args.problem,
+                "solver": args.solver,
+                "budget": args.budget,
+                "storage": score.storage,
+                "sum_retrieval": score.sum_retrieval,
+                "max_retrieval": score.max_retrieval,
+                "materialized": sorted(map(str, plan.materialized)),
+                "stored_deltas": sorted([list(map(str, e)) for e in plan.stored_deltas]),
+            },
+            indent=1,
+        )
+    )
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .gen.presets import load_dataset
+
+    g = load_dataset(args.name, scale=args.scale, compressed=args.compressed)
+    if args.out:
+        Path(args.out).write_text(g.to_json())
+        print(f"wrote {args.out}")
+    print(json.dumps(g.stats(), indent=1))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-versioning",
+        description="Dataset-versioning storage/retrieval optimization "
+        "(reproduction of Guo et al., IPPS 2024).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p_fig.add_argument("name", help="table4|fig10|fig11|fig12|fig13|theorem1|treewidth")
+    p_fig.add_argument("--dataset", default=None)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_solve = sub.add_parser("solve", help="optimize a version graph JSON file")
+    p_solve.add_argument("problem", choices=["msr", "bmr"])
+    p_solve.add_argument("graph", help="path to VersionGraph JSON")
+    p_solve.add_argument("--budget", type=float, required=True)
+    p_solve.add_argument("--solver", default="lmg-all")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_data = sub.add_parser("dataset", help="build a dataset preset")
+    p_data.add_argument("name")
+    p_data.add_argument("--scale", type=float, default=1.0)
+    p_data.add_argument("--compressed", action="store_true")
+    p_data.add_argument("--out", default=None)
+    p_data.set_defaults(func=_cmd_dataset)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Core data model: version graphs, storage plans, problem variants."""
+
+from .graph import AUX, AuxRoot, Delta, GraphError, VersionGraph, validate_graph
+from .problems import BMR, BSR, MMR, MSR, Objective, PlanScore, Problem, evaluate_plan
+from .solution import INFEASIBLE, PlanTree, RetrievalSummary, StoragePlan
+
+__all__ = [
+    "AUX",
+    "AuxRoot",
+    "Delta",
+    "GraphError",
+    "VersionGraph",
+    "validate_graph",
+    "StoragePlan",
+    "PlanTree",
+    "RetrievalSummary",
+    "INFEASIBLE",
+    "Problem",
+    "Objective",
+    "PlanScore",
+    "MSR",
+    "MMR",
+    "BSR",
+    "BMR",
+    "evaluate_plan",
+]

@@ -1,0 +1,207 @@
+"""Canonical instances from the paper: worked examples and hardness gadgets.
+
+Contents
+--------
+* :func:`figure1_graph` — the 5-version example of Figure 1.
+* :func:`lmg_adversarial_chain` — the Theorem-1 chain where LMG's
+  approximation factor is unbounded.
+* :func:`set_cover_to_bmr` / :func:`set_cover_to_bsr` — the Section 3.2.2
+  reduction graph (Theorem 3).
+* :func:`subset_sum_to_msr` — the Theorem-6 arborescence gadget.
+* :func:`k_median_to_msr` — the Section 3.2.1 AP reduction.
+
+These are executable versions of the paper's proofs: the tests in
+``tests/test_hardness_gadgets.py`` run solvers on the gadgets and map the
+answers back to the source problems, checking the structural lemmas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .graph import VersionGraph
+
+__all__ = [
+    "figure1_graph",
+    "lmg_adversarial_chain",
+    "SetCoverInstance",
+    "set_cover_to_bmr",
+    "set_cover_to_bsr",
+    "subset_sum_to_msr",
+    "k_median_to_msr",
+]
+
+
+def figure1_graph() -> VersionGraph:
+    """The version graph of Figure 1(i).
+
+    Five versions; annotation ``<a, b>`` in the figure is
+    ``storage=a, retrieval=b``.  Edges are directed parent->child as
+    drawn.
+    """
+    g = VersionGraph(name="figure1")
+    g.add_version("v1", 10000)
+    g.add_version("v2", 10100)
+    g.add_version("v3", 9700)
+    g.add_version("v4", 9800)
+    g.add_version("v5", 10120)
+    g.add_delta("v1", "v2", 200, 200)
+    g.add_delta("v1", "v3", 1000, 3000)
+    g.add_delta("v2", "v4", 50, 400)
+    g.add_delta("v2", "v5", 800, 2500)
+    g.add_delta("v3", "v5", 200, 550)
+    return g
+
+
+def lmg_adversarial_chain(
+    a: float = 10_000.0, b: float = 100.0, c: float = 10_000.0
+) -> VersionGraph:
+    """The Theorem-1 chain ``A -> B -> C`` (Figure 2).
+
+    Node storage costs are ``a``, ``b``, ``c``; both edges carry a single
+    weight function: ``(A,B)`` costs ``(1 - b/c) * b`` and ``(B,C)``
+    costs ``(1 - b/c) * c`` for storage *and* retrieval.  With a storage
+    budget in ``[a + (1-eps)b + c, a + b + c)`` where ``eps = b/c``, LMG
+    materializes ``B`` (retrieval left: ``(1-eps)c``) while the optimal
+    move is materializing ``C`` (retrieval left: ``(1-eps)b``) — a gap of
+    ``c/b``, arbitrarily large.
+
+    Requires ``b < c`` so that ``eps < 1``.
+    """
+    if not (0 < b < c):
+        raise ValueError("need 0 < b < c for the adversarial chain")
+    eps = b / c
+    g = VersionGraph(name="lmg-adversarial")
+    g.add_version("A", a)
+    g.add_version("B", b)
+    g.add_version("C", c)
+    g.add_delta("A", "B", (1 - eps) * b, (1 - eps) * b)
+    g.add_delta("B", "C", (1 - eps) * c, (1 - eps) * c)
+    return g
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A Set-Cover instance: ``sets[i]`` is a collection of element ids."""
+
+    num_elements: int
+    sets: tuple[frozenset[int], ...]
+
+    @classmethod
+    def of(cls, num_elements: int, sets: Sequence[Sequence[int]]) -> "SetCoverInstance":
+        fs = tuple(frozenset(s) for s in sets)
+        for s in fs:
+            for o in s:
+                if not (0 <= o < num_elements):
+                    raise ValueError(f"element {o} out of range")
+        return cls(num_elements, fs)
+
+    def covers(self, chosen: Sequence[int]) -> bool:
+        covered: set[int] = set()
+        for i in chosen:
+            covered |= self.sets[i]
+        return len(covered) == self.num_elements
+
+    def greedy_cover(self) -> list[int]:
+        """Classic ln(n)-approximate greedy cover (baseline for tests)."""
+        uncovered = set(range(self.num_elements))
+        chosen: list[int] = []
+        while uncovered:
+            best = max(range(len(self.sets)), key=lambda i: len(self.sets[i] & uncovered))
+            if not (self.sets[best] & uncovered):
+                raise ValueError("instance is not coverable")
+            chosen.append(best)
+            uncovered -= self.sets[best]
+        return chosen
+
+
+def _set_cover_graph(inst: SetCoverInstance, big_n: float) -> VersionGraph:
+    """Shared construction of Section 3.2.2.
+
+    Set versions ``('a', i)`` and element versions ``('b', j)``, all of
+    storage cost ``big_n``; symmetric unit deltas between every pair of
+    set versions and between ``a_i`` and each element it covers.
+    """
+    g = VersionGraph(name="set-cover-gadget")
+    m = len(inst.sets)
+    for i in range(m):
+        g.add_version(("a", i), big_n)
+    for j in range(inst.num_elements):
+        g.add_version(("b", j), big_n)
+    for i in range(m):
+        for i2 in range(i + 1, m):
+            g.add_bidirectional_delta(("a", i), ("a", i2), 1, 1)
+    for i, s in enumerate(inst.sets):
+        for j in s:
+            g.add_bidirectional_delta(("a", i), ("b", j), 1, 1)
+    return g
+
+
+def set_cover_to_bmr(inst: SetCoverInstance, big_n: float = 10_000.0) -> tuple[VersionGraph, float]:
+    """Theorem 3(ii) reduction. Returns ``(graph, retrieval_budget=1)``.
+
+    Under ``max_v R(v) <= 1`` an (improved) solution materializes only
+    set versions, and the materialized sets form a set cover.
+    """
+    return _set_cover_graph(inst, big_n), 1.0
+
+
+def set_cover_to_bsr(
+    inst: SetCoverInstance, optimum_size: int, big_n: float = 10_000.0
+) -> tuple[VersionGraph, float]:
+    """Theorem 3(i) reduction with known optimum ``m_OPT``.
+
+    The total-retrieval budget is ``R = m - m_OPT + n``: the non-
+    materialized ``m - m_OPT`` set versions retrieve in one hop (cost 1
+    each) and each element version retrieves in one hop (cost 1 each).
+    """
+    m = len(inst.sets)
+    budget = m - optimum_size + inst.num_elements
+    return _set_cover_graph(inst, big_n), float(budget)
+
+
+def subset_sum_to_msr(
+    values: Sequence[float], target: float
+) -> tuple[VersionGraph, float]:
+    """Theorem 6: Subset-Sum -> MSR on a depth-1 arborescence.
+
+    Root ``r`` with children ``0..n-1``; child ``i`` materializes for
+    ``values[i] + 1`` and its edge costs ``(1, 1)``.  With storage budget
+    ``S = N + n + target``, an optimal MSR plan materializes a subset of
+    children whose value sum is the best subset-sum ``<= target``.
+    """
+    n = len(values)
+    big_n = sum(values) + 2 * n + 2  # keeps the generalized triangle inequality
+    g = VersionGraph(name="subset-sum-gadget")
+    g.add_version("r", big_n)
+    for i, a in enumerate(values):
+        g.add_version(i, a + 1)
+        g.add_delta("r", i, 1, 1)
+    return g, big_n + n + target
+
+
+def k_median_to_msr(
+    distances: Sequence[Sequence[float]], k: int, big_n: float | None = None
+) -> tuple[VersionGraph, float]:
+    """Section 3.2.1: (asymmetric) k-median -> MSR.
+
+    ``s_uv = r_uv = d(u, v)``; every version costs ``N`` to materialize;
+    storage budget ``S = k*N + n`` restricts plans to ``<= k``
+    materialized versions (for ``N`` large), so the materialized set of
+    an optimal MSR plan is an optimal k-median set.
+    """
+    n = len(distances)
+    if big_n is None:
+        big_n = sum(sum(row) for row in distances) + n + 1
+    g = VersionGraph(name="k-median-gadget")
+    for v in range(n):
+        g.add_version(v, big_n)
+    for u in range(n):
+        if len(distances[u]) != n:
+            raise ValueError("distance matrix must be square")
+        for v in range(n):
+            if u != v:
+                d = distances[u][v]
+                g.add_delta(u, v, d, d)
+    return g, k * big_n + n

@@ -1,0 +1,123 @@
+"""Problem descriptors for the four constrained variants (Table 1).
+
+The two easy problems (minimum spanning storage and shortest-path tree)
+are exposed as baseline solvers in :mod:`repro.algorithms`; the four
+NP-hard variants are described here so that solvers, benchmarks and the
+CLI can share feasibility/objective logic:
+
+==========  =======================  =========================
+name        constraint               objective
+==========  =======================  =========================
+``MSR``     total storage <= S       minimize sum_v R(v)
+``MMR``     total storage <= S       minimize max_v R(v)
+``BSR``     sum_v R(v) <= R          minimize total storage
+``BMR``     max_v R(v) <= R          minimize total storage
+==========  =======================  =========================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from .graph import VersionGraph
+from .solution import StoragePlan
+
+__all__ = ["Objective", "Problem", "MSR", "MMR", "BSR", "BMR", "evaluate_plan", "PlanScore"]
+
+
+class Objective(enum.Enum):
+    """What a problem minimizes."""
+
+    SUM_RETRIEVAL = "sum_retrieval"
+    MAX_RETRIEVAL = "max_retrieval"
+    STORAGE = "storage"
+
+
+@dataclass(frozen=True)
+class PlanScore:
+    """All three cost aggregates of a plan, used for scoring any variant."""
+
+    storage: float
+    sum_retrieval: float
+    max_retrieval: float
+
+    @property
+    def feasible_reconstruction(self) -> bool:
+        return math.isfinite(self.max_retrieval)
+
+    def objective(self, objective: Objective) -> float:
+        if objective is Objective.SUM_RETRIEVAL:
+            return self.sum_retrieval
+        if objective is Objective.MAX_RETRIEVAL:
+            return self.max_retrieval
+        return self.storage
+
+
+def evaluate_plan(graph: VersionGraph, plan: StoragePlan) -> PlanScore:
+    """Score ``plan`` on ``graph`` (storage + retrieval aggregates)."""
+    summary = plan.retrieval(graph)
+    return PlanScore(
+        storage=plan.storage_cost(graph),
+        sum_retrieval=summary.total,
+        max_retrieval=summary.maximum,
+    )
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A constrained variant: minimize ``objective`` subject to
+    ``constrained_quantity <= budget``.
+
+    Instances are created through the :func:`MSR`, :func:`MMR`,
+    :func:`BSR` and :func:`BMR` constructors.
+    """
+
+    name: str
+    objective: Objective
+    constrained: Objective
+    budget: float
+
+    def is_feasible(self, score: PlanScore, tol: float = 1e-9) -> bool:
+        """Constraint + reconstructability check."""
+        if not score.feasible_reconstruction:
+            return False
+        return score.objective(self.constrained) <= self.budget * (1 + tol) + tol
+
+    def objective_value(self, score: PlanScore) -> float:
+        return score.objective(self.objective)
+
+    def check(self, graph: VersionGraph, plan: StoragePlan, tol: float = 1e-9) -> PlanScore:
+        """Evaluate and assert feasibility; returns the score."""
+        score = evaluate_plan(graph, plan)
+        if not self.is_feasible(score, tol=tol):
+            raise ValueError(
+                f"{self.name}: infeasible plan "
+                f"({self.constrained.value}={score.objective(self.constrained)!r} "
+                f"> budget={self.budget!r})"
+            )
+        return score
+
+    def __str__(self) -> str:
+        return f"{self.name}(budget={self.budget})"
+
+
+def MSR(storage_budget: float) -> Problem:
+    """MinSum Retrieval: ``min sum_v R(v)`` s.t. ``storage <= S``."""
+    return Problem("MSR", Objective.SUM_RETRIEVAL, Objective.STORAGE, storage_budget)
+
+
+def MMR(storage_budget: float) -> Problem:
+    """MinMax Retrieval: ``min max_v R(v)`` s.t. ``storage <= S``."""
+    return Problem("MMR", Objective.MAX_RETRIEVAL, Objective.STORAGE, storage_budget)
+
+
+def BSR(retrieval_budget: float) -> Problem:
+    """BoundedSum Retrieval: ``min storage`` s.t. ``sum_v R(v) <= R``."""
+    return Problem("BSR", Objective.STORAGE, Objective.SUM_RETRIEVAL, retrieval_budget)
+
+
+def BMR(retrieval_budget: float) -> Problem:
+    """BoundedMax Retrieval: ``min storage`` s.t. ``max_v R(v) <= R``."""
+    return Problem("BMR", Objective.STORAGE, Objective.MAX_RETRIEVAL, retrieval_budget)

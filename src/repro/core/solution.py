@@ -1,0 +1,396 @@
+"""Storage plans and their evaluation.
+
+A *storage plan* decides, for every version, whether to materialize it or
+to reconstruct it through a chain of stored deltas (Section 2.1 of the
+paper).  Two representations are provided:
+
+:class:`StoragePlan`
+    The general form: a set of materialized versions plus a set of stored
+    deltas.  Retrieval costs are evaluated by a multi-source Dijkstra
+    over the stored deltas.  Any solver output can be expressed this way
+    and cross-validated.
+
+:class:`PlanTree`
+    A spanning arborescence of the *extended* graph rooted at
+    :data:`~repro.core.graph.AUX`.  W.l.o.g. optimal plans have this
+    shape (extra stored edges only add storage, they never reduce the
+    chosen retrieval paths below shortest-path values on the kept
+    forest).  The greedy heuristics (LMG, LMG-All, MP) mutate a
+    ``PlanTree`` and need O(1) evaluation of "replace ``v``'s parent
+    edge" moves, which is supported through cached per-node retrieval
+    costs and subtree sizes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .graph import AUX, GraphError, Node, VersionGraph
+
+__all__ = [
+    "StoragePlan",
+    "PlanTree",
+    "RetrievalSummary",
+    "INFEASIBLE",
+]
+
+INFEASIBLE = math.inf
+
+
+@dataclass(frozen=True)
+class RetrievalSummary:
+    """Aggregate retrieval statistics of a plan.
+
+    Attributes
+    ----------
+    total:
+        ``sum_v R(v)`` — the MSR/BSR objective.
+    maximum:
+        ``max_v R(v)`` — the MMR/BMR objective.
+    per_version:
+        Mapping from version to its retrieval cost ``R(v)``.
+    """
+
+    total: float
+    maximum: float
+    per_version: dict[Node, float] = field(repr=False)
+
+    @property
+    def feasible(self) -> bool:
+        """True when every version is reconstructible."""
+        return math.isfinite(self.maximum)
+
+
+@dataclass(frozen=True)
+class StoragePlan:
+    """A set of materialized versions and stored deltas.
+
+    The plan is *feasible* when every version is reachable from some
+    materialized version through stored deltas (equivalently: reachable
+    from AUX in the extended graph restricted to the plan).
+    """
+
+    materialized: frozenset[Node]
+    stored_deltas: frozenset[tuple[Node, Node]]
+
+    @classmethod
+    def of(
+        cls,
+        materialized: Iterable[Node],
+        stored_deltas: Iterable[tuple[Node, Node]] = (),
+    ) -> "StoragePlan":
+        return cls(frozenset(materialized), frozenset(stored_deltas))
+
+    # -- costs ---------------------------------------------------------
+    def storage_cost(self, graph: VersionGraph) -> float:
+        """Total storage: ``sum_{v in M} s_v + sum_{e in F} s_e``."""
+        total = sum(graph.storage_cost(v) for v in self.materialized)
+        total += sum(graph.delta(u, v).storage for u, v in self.stored_deltas)
+        return total
+
+    def retrieval(self, graph: VersionGraph) -> RetrievalSummary:
+        """Per-version retrieval costs via multi-source Dijkstra.
+
+        ``R(v)`` is the cheapest retrieval-cost path from any
+        materialized version to ``v`` that uses only stored deltas.
+        Versions unreachable that way get ``inf`` (the plan is then
+        infeasible for every problem variant).
+        """
+        dist: dict[Node, float] = {v: INFEASIBLE for v in graph.versions if v is not AUX}
+        heap: list[tuple[float, int, Node]] = []
+        counter = 0
+        for v in self.materialized:
+            if v is AUX:
+                continue
+            dist[v] = 0.0
+            heap.append((0.0, counter, v))
+            counter += 1
+        heapq.heapify(heap)
+        stored = self.stored_deltas
+        while heap:
+            d, _, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for w, delta in graph.successors(u).items():
+                if w is AUX or (u, w) not in stored:
+                    continue
+                nd = d + delta.retrieval
+                if nd < dist[w]:
+                    dist[w] = nd
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, w))
+        total = 0.0
+        maximum = 0.0
+        for v, d in dist.items():
+            total += d
+            if d > maximum:
+                maximum = d
+        return RetrievalSummary(total=total, maximum=maximum, per_version=dist)
+
+    def is_feasible(self, graph: VersionGraph) -> bool:
+        return self.retrieval(graph).feasible
+
+    def validate(self, graph: VersionGraph) -> None:
+        """Raise :class:`GraphError` if the plan references unknown items."""
+        for v in self.materialized:
+            if v not in graph:
+                raise GraphError(f"materialized unknown version {v!r}")
+        for u, v in self.stored_deltas:
+            if not graph.has_delta(u, v):
+                raise GraphError(f"stored unknown delta {u!r}->{v!r}")
+
+    def __or__(self, other: "StoragePlan") -> "StoragePlan":
+        return StoragePlan(
+            self.materialized | other.materialized,
+            self.stored_deltas | other.stored_deltas,
+        )
+
+
+class PlanTree:
+    """A spanning arborescence of the extended graph, rooted at AUX.
+
+    Every version has exactly one parent (AUX = materialized); retrieval
+    cost ``R(v)`` is the sum of retrieval costs along the unique
+    AUX-to-``v`` path.  The structure caches:
+
+    * ``R(v)`` per node,
+    * subtree sizes (number of versions retrieved *through* each node,
+      including itself — the paper's "dependency number"),
+    * total storage / total retrieval / children lists,
+    * Euler-tour intervals for O(1) ancestor tests (recomputed lazily
+      after mutations).
+
+    An edge swap "make ``u`` the parent of ``v``" changes the retrieval
+    cost of every node in ``v``'s subtree by the same amount, hence the
+    O(1) evaluation used by LMG / LMG-All:
+
+    ``delta_total_retrieval = (R(u) + r_uv - R(v)) * subtree_size(v)``.
+    """
+
+    __slots__ = (
+        "graph",
+        "parent",
+        "children",
+        "ret",
+        "subtree_size",
+        "total_storage",
+        "total_retrieval",
+        "_tin",
+        "_tout",
+        "_order_dirty",
+    )
+
+    def __init__(self, extended_graph: VersionGraph, parent: dict[Node, Node]):
+        """Build from a parent map over the *extended* graph.
+
+        ``parent[v]`` must be a node with an existing delta
+        ``(parent[v], v)``; AUX parents represent materialization.
+        """
+        if not extended_graph.has_aux:
+            raise GraphError("PlanTree requires the extended graph (call .extended())")
+        self.graph = extended_graph
+        self.parent: dict[Node, Node] = {}
+        self.children: dict[Node, list[Node]] = {v: [] for v in extended_graph.versions}
+        self.ret: dict[Node, float] = {AUX: 0.0}
+        self.subtree_size: dict[Node, int] = {}
+        self.total_storage = 0.0
+        self.total_retrieval = 0.0
+        self._tin: dict[Node, int] = {}
+        self._tout: dict[Node, int] = {}
+        self._order_dirty = True
+
+        for v, p in parent.items():
+            if v is AUX:
+                continue
+            if not extended_graph.has_delta(p, v):
+                raise GraphError(f"no delta {p!r}->{v!r} for parent map")
+            self.parent[v] = p
+            self.children[p].append(v)
+            self.total_storage += extended_graph.delta(p, v).storage
+        missing = [v for v in extended_graph.versions if v is not AUX and v not in self.parent]
+        if missing:
+            raise GraphError(f"parent map misses versions: {missing[:5]!r}...")
+
+        self._recompute_all()
+
+    # ------------------------------------------------------------------
+    def _recompute_all(self) -> None:
+        """Recompute R, subtree sizes and totals in O(V)."""
+        order = self._topo_order()
+        if order is None:
+            raise GraphError("parent map contains a cycle")
+        self.total_retrieval = 0.0
+        for v in order:
+            if v is AUX:
+                self.ret[v] = 0.0
+                continue
+            p = self.parent[v]
+            self.ret[v] = self.ret[p] + self.graph.delta(p, v).retrieval
+            self.total_retrieval += self.ret[v]
+        self.subtree_size = {v: 1 for v in self.parent}
+        self.subtree_size[AUX] = 1
+        for v in reversed(order):
+            if v is AUX:
+                continue
+            self.subtree_size[self.parent[v]] += self.subtree_size[v]
+        self._order_dirty = True
+
+    def _topo_order(self) -> list[Node] | None:
+        """Root-first ordering (iterative DFS); None when a cycle exists."""
+        order: list[Node] = []
+        stack: list[Node] = [AUX]
+        while stack:
+            x = stack.pop()
+            order.append(x)
+            stack.extend(self.children[x])
+        if len(order) != len(self.children):
+            return None
+        return order
+
+    def refresh_euler(self) -> None:
+        """Recompute Euler intervals used by :meth:`is_ancestor`."""
+        timer = 0
+        stack: list[tuple[Node, bool]] = [(AUX, False)]
+        while stack:
+            x, done = stack.pop()
+            if done:
+                self._tout[x] = timer
+                timer += 1
+                continue
+            self._tin[x] = timer
+            timer += 1
+            stack.append((x, True))
+            for c in self.children[x]:
+                stack.append((c, False))
+        self._order_dirty = False
+
+    def is_ancestor(self, a: Node, b: Node) -> bool:
+        """True when ``a`` is an ancestor of ``b`` (or equal), O(1)."""
+        if self._order_dirty:
+            self.refresh_euler()
+        return self._tin[a] <= self._tin[b] and self._tout[b] <= self._tout[a]
+
+    # ------------------------------------------------------------------
+    # moves
+    # ------------------------------------------------------------------
+    def swap_deltas(self, u: Node, v: Node) -> tuple[float, float]:
+        """Evaluate replacing ``(parent(v), v)`` by ``(u, v)``.
+
+        Returns ``(delta_storage, delta_total_retrieval)``.  ``u`` must
+        not be in ``v``'s subtree (the caller checks with
+        :meth:`is_ancestor`), otherwise the result is meaningless.
+        """
+        p = self.parent[v]
+        new_d = self.graph.delta(u, v)
+        old_d = self.graph.delta(p, v)
+        dr = (self.ret[u] + new_d.retrieval - self.ret[v]) * self.subtree_size[v]
+        ds = new_d.storage - old_d.storage
+        return ds, dr
+
+    def apply_swap(self, u: Node, v: Node) -> None:
+        """Apply the move evaluated by :meth:`swap_deltas`.
+
+        O(|subtree(v)| + depth) per move: retrieval shifts uniformly over
+        ``v``'s subtree and subtree sizes change along both ancestor
+        paths.
+        """
+        if self.is_ancestor(v, u):
+            raise GraphError(f"swap would create a cycle: {u!r} is in subtree({v!r})")
+        p = self.parent[v]
+        ds, dr = self.swap_deltas(u, v)
+        shift = self.ret[u] + self.graph.delta(u, v).retrieval - self.ret[v]
+
+        # detach / attach
+        self.children[p].remove(v)
+        self.children[u].append(v)
+        self.parent[v] = u
+
+        # subtree sizes along old and new ancestor chains
+        size = self.subtree_size[v]
+        x = p
+        while True:
+            self.subtree_size[x] -= size
+            if x is AUX:
+                break
+            x = self.parent[x]
+        x = u
+        while True:
+            self.subtree_size[x] += size
+            if x is AUX:
+                break
+            x = self.parent[x]
+
+        # retrieval costs shift uniformly over the moved subtree
+        if shift != 0.0:
+            stack = [v]
+            while stack:
+                y = stack.pop()
+                self.ret[y] += shift
+                stack.extend(self.children[y])
+        self.total_storage += ds
+        self.total_retrieval += dr
+        self._order_dirty = True
+
+    def materialize(self, v: Node) -> None:
+        """Shortcut: make AUX the parent of ``v``."""
+        self.apply_swap(AUX, v)
+
+    # ------------------------------------------------------------------
+    # conversions / inspection
+    # ------------------------------------------------------------------
+    def max_retrieval(self) -> float:
+        return max((r for v, r in self.ret.items() if v is not AUX), default=0.0)
+
+    def retrieval_summary(self) -> RetrievalSummary:
+        per = {v: r for v, r in self.ret.items() if v is not AUX}
+        return RetrievalSummary(
+            total=self.total_retrieval,
+            maximum=max(per.values(), default=0.0),
+            per_version=per,
+        )
+
+    def materialized_versions(self) -> list[Node]:
+        return list(self.children[AUX])
+
+    def to_plan(self) -> StoragePlan:
+        """Export as a general :class:`StoragePlan` over the base graph."""
+        mats = []
+        deltas = []
+        for v, p in self.parent.items():
+            if p is AUX:
+                mats.append(v)
+            else:
+                deltas.append((p, v))
+        return StoragePlan.of(mats, deltas)
+
+    def iter_nodes_topological(self) -> Iterator[Node]:
+        order = self._topo_order()
+        assert order is not None
+        for v in order:
+            if v is not AUX:
+                yield v
+
+    def copy(self) -> "PlanTree":
+        return PlanTree(self.graph, dict(self.parent))
+
+    def check_invariants(self) -> None:
+        """Validate cached values against a fresh recomputation (tests)."""
+        fresh = PlanTree(self.graph, dict(self.parent))
+        if not math.isclose(fresh.total_storage, self.total_storage, rel_tol=1e-9, abs_tol=1e-6):
+            raise GraphError(
+                f"storage cache drift: {self.total_storage} vs {fresh.total_storage}"
+            )
+        if not math.isclose(
+            fresh.total_retrieval, self.total_retrieval, rel_tol=1e-9, abs_tol=1e-6
+        ):
+            raise GraphError(
+                f"retrieval cache drift: {self.total_retrieval} vs {fresh.total_retrieval}"
+            )
+        for v in self.parent:
+            if not math.isclose(fresh.ret[v], self.ret[v], rel_tol=1e-9, abs_tol=1e-6):
+                raise GraphError(f"retrieval cache drift at {v!r}")
+            if fresh.subtree_size[v] != self.subtree_size[v]:
+                raise GraphError(f"subtree size drift at {v!r}")

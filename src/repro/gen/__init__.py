@@ -1,0 +1,34 @@
+"""Synthetic workload generators emulating the paper's datasets."""
+
+from .commits import Commit, CommitHistory, generate_history
+from .compression import random_compression
+from .costs import CostModel
+from .er import er_construction
+from .natural import build_natural_graph, natural_graph
+from .presets import PRESETS, TABLE4_PAPER, DatasetPreset, dataset_names, load_dataset
+from .random_graphs import (
+    random_arborescence,
+    random_bidirectional_tree,
+    random_digraph,
+    series_parallel_graph,
+)
+
+__all__ = [
+    "Commit",
+    "CommitHistory",
+    "generate_history",
+    "CostModel",
+    "build_natural_graph",
+    "natural_graph",
+    "er_construction",
+    "random_compression",
+    "DatasetPreset",
+    "PRESETS",
+    "TABLE4_PAPER",
+    "dataset_names",
+    "load_dataset",
+    "random_bidirectional_tree",
+    "random_arborescence",
+    "random_digraph",
+    "series_parallel_graph",
+]

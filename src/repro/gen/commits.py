@@ -1,0 +1,124 @@
+"""Statistical commit-history generator.
+
+Emulates the *shape* of real GitHub histories — a dominant main line,
+short-lived side branches, occasional merges — without generating file
+content (see :mod:`repro.vcs` for the content-backed pipeline).  The
+paper's natural version graphs have exactly this structure: "Between
+each pair of parent and child commits, we construct bidirectional
+edges" (Section 7.1), and their low treewidth (footnote 7) comes from
+the branch/merge pattern.
+
+The process, per new commit:
+
+* with probability ``merge_prob`` (when >= 2 heads exist): merge a
+  non-main head into a uniformly chosen other head (two parents) —
+  merged branches retire, which keeps the active-branch count small and
+  the treewidth low, exactly like real repositories;
+* with probability ``branch_prob``: fork a new branch off a random
+  recent commit;
+* otherwise: extend an active head (the main head with probability
+  ``main_bias``, otherwise a uniform head).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Commit", "CommitHistory", "generate_history"]
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One commit: ``parents`` lists 0 (root), 1 (normal) or 2 (merge) ids."""
+
+    id: int
+    parents: tuple[int, ...]
+    branch: int
+
+
+@dataclass
+class CommitHistory:
+    """An ordered commit DAG (ids are 0..n-1, parents have smaller ids)."""
+
+    commits: list[Commit] = field(default_factory=list)
+
+    @property
+    def num_commits(self) -> int:
+        return len(self.commits)
+
+    @property
+    def num_parent_links(self) -> int:
+        return sum(len(c.parents) for c in self.commits)
+
+    def parent_pairs(self) -> list[tuple[int, int]]:
+        """All (parent, child) pairs in id order."""
+        return [(p, c.id) for c in self.commits for p in c.parents]
+
+    def merge_commits(self) -> list[Commit]:
+        return [c for c in self.commits if len(c.parents) == 2]
+
+    def validate(self) -> None:
+        for i, c in enumerate(self.commits):
+            assert c.id == i, "ids must be dense"
+            for p in c.parents:
+                assert 0 <= p < i, f"parent {p} not before child {i}"
+
+
+def generate_history(
+    n_commits: int,
+    *,
+    branch_prob: float = 0.12,
+    merge_prob: float = 0.06,
+    main_bias: float = 0.6,
+    fork_window: int = 30,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> CommitHistory:
+    """Generate a commit DAG with ``n_commits`` nodes.
+
+    ``fork_window`` bounds how far back a new branch may fork (recent
+    commits are the realistic fork points).  Deterministic given
+    ``seed`` (or an explicit ``rng``).
+    """
+    if n_commits < 1:
+        raise ValueError("need at least one commit")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    history = CommitHistory()
+    history.commits.append(Commit(0, (), 0))
+    heads: list[int] = [0]  # commit id of each active head; index 0 = main
+    branch_of_head: list[int] = [0]
+    next_branch = 1
+
+    for cid in range(1, n_commits):
+        roll = rng.random()
+        if roll < merge_prob and len(heads) >= 2:
+            # merge a random non-main head into another head
+            src_i = int(rng.integers(1, len(heads)))
+            dst_i = int(rng.integers(0, len(heads) - 1))
+            if dst_i >= src_i:
+                dst_i += 1
+            commit = Commit(cid, (heads[dst_i], heads[src_i]), branch_of_head[dst_i])
+            heads[dst_i] = cid
+            del heads[src_i]
+            del branch_of_head[src_i]
+        elif roll < merge_prob + branch_prob:
+            lo = max(0, cid - fork_window)
+            base = int(rng.integers(lo, cid))
+            commit = Commit(cid, (base,), next_branch)
+            heads.append(cid)
+            branch_of_head.append(next_branch)
+            next_branch += 1
+        else:
+            if len(heads) == 1 or rng.random() < main_bias:
+                head_i = 0
+            else:
+                head_i = int(rng.integers(1, len(heads)))
+            commit = Commit(cid, (heads[head_i],), branch_of_head[head_i])
+            heads[head_i] = cid
+        history.commits.append(commit)
+
+    history.validate()
+    return history

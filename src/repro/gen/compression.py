@@ -1,0 +1,50 @@
+"""Random-compression transform (Section 7.1).
+
+"We simulate compression of data by scaling storage cost with a random
+factor between 0.3 and 1, and increasing the retrieval cost by 20% (to
+simulate decompression).  The resulting storage and retrieval costs are
+potentially very different."
+
+We apply the storage factor independently per delta *and* per version
+(materialized versions are compressed too) and the retrieval surcharge
+per delta; this breaks the single-weight-function coupling, which is
+the point of the experiment (Figure 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import VersionGraph
+
+__all__ = ["random_compression"]
+
+
+def random_compression(
+    graph: VersionGraph,
+    *,
+    storage_range: tuple[float, float] = (0.3, 1.0),
+    retrieval_factor: float = 1.2,
+    compress_versions: bool = True,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> VersionGraph:
+    """Return a compressed copy of ``graph``.
+
+    Deterministic given ``seed``; node iteration order is insertion
+    order, so identical inputs give identical outputs.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    lo, hi = storage_range
+    out = VersionGraph(name=f"{graph.name}-compressed")
+    for v in graph.versions:
+        s = graph.storage_cost(v)
+        if compress_versions:
+            s = max(1.0, round(s * float(rng.uniform(lo, hi))))
+        out.add_version(v, s)
+    for u, v, d in graph.deltas():
+        s = max(1.0, round(d.storage * float(rng.uniform(lo, hi))))
+        r = max(1.0, round(d.retrieval * retrieval_factor))
+        out.add_delta(u, v, s, r)
+    return out

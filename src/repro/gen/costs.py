@@ -1,0 +1,103 @@
+"""Cost models for synthetic version graphs.
+
+The paper's natural graphs measure costs in bytes: a version's storage
+cost is its full size, a delta's cost is the size of the ``diff`` between
+the two versions, and — because plain ``diff`` output must be both
+stored and replayed — storage and retrieval costs of deltas are
+proportional (the "single weight function" regime of Section 2.2).
+
+:class:`CostModel` captures that structure with lognormal size
+distributions (file/commit sizes are famously heavy-tailed), plus a
+``retrieval_ratio`` to decouple the two weights when emulating
+compressed graphs or asymmetric deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Distributional parameters for node and edge costs.
+
+    Attributes
+    ----------
+    version_mean:
+        Mean materialization cost (bytes) of a version.
+    version_sigma:
+        Lognormal sigma of version sizes.
+    delta_mean:
+        Mean storage cost (bytes) of a *natural* delta.
+    delta_sigma:
+        Lognormal sigma of delta sizes.
+    retrieval_ratio:
+        ``r_e = retrieval_ratio * s_e`` before any asymmetry; 1.0 gives
+        the single-weight-function regime of natural graphs.
+    backward_factor_range:
+        Reverse deltas (child -> parent, i.e. undoing an edit) sample a
+        uniform factor from this range — deletions are cheaper to store
+        than additions (Section 2.2 "Directedness").
+    unnatural_factor:
+        Cost multiplier for deltas between versions that are not
+        parent/child (the ER construction); the paper measured ~10x on
+        LeetCode (footnote 19).
+    integral:
+        Round all costs to integers (the paper assumes integral costs).
+    """
+
+    version_mean: float = 1_000_000.0
+    version_sigma: float = 0.25
+    delta_mean: float = 10_000.0
+    delta_sigma: float = 0.6
+    retrieval_ratio: float = 1.0
+    backward_factor_range: tuple[float, float] = (0.5, 1.0)
+    unnatural_factor: float = 10.0
+    integral: bool = True
+
+    # ------------------------------------------------------------------
+    def _lognormal(self, rng: np.random.Generator, mean: float, sigma: float) -> float:
+        """Lognormal sample with the requested *arithmetic* mean."""
+        mu = np.log(mean) - 0.5 * sigma * sigma
+        return float(rng.lognormal(mu, sigma))
+
+    def _round(self, x: float) -> float:
+        x = max(x, 1.0)
+        return float(int(round(x))) if self.integral else x
+
+    # ------------------------------------------------------------------
+    def draw_version_size(self, rng: np.random.Generator) -> float:
+        return self._round(self._lognormal(rng, self.version_mean, self.version_sigma))
+
+    def draw_delta_storage(self, rng: np.random.Generator) -> float:
+        return self._round(self._lognormal(rng, self.delta_mean, self.delta_sigma))
+
+    def delta_pair(self, rng: np.random.Generator) -> tuple[float, float]:
+        """(storage, retrieval) for a natural forward delta."""
+        s = self.draw_delta_storage(rng)
+        return s, self._round(s * self.retrieval_ratio)
+
+    def backward_pair(
+        self, rng: np.random.Generator, forward_storage: float
+    ) -> tuple[float, float]:
+        """(storage, retrieval) for the reverse of a natural delta."""
+        lo, hi = self.backward_factor_range
+        f = float(rng.uniform(lo, hi))
+        s = self._round(forward_storage * f)
+        return s, self._round(s * self.retrieval_ratio)
+
+    def unnatural_pair(self, rng: np.random.Generator) -> tuple[float, float]:
+        """(storage, retrieval) for an ER-construction delta."""
+        s = self._round(
+            self._lognormal(rng, self.delta_mean * self.unnatural_factor, self.delta_sigma)
+        )
+        return s, self._round(s * self.retrieval_ratio)
+
+    # ------------------------------------------------------------------
+    def with_means(self, version_mean: float, delta_mean: float) -> "CostModel":
+        """Copy with rescaled magnitudes (used by the dataset presets)."""
+        return replace(self, version_mean=version_mean, delta_mean=delta_mean)

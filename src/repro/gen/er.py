@@ -1,0 +1,63 @@
+"""Erdős–Rényi delta construction (Section 7.1).
+
+"Instead of naturally constructing edges between each pair of parent
+and child commits, we construct the edges as in an Erdős–Rényi random
+graph: between each pair (u, v) of versions, with probability p both
+deltas (u, v) and (v, u) are constructed, and with probability 1-p
+neither are constructed."
+
+Pairs that *were* parent/child in the source graph keep their natural
+delta costs; all other pairs draw "unnatural" deltas, which the paper
+measured to be ~10x costlier on LeetCode (footnote 19).  The resulting
+graphs are far from tree-like — ER graphs have treewidth Θ(n) whp —
+which is exactly the stress regime of Figure 12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import VersionGraph
+from .costs import CostModel
+
+__all__ = ["er_construction"]
+
+
+def er_construction(
+    natural: VersionGraph,
+    p: float,
+    model: CostModel,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    name: str | None = None,
+) -> VersionGraph:
+    """Rebuild ``natural``'s edge set with the ER process at density ``p``.
+
+    Node set and storage costs are preserved.  ``p = 1`` yields the
+    complete bidirectional graph (LeetCode (1) in Table 4: exactly
+    ``n(n-1)`` directed edges).
+    """
+    if not (0.0 <= p <= 1.0):
+        raise ValueError(f"p must be a probability, got {p}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    g = VersionGraph(name=name or f"{natural.name}-er{p}")
+    versions = natural.versions
+    for v in versions:
+        g.add_version(v, natural.storage_cost(v))
+    for i, u in enumerate(versions):
+        for v in versions[i + 1:]:
+            if rng.random() >= p:
+                continue
+            if natural.has_delta(u, v):
+                d_uv = natural.delta(u, v)
+                d_vu = natural.delta(v, u)
+                g.add_delta(u, v, d_uv.storage, d_uv.retrieval)
+                g.add_delta(v, u, d_vu.storage, d_vu.retrieval)
+            else:
+                s, r = model.unnatural_pair(rng)
+                g.add_delta(u, v, s, r)
+                s2, r2 = model.unnatural_pair(rng)
+                g.add_delta(v, u, s2, r2)
+    return g

@@ -1,0 +1,14 @@
+"""Process-based scatter/gather substrate for sweeps and tree DPs."""
+
+from .dp_parallel import dp_msr_frontier_parallel
+from .pool import default_workers, parallel_map
+from .sweep import SweepPoint, sweep_bmr, sweep_msr
+
+__all__ = [
+    "parallel_map",
+    "default_workers",
+    "SweepPoint",
+    "sweep_msr",
+    "sweep_bmr",
+    "dp_msr_frontier_parallel",
+]

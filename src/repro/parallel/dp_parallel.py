@@ -1,0 +1,98 @@
+"""Parallel tree DP: independent subtrees solved in worker processes.
+
+The DP-MSR recurrence only couples a node to its children, so the
+subtrees hanging off the root are independent subproblems — the classic
+tree-parallel decomposition (and the practical face of the "lock-free
+parallel dynamic programming" the paper cites).  The solver object is
+built *before* forking so workers inherit the tree index copy-on-write;
+each worker returns its subtree's DP table (a dict of NumPy-backed
+frontiers, cheap to pickle), and the parent folds them at the root.
+
+Speedups are bounded by the heaviest subtree (natural version graphs
+are path-like, so don't expect miracles there — star-like histories
+parallelize well); the point is bit-identical results, which the tests
+assert against the serial solver.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from ..core.graph import Node, VersionGraph
+from ..algorithms.dp_msr import DPMSRSolver
+from ..algorithms.frontier import Frontier, merge_frontiers
+from .pool import default_workers
+
+__all__ = ["dp_msr_frontier_parallel"]
+
+_WORKER_SOLVER: DPMSRSolver | None = None
+
+
+def _init_worker(solver: DPMSRSolver) -> None:
+    global _WORKER_SOLVER
+    _WORKER_SOLVER = solver
+
+
+def _solve_subtree(w: Node) -> tuple[Node, dict[Node, "Frontier"]]:
+    """Run the DP bottom-up over T[w] only; return its root table."""
+    solver = _WORKER_SOLVER
+    assert solver is not None
+    index = solver.index
+    sub = set(index.subtree_nodes(w))
+    tables: dict[Node, dict[Node, Frontier]] = {}
+    for v in index.post_order:
+        if v not in sub:
+            continue
+        rows = {u: solver._init_row(v, u) for u in index.nodes}
+        for c in index.children[v]:
+            dw = tables.pop(c)
+            inside = set(index.subtree_nodes(c))
+            best_c = merge_frontiers((dw[x] for x in inside), solver.grid)
+            for u in index.nodes:
+                contrib = dw[u] if u in inside else dw[u].union(best_c, solver.grid)
+                rows[u] = rows[u].combine(contrib, solver.grid)
+        tables[v] = rows
+    return w, tables[w]
+
+
+def dp_msr_frontier_parallel(
+    graph: VersionGraph,
+    *,
+    ticks: int | None = 64,
+    storage_cap: float | None = None,
+    processes: int | None = None,
+) -> Frontier:
+    """Parallel variant of :func:`repro.algorithms.dp_msr_frontier`.
+
+    Results are identical to the serial DP (same fold order per node);
+    only the schedule differs.
+    """
+    solver = DPMSRSolver(graph, ticks=ticks, storage_cap=storage_cap)
+    index = solver.index
+    root = index.root
+    top = list(index.children[root])
+    procs = default_workers() if processes is None else max(1, processes)
+
+    if procs == 1 or len(top) < 2:
+        return solver.frontier()
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return solver.frontier()
+
+    with ctx.Pool(
+        processes=min(procs, len(top)), initializer=_init_worker, initargs=(solver,)
+    ) as pool:
+        child_tables = dict(pool.map(_solve_subtree, top))
+
+    # fold the root exactly as the serial DP would
+    rows = {u: solver._init_row(root, u) for u in index.nodes}
+    for w in top:
+        dw = child_tables[w]
+        inside = set(index.subtree_nodes(w))
+        best_w = merge_frontiers((dw[x] for x in inside), solver.grid)
+        for u in index.nodes:
+            contrib = dw[u] if u in inside else dw[u].union(best_w, solver.grid)
+            rows[u] = rows[u].combine(contrib, solver.grid)
+    return merge_frontiers(rows.values(), solver.grid)

@@ -1,0 +1,94 @@
+"""Scatter/gather budget sweeps.
+
+A Figure-10-style experiment evaluates one solver at many budgets on a
+fixed graph — an embarrassingly parallel workload.  The graph is
+shipped to workers **once** through a fork-time initializer (copy-on-
+write, no per-task pickling); each task is just ``(solver, budget)``.
+
+Measured wall-clock times per probe are collected alongside objective
+values so the harness can reproduce the paper's run-time panels.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.graph import VersionGraph
+from ..core.problems import PlanScore, evaluate_plan
+from ..algorithms.registry import BMR_SOLVERS, MSR_SOLVERS
+from .pool import parallel_map
+
+__all__ = ["SweepPoint", "sweep_msr", "sweep_bmr"]
+
+# worker-global state, set by the fork-time initializer
+_WORKER_GRAPH: VersionGraph | None = None
+
+
+def _init_worker(graph: VersionGraph) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (solver, budget) measurement."""
+
+    solver: str
+    budget: float
+    score: PlanScore | None  # None when the budget is infeasible
+    seconds: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.score is not None
+
+
+def _run_msr_task(task: tuple[str, float]) -> SweepPoint:
+    name, budget = task
+    graph = _WORKER_GRAPH
+    assert graph is not None, "worker initializer did not run"
+    t0 = time.perf_counter()
+    plan = MSR_SOLVERS[name](graph, budget)
+    dt = time.perf_counter() - t0
+    score = None if plan is None else evaluate_plan(graph, plan)
+    return SweepPoint(solver=name, budget=budget, score=score, seconds=dt)
+
+
+def _run_bmr_task(task: tuple[str, float]) -> SweepPoint:
+    name, budget = task
+    graph = _WORKER_GRAPH
+    assert graph is not None, "worker initializer did not run"
+    t0 = time.perf_counter()
+    plan = BMR_SOLVERS[name](graph, budget)
+    dt = time.perf_counter() - t0
+    score = None if plan is None else evaluate_plan(graph, plan)
+    return SweepPoint(solver=name, budget=budget, score=score, seconds=dt)
+
+
+def sweep_msr(
+    graph: VersionGraph,
+    solvers: list[str],
+    budgets: list[float],
+    *,
+    processes: int | None = None,
+) -> list[SweepPoint]:
+    """Evaluate each MSR solver at each storage budget (order preserved)."""
+    tasks = [(s, float(b)) for s in solvers for b in budgets]
+    return parallel_map(
+        _run_msr_task, tasks, processes=processes, initializer=_init_worker, initargs=(graph,)
+    )
+
+
+def sweep_bmr(
+    graph: VersionGraph,
+    solvers: list[str],
+    budgets: list[float],
+    *,
+    processes: int | None = None,
+) -> list[SweepPoint]:
+    """Evaluate each BMR solver at each retrieval budget."""
+    tasks = [(s, float(b)) for s in solvers for b in budgets]
+    return parallel_map(
+        _run_bmr_task, tasks, processes=processes, initializer=_init_worker, initargs=(graph,)
+    )

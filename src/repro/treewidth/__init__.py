@@ -1,0 +1,28 @@
+"""Treewidth substrate: elimination orderings, (nice) tree decompositions,
+and the Section-5.3 bounded-treewidth DP."""
+
+from .decomposition import TreeDecomposition, decompose, from_elimination_order
+from .elimination import (
+    exact_treewidth,
+    min_degree_order,
+    min_fill_order,
+    treewidth_upper_bound,
+    undirected_adjacency,
+    width_of_order,
+)
+from .nice import NiceDecomposition, NiceNode, make_nice
+
+__all__ = [
+    "undirected_adjacency",
+    "min_degree_order",
+    "min_fill_order",
+    "width_of_order",
+    "treewidth_upper_bound",
+    "exact_treewidth",
+    "TreeDecomposition",
+    "from_elimination_order",
+    "decompose",
+    "NiceDecomposition",
+    "NiceNode",
+    "make_nice",
+]

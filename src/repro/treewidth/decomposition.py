@@ -1,0 +1,119 @@
+"""Tree decompositions (Definition 11) built from elimination orderings.
+
+A tree decomposition of an undirected graph is a tree of "bags"
+(vertex subsets) satisfying (i) vertex coverage, (ii) edge coverage and
+(iii) the running-intersection property.  The standard construction
+from an elimination ordering gives width = max elimination degree:
+eliminating ``v`` creates the bag ``{v} ∪ N(v)``, attached to the bag
+of the earliest-eliminated vertex of ``N(v)``.
+
+:meth:`TreeDecomposition.validate` checks all three properties — the
+hypothesis tests feed it random graphs and orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.graph import Node
+from .elimination import Adjacency, _copy, _eliminate, treewidth_upper_bound
+
+__all__ = ["TreeDecomposition", "from_elimination_order", "decompose"]
+
+
+@dataclass
+class TreeDecomposition:
+    """Bags indexed by dense ids; ``tree`` lists undirected bag edges."""
+
+    bags: list[frozenset[Node]] = field(default_factory=list)
+    tree: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return max((len(b) for b in self.bags), default=1) - 1
+
+    @property
+    def num_bags(self) -> int:
+        return len(self.bags)
+
+    def neighbors(self, i: int) -> list[int]:
+        out = []
+        for a, b in self.tree:
+            if a == i:
+                out.append(b)
+            elif b == i:
+                out.append(a)
+        return out
+
+    # ------------------------------------------------------------------
+    def validate(self, adj: Adjacency) -> None:
+        """Raise AssertionError when any decomposition property fails."""
+        nodes = set(adj)
+        covered: set[Node] = set()
+        for bag in self.bags:
+            covered |= bag
+        assert covered == nodes, "vertex coverage violated"
+
+        for u in adj:
+            for v in adj[u]:
+                if str(u) <= str(v):
+                    assert any(
+                        u in bag and v in bag for bag in self.bags
+                    ), f"edge {u!r}-{v!r} uncovered"
+
+        # tree-ness: |edges| = |bags| - 1 and connected
+        if self.num_bags:
+            assert len(self.tree) == self.num_bags - 1, "bag tree must be a tree"
+            seen = {0}
+            frontier = [0]
+            while frontier:
+                x = frontier.pop()
+                for y in self.neighbors(x):
+                    if y not in seen:
+                        seen.add(y)
+                        frontier.append(y)
+            assert len(seen) == self.num_bags, "bag tree disconnected"
+
+        # running intersection: bags containing v form a subtree
+        for v in nodes:
+            holding = [i for i, bag in enumerate(self.bags) if v in bag]
+            assert holding, f"{v!r} in no bag"
+            hold = set(holding)
+            seen = {holding[0]}
+            frontier = [holding[0]]
+            while frontier:
+                x = frontier.pop()
+                for y in self.neighbors(x):
+                    if y in hold and y not in seen:
+                        seen.add(y)
+                        frontier.append(y)
+            assert seen == hold, f"bags containing {v!r} are disconnected"
+
+
+def from_elimination_order(adj: Adjacency, order: list[Node]) -> TreeDecomposition:
+    """Standard bag construction along an elimination ordering."""
+    if not adj:
+        return TreeDecomposition()
+    position = {v: i for i, v in enumerate(order)}
+    work = _copy(adj)
+    bags: list[frozenset[Node]] = []
+    bag_of: dict[Node, int] = {}
+    parents: list[tuple[int, int]] = []
+    for v in order:
+        nbrs = set(work[v])
+        bags.append(frozenset({v} | nbrs))
+        bag_of[v] = len(bags) - 1
+        _eliminate(work, v)
+    for v in order:
+        i = bag_of[v]
+        later = [u for u in bags[i] if u != v and position[u] > position[v]]
+        if later:
+            anchor = min(later, key=lambda u: position[u])
+            parents.append((i, bag_of[anchor]))
+    return TreeDecomposition(bags=bags, tree=parents)
+
+
+def decompose(adj: Adjacency) -> TreeDecomposition:
+    """Decomposition from the best available heuristic ordering."""
+    _, order = treewidth_upper_bound(adj)
+    return from_elimination_order(adj, order)

@@ -1,0 +1,156 @@
+"""Elimination orderings: min-degree / min-fill heuristics + exact B&B.
+
+Treewidth enters the paper twice: the FPTAS of Section 5.3 runs on
+bounded-treewidth graphs, and footnote 7 reports the (heuristic)
+treewidths of the evaluation repositories (datasharing 2, styleguide 3,
+leetcode 6).  This module computes elimination orderings over the
+*underlying undirected* version graph:
+
+* :func:`min_degree_order` / :func:`min_fill_order` — the two classic
+  upper-bound heuristics;
+* :func:`treewidth_upper_bound` — best of both;
+* :func:`exact_treewidth` — branch-and-bound over elimination orderings
+  with simplicial-vertex shortcuts, exact for small graphs (<= ~20
+  nodes); the test-suite validates the heuristics against it.
+
+Graphs are plain ``dict[node, set[node]]`` adjacencies; use
+:func:`undirected_adjacency` to derive one from a version graph.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import AUX, Node, VersionGraph
+
+__all__ = [
+    "undirected_adjacency",
+    "min_degree_order",
+    "min_fill_order",
+    "width_of_order",
+    "treewidth_upper_bound",
+    "exact_treewidth",
+]
+
+Adjacency = dict[Node, set[Node]]
+
+
+def undirected_adjacency(graph: VersionGraph) -> Adjacency:
+    """Underlying undirected adjacency of a version graph (AUX excluded)."""
+    adj: Adjacency = {v: set() for v in graph.versions if v is not AUX}
+    for u, v, _ in graph.deltas():
+        if u is AUX or v is AUX:
+            continue
+        adj[u].add(v)
+        adj[v].add(u)
+    return adj
+
+
+def _copy(adj: Adjacency) -> Adjacency:
+    return {v: set(nbrs) for v, nbrs in adj.items()}
+
+
+def _eliminate(adj: Adjacency, v: Node) -> int:
+    """Remove ``v``, connecting its neighborhood into a clique.
+
+    Returns the degree of ``v`` at elimination time (its bag size - 1).
+    """
+    nbrs = adj.pop(v)
+    for x in nbrs:
+        adj[x].discard(v)
+    nbrs_list = sorted(nbrs, key=str)
+    for i, x in enumerate(nbrs_list):
+        for y in nbrs_list[i + 1:]:
+            adj[x].add(y)
+            adj[y].add(x)
+    return len(nbrs_list)
+
+
+def min_degree_order(adj: Adjacency) -> list[Node]:
+    """Eliminate the minimum-degree vertex first (ties by name)."""
+    work = _copy(adj)
+    order: list[Node] = []
+    while work:
+        v = min(work, key=lambda x: (len(work[x]), str(x)))
+        _eliminate(work, v)
+        order.append(v)
+    return order
+
+
+def _fill_in(work: Adjacency, v: Node) -> int:
+    """Number of missing edges in N(v) — the fill of eliminating v."""
+    nbrs = sorted(work[v], key=str)
+    fill = 0
+    for i, x in enumerate(nbrs):
+        for y in nbrs[i + 1:]:
+            if y not in work[x]:
+                fill += 1
+    return fill
+
+
+def min_fill_order(adj: Adjacency) -> list[Node]:
+    """Eliminate the vertex creating the fewest fill edges first."""
+    work = _copy(adj)
+    order: list[Node] = []
+    while work:
+        v = min(work, key=lambda x: (_fill_in(work, x), len(work[x]), str(x)))
+        _eliminate(work, v)
+        order.append(v)
+    return order
+
+
+def width_of_order(adj: Adjacency, order: list[Node]) -> int:
+    """Width of the tree decomposition induced by ``order``."""
+    work = _copy(adj)
+    width = 0
+    for v in order:
+        width = max(width, _eliminate(work, v))
+    return width
+
+
+def treewidth_upper_bound(adj: Adjacency) -> tuple[int, list[Node]]:
+    """Best width over the min-degree and min-fill heuristics."""
+    if not adj:
+        return 0, []
+    candidates = [min_degree_order(adj), min_fill_order(adj)]
+    best_order = min(candidates, key=lambda o: width_of_order(adj, o))
+    return width_of_order(adj, best_order), best_order
+
+
+def exact_treewidth(adj: Adjacency, max_nodes: int = 22) -> int:
+    """Exact treewidth via branch-and-bound over elimination orderings.
+
+    Uses the simplicial-vertex rule (a vertex whose neighborhood is a
+    clique can always be eliminated first without loss) and prunes
+    branches that cannot beat the incumbent.  Exponential — guarded by
+    ``max_nodes``.
+    """
+    if len(adj) > max_nodes:
+        raise ValueError(f"exact treewidth limited to {max_nodes} nodes")
+    if not adj:
+        return 0
+    ub, _ = treewidth_upper_bound(adj)
+    best = ub
+
+    def bb(work: Adjacency, current: int) -> None:
+        nonlocal best
+        if current >= best:
+            return
+        if len(work) <= current + 1:
+            best = min(best, current)
+            return
+        # simplicial shortcut: eliminating a simplicial vertex is safe
+        for v in sorted(work, key=str):
+            if _fill_in(work, v) == 0:
+                nxt = _copy(work)
+                d = _eliminate(nxt, v)
+                bb(nxt, max(current, d))
+                return
+        for v in sorted(work, key=lambda x: (len(work[x]), str(x))):
+            d = len(work[v])
+            if max(current, d) >= best:
+                continue
+            nxt = _copy(work)
+            _eliminate(nxt, v)
+            bb(nxt, max(current, d))
+
+    bb(_copy(adj), 0)
+    return best

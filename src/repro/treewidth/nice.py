@@ -1,0 +1,163 @@
+"""Nice tree decompositions (Definition 12).
+
+Normalizes an arbitrary tree decomposition into one whose nodes are
+
+* **leaf** — bag of size 1, no children;
+* **introduce** — one child, bag = child's bag + one vertex;
+* **forget** — one child, bag = child's bag - one vertex;
+* **join** — two children, all three bags equal,
+
+the shape the Section-5.3 DP recurses on.  The transformation is the
+textbook one (root the tree, binarize high-degree nodes into join
+chains, bridge adjacent bags with forget-then-introduce chains, unwind
+leaves down to singletons) and keeps O(k·|bags|) nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from ..core.graph import Node
+from .decomposition import TreeDecomposition
+
+__all__ = ["NiceNode", "NiceDecomposition", "make_nice"]
+
+Kind = Literal["leaf", "introduce", "forget", "join"]
+
+
+@dataclass
+class NiceNode:
+    """One node of a nice decomposition (children by index)."""
+
+    kind: Kind
+    bag: frozenset[Node]
+    children: list[int] = field(default_factory=list)
+    special: Node | None = None  # introduced / forgotten vertex
+
+
+@dataclass
+class NiceDecomposition:
+    """Node list (root last) over which DPs recurse bottom-up."""
+
+    nodes: list[NiceNode] = field(default_factory=list)
+
+    @property
+    def root(self) -> int:
+        return len(self.nodes) - 1
+
+    def add(self, node: NiceNode) -> int:
+        self.nodes.append(node)
+        return len(self.nodes) - 1
+
+    def postorder(self) -> list[int]:
+        order: list[int] = []
+        stack = [self.root]
+        visited = set()
+        while stack:
+            x = stack.pop()
+            if x in visited:
+                order.append(x)
+                continue
+            visited.add(x)
+            stack.append(x)
+            stack.extend(self.nodes[x].children)
+        return order
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        for node in self.nodes:
+            if node.kind == "leaf":
+                assert not node.children and len(node.bag) == 1
+            elif node.kind == "introduce":
+                (c,) = node.children
+                child = self.nodes[c]
+                assert node.special is not None
+                assert node.bag == child.bag | {node.special}
+                assert node.special not in child.bag
+            elif node.kind == "forget":
+                (c,) = node.children
+                child = self.nodes[c]
+                assert node.special is not None
+                assert node.bag == child.bag - {node.special}
+                assert node.special in child.bag
+            else:
+                a, b = node.children
+                assert self.nodes[a].bag == self.nodes[b].bag == node.bag
+
+    @property
+    def width(self) -> int:
+        return max((len(n.bag) for n in self.nodes), default=1) - 1
+
+
+def _chain(nd: NiceDecomposition, child: int, from_bag: frozenset, to_bag: frozenset) -> int:
+    """Forget down to the intersection, then introduce up to ``to_bag``."""
+    cur = child
+    cur_bag = from_bag
+    for v in sorted(from_bag - to_bag, key=str):
+        cur_bag = cur_bag - {v}
+        cur = nd.add(NiceNode("forget", cur_bag, [cur], special=v))
+    for v in sorted(to_bag - from_bag, key=str):
+        cur_bag = cur_bag | {v}
+        cur = nd.add(NiceNode("introduce", cur_bag, [cur], special=v))
+    return cur
+
+
+def _build_leaf_chain(nd: NiceDecomposition, bag: frozenset) -> int:
+    """A leaf bag expanded from a singleton by introduces."""
+    vs = sorted(bag, key=str)
+    cur = nd.add(NiceNode("leaf", frozenset({vs[0]})))
+    cur_bag = frozenset({vs[0]})
+    for v in vs[1:]:
+        cur_bag = cur_bag | {v}
+        cur = nd.add(NiceNode("introduce", cur_bag, [cur], special=v))
+    return cur
+
+
+def make_nice(td: TreeDecomposition, root_bag: int = 0) -> NiceDecomposition:
+    """Convert ``td`` into a validated nice decomposition.
+
+    The final root is forgotten down to a single-vertex bag so DPs can
+    read their answer off one node.
+    """
+    nd = NiceDecomposition()
+    if not td.bags:
+        raise ValueError("empty decomposition")
+
+    children_of: dict[int, list[int]] = {i: [] for i in range(td.num_bags)}
+    parent: dict[int, int | None] = {root_bag: None}
+    order = [root_bag]
+    stack = [root_bag]
+    seen = {root_bag}
+    while stack:
+        x = stack.pop()
+        for y in td.neighbors(x):
+            if y not in seen:
+                seen.add(y)
+                parent[y] = x
+                children_of[x].append(y)
+                order.append(y)
+                stack.append(y)
+
+    built: dict[int, int] = {}
+    for x in reversed(order):
+        bag = td.bags[x]
+        kids = children_of[x]
+        if not kids:
+            built[x] = _build_leaf_chain(nd, bag)
+            continue
+        # bring each child to this bag via forget/introduce chains
+        lifted = [_chain(nd, built[k], td.bags[k], bag) for k in kids]
+        cur = lifted[0]
+        for other in lifted[1:]:
+            cur = nd.add(NiceNode("join", bag, [cur, other]))
+        built[x] = cur
+
+    # forget the root down to one vertex
+    cur = built[root_bag]
+    bag = td.bags[root_bag]
+    for v in sorted(bag, key=str)[:-1]:
+        bag = bag - {v}
+        cur = nd.add(NiceNode("forget", bag, [cur], special=v))
+    nd.validate()
+    return nd

@@ -1,0 +1,20 @@
+"""Miniature version-control substrate: Myers diff, deltas, repositories."""
+
+from .build import build_graph_from_repo, snapshot_delta_bytes
+from .delta import DeltaOp, DeltaScript, compute_delta
+from .myers import diff_stats, myers_diff
+from .repo import RandomEditor, RepoCommit, Repository, random_repository
+
+__all__ = [
+    "myers_diff",
+    "diff_stats",
+    "DeltaOp",
+    "DeltaScript",
+    "compute_delta",
+    "Repository",
+    "RepoCommit",
+    "RandomEditor",
+    "random_repository",
+    "build_graph_from_repo",
+    "snapshot_delta_bytes",
+]

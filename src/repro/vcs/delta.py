@@ -1,0 +1,92 @@
+"""Delta scripts: run-length encoded edit scripts with byte sizes.
+
+A :class:`DeltaScript` is the storable artifact between two versions of
+one file: ``keep``/``delete`` runs reference the base version by line
+counts, ``insert`` runs carry literal lines.  Sizes are byte-accurate
+for a simple binary encoding (4-byte op headers + literal payload), so
+version-graph costs derived from these deltas behave like the paper's
+``diff``-based byte costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .myers import myers_diff
+
+__all__ = ["DeltaOp", "DeltaScript", "compute_delta"]
+
+_HEADER_BYTES = 4  # opcode byte + 3-byte run length
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One run: ``kind`` in {"keep", "delete", "insert"}.
+
+    ``count`` lines for keep/delete; ``lines`` payload for insert.
+    """
+
+    kind: str
+    count: int = 0
+    lines: tuple[str, ...] = ()
+
+    def byte_size(self) -> int:
+        if self.kind == "insert":
+            return _HEADER_BYTES + sum(len(line.encode()) + 1 for line in self.lines)
+        return _HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class DeltaScript:
+    """An ordered list of runs transforming a base file into a target."""
+
+    ops: tuple[DeltaOp, ...]
+
+    def byte_size(self) -> int:
+        """Serialized size — the delta's storage cost in bytes."""
+        return sum(op.byte_size() for op in self.ops)
+
+    def apply(self, base: list[str]) -> list[str]:
+        """Replay the script against ``base``; raises on length mismatch."""
+        out: list[str] = []
+        i = 0
+        for op in self.ops:
+            if op.kind == "keep":
+                if i + op.count > len(base):
+                    raise ValueError("keep run exceeds base length")
+                out.extend(base[i : i + op.count])
+                i += op.count
+            elif op.kind == "delete":
+                if i + op.count > len(base):
+                    raise ValueError("delete run exceeds base length")
+                i += op.count
+            elif op.kind == "insert":
+                out.extend(op.lines)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown op {op.kind!r}")
+        if i != len(base):
+            raise ValueError(f"script consumed {i} of {len(base)} base lines")
+        return out
+
+    @property
+    def is_identity(self) -> bool:
+        return all(op.kind == "keep" for op in self.ops)
+
+
+def compute_delta(base: list[str], target: list[str]) -> DeltaScript:
+    """Myers diff folded into run-length ops."""
+    raw = myers_diff(base, target)
+    ops: list[DeltaOp] = []
+    i = 0
+    while i < len(raw):
+        kind = raw[i][0]
+        j = i
+        while j < len(raw) and raw[j][0] == kind:
+            j += 1
+        run = raw[i:j]
+        if kind == "insert":
+            ops.append(DeltaOp("insert", lines=tuple(line for _, line in run)))
+        else:
+            ops.append(DeltaOp(kind, count=len(run)))
+        i = j
+    return DeltaScript(tuple(ops))

@@ -1,0 +1,208 @@
+"""A miniature in-memory version-control repository.
+
+This is the content-backed substrate replacing "real GitHub
+repositories" in the paper's pipeline: commits hold full file
+snapshots, a deterministic :class:`RandomEditor` simulates developer
+activity (edits, file additions/deletions, branches, merges), and
+:mod:`repro.vcs.build` turns the history into a natural version graph
+with byte-accurate diff costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Snapshot", "RepoCommit", "Repository", "RandomEditor", "random_repository"]
+
+Snapshot = dict[str, tuple[str, ...]]  # path -> lines
+
+
+@dataclass(frozen=True)
+class RepoCommit:
+    """A committed snapshot with 0, 1 or 2 parents."""
+
+    id: int
+    parents: tuple[int, ...]
+    snapshot: Snapshot
+    message: str = ""
+
+    def total_bytes(self) -> int:
+        """Materialization cost of this version, in bytes."""
+        return sum(
+            len(path.encode()) + sum(len(line.encode()) + 1 for line in lines)
+            for path, lines in self.snapshot.items()
+        )
+
+
+class Repository:
+    """An append-only commit store with branch heads."""
+
+    def __init__(self) -> None:
+        self.commits: list[RepoCommit] = []
+        self.heads: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def commit(
+        self, snapshot: Snapshot, *, branch: str = "main", message: str = ""
+    ) -> RepoCommit:
+        """Record ``snapshot`` as the new head of ``branch``."""
+        parents: tuple[int, ...]
+        if branch in self.heads:
+            parents = (self.heads[branch],)
+        elif self.commits and branch != "main":
+            raise ValueError(f"unknown branch {branch!r}; use branch_from first")
+        else:
+            parents = ()
+        c = RepoCommit(len(self.commits), parents, dict(snapshot), message)
+        self.commits.append(c)
+        self.heads[branch] = c.id
+        return c
+
+    def branch_from(self, new_branch: str, at: str = "main") -> None:
+        if new_branch in self.heads:
+            raise ValueError(f"branch {new_branch!r} already exists")
+        self.heads[new_branch] = self.heads[at]
+
+    def merge(
+        self, source: str, into: str = "main", *, message: str = ""
+    ) -> RepoCommit:
+        """Two-parent merge commit: union of files, ``into`` side wins
+        conflicting paths (a deliberately simple merge strategy — merge
+        resolution quality is irrelevant to the version-graph shape)."""
+        a = self.commits[self.heads[into]]
+        b = self.commits[self.heads[source]]
+        merged: Snapshot = dict(b.snapshot)
+        merged.update(a.snapshot)
+        c = RepoCommit(
+            len(self.commits), (a.id, b.id), merged, message or f"merge {source}"
+        )
+        self.commits.append(c)
+        self.heads[into] = c.id
+        del self.heads[source]
+        return c
+
+    def snapshot_at(self, commit_id: int) -> Snapshot:
+        return dict(self.commits[commit_id].snapshot)
+
+    @property
+    def num_commits(self) -> int:
+        return len(self.commits)
+
+
+class RandomEditor:
+    """Deterministic simulated developer.
+
+    Edits are word-level random but structurally realistic: most commits
+    touch a few lines of one or two files; occasional commits add or
+    remove whole files (the heavy-tailed deltas real repositories show).
+    """
+
+    VOCAB = (
+        "alpha beta gamma delta epsilon zeta eta theta iota kappa lambda mu "
+        "nu xi omicron pi rho sigma tau upsilon phi chi psi omega data model "
+        "index table row column commit version delta storage retrieval"
+    ).split()
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def random_line(self, width: int = 8) -> str:
+        k = int(self.rng.integers(3, width + 1))
+        return " ".join(self.rng.choice(self.VOCAB) for _ in range(k))
+
+    def random_file(self, n_lines: int) -> tuple[str, ...]:
+        return tuple(self.random_line() for _ in range(n_lines))
+
+    def initial_snapshot(self, n_files: int = 3, lines_per_file: int = 30) -> Snapshot:
+        return {
+            f"file_{i}.txt": self.random_file(
+                int(self.rng.integers(lines_per_file // 2, lines_per_file * 2))
+            )
+            for i in range(n_files)
+        }
+
+    def edit(self, snapshot: Snapshot) -> Snapshot:
+        """One commit's worth of changes."""
+        snap = dict(snapshot)
+        roll = self.rng.random()
+        if roll < 0.08 or not snap:
+            # add a file
+            snap[f"file_{int(self.rng.integers(10**6))}.txt"] = self.random_file(
+                int(self.rng.integers(5, 40))
+            )
+            return snap
+        if roll < 0.12 and len(snap) > 1:
+            # remove a file
+            victim = sorted(snap)[int(self.rng.integers(0, len(snap)))]
+            del snap[victim]
+            return snap
+        # edit 1-2 files
+        for path in self._pick_files(snap, int(self.rng.integers(1, 3))):
+            snap[path] = self._edit_lines(list(snap[path]))
+        return snap
+
+    def _pick_files(self, snap: Snapshot, k: int) -> list[str]:
+        paths = sorted(snap)
+        idx = self.rng.permutation(len(paths))[: min(k, len(paths))]
+        return [paths[i] for i in idx]
+
+    def _edit_lines(self, lines: list[str]) -> tuple[str, ...]:
+        n_edits = int(self.rng.integers(1, 6))
+        for _ in range(n_edits):
+            action = self.rng.random()
+            if action < 0.4 and lines:
+                # modify
+                i = int(self.rng.integers(0, len(lines)))
+                lines[i] = self.random_line()
+            elif action < 0.7:
+                # insert
+                i = int(self.rng.integers(0, len(lines) + 1))
+                lines.insert(i, self.random_line())
+            elif lines:
+                # delete
+                i = int(self.rng.integers(0, len(lines)))
+                del lines[i]
+        return tuple(lines)
+
+
+def random_repository(
+    n_commits: int,
+    *,
+    branch_prob: float = 0.12,
+    merge_prob: float = 0.06,
+    seed: int | None = None,
+) -> Repository:
+    """Generate a repository with simulated activity.
+
+    Branch/merge frequencies mirror :func:`repro.gen.commits.generate_history`;
+    here the commits carry real file content so the derived version
+    graph has genuine diff costs.
+    """
+    rng = np.random.default_rng(seed)
+    editor = RandomEditor(rng)
+    repo = Repository()
+    repo.commit(editor.initial_snapshot(), message="root")
+    branch_count = 0
+    active: list[str] = ["main"]
+
+    while repo.num_commits < n_commits:
+        roll = rng.random()
+        if roll < merge_prob and len(active) >= 2:
+            src = active[int(rng.integers(1, len(active)))]
+            repo.merge(src, into="main")
+            active.remove(src)
+        elif roll < merge_prob + branch_prob:
+            branch_count += 1
+            name = f"branch-{branch_count}"
+            base = active[int(rng.integers(0, len(active)))]
+            repo.branch_from(name, at=base)
+            snap = editor.edit(repo.snapshot_at(repo.heads[name]))
+            repo.commit(snap, branch=name, message=f"start {name}")
+            active.append(name)
+        else:
+            branch = active[0] if rng.random() < 0.6 else active[int(rng.integers(0, len(active)))]
+            snap = editor.edit(repo.snapshot_at(repo.heads[branch]))
+            repo.commit(snap, branch=branch, message="edit")
+    return repo

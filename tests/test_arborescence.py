@@ -1,0 +1,144 @@
+"""Tests for the Chu-Liu/Edmonds arborescence (vs networkx) and SPT."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import AUX, GraphError, PlanTree
+from repro.core.instances import figure1_graph
+from repro.algorithms.arborescence import (
+    extract_tree_parent_map,
+    min_storage_arborescence,
+    min_storage_plan_tree,
+    minimum_arborescence,
+)
+from repro.algorithms.spt import shortest_path_plan_tree, single_source_retrieval
+from repro.gen import random_digraph
+
+
+def arborescence_weight(graph, root, parent_map, weight):
+    total = 0.0
+    for v, u in parent_map.items():
+        total += weight(u, v, graph.delta(u, v))
+    return total
+
+
+def networkx_min_arborescence_weight(graph, attr="storage"):
+    g = graph.to_networkx()
+    # restrict to edges reachable orientation; networkx Edmonds on DiGraph
+    arb = nx.algorithms.tree.branchings.minimum_spanning_arborescence(
+        g, attr=attr, preserve_attrs=True
+    )
+    return sum(d[attr] for _, _, d in arb.edges(data=True))
+
+
+class TestEdmonds:
+    def test_figure1_min_storage(self):
+        g = figure1_graph()
+        pm = min_storage_arborescence(g)
+        ext = g.extended()
+        total = arborescence_weight(ext, AUX, pm, lambda u, v, d: d.storage)
+        # materialize v1, keep all cheap deltas:
+        assert total == 10000 + 200 + 1000 + 50 + 200
+
+    def test_structure_is_arborescence(self):
+        g = figure1_graph()
+        pm = min_storage_arborescence(g)
+        assert set(pm) == set(g.versions)
+        tree = PlanTree(g.extended(), pm)  # raises on cycles
+        assert tree.total_storage == 11450
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx_on_random_digraphs(self, seed):
+        g = random_digraph(9, extra_edge_prob=0.3, seed=seed)
+        ext = g.extended()
+        pm = minimum_arborescence(ext, AUX)
+        ours = arborescence_weight(ext, AUX, pm, lambda u, v, d: d.storage)
+        theirs = networkx_min_arborescence_weight(ext)
+        assert ours == pytest.approx(theirs)
+
+    @pytest.mark.parametrize("seed", [100, 101, 102])
+    def test_cycle_heavy_instances(self, seed):
+        # dense digraphs exercise repeated contraction
+        g = random_digraph(7, extra_edge_prob=0.9, seed=seed)
+        ext = g.extended()
+        pm = minimum_arborescence(ext, AUX)
+        ours = arborescence_weight(ext, AUX, pm, lambda u, v, d: d.storage)
+        theirs = networkx_min_arborescence_weight(ext)
+        assert ours == pytest.approx(theirs)
+
+    def test_unreachable_raises(self):
+        from repro.core import VersionGraph
+
+        g = VersionGraph()
+        g.add_version("a", 1)
+        g.add_version("b", 1)
+        g.add_delta("b", "a", 1, 1)  # nothing reaches b from a
+        with pytest.raises(GraphError):
+            minimum_arborescence(g, "a")
+
+    def test_deterministic(self):
+        g = random_digraph(8, seed=7)
+        assert min_storage_arborescence(g) == min_storage_arborescence(g)
+
+
+class TestMinStoragePlanTree:
+    def test_minimum_among_brute_force(self):
+        from repro.algorithms.brute_force import enumerate_plan_scores
+
+        g = random_digraph(6, extra_edge_prob=0.25, seed=3)
+        tree = min_storage_plan_tree(g)
+        best = min(score.storage for _, score in enumerate_plan_scores(g))
+        assert tree.total_storage == pytest.approx(best)
+
+
+class TestExtraction:
+    def test_extract_requires_base_graph(self):
+        g = figure1_graph()
+        with pytest.raises(GraphError):
+            extract_tree_parent_map(g.extended())
+
+    def test_extract_defaults_to_cheapest_spanning_root(self):
+        g = figure1_graph()
+        root, pm = extract_tree_parent_map(g)
+        # v3 is cheapest but cannot reach v2/v4 in the directed graph;
+        # the fallback picks the cheapest *spanning* root, v1.
+        assert root == "v1"
+        assert set(pm) == set(g.versions) - {root}
+
+    def test_extract_spanning(self):
+        g = random_digraph(12, seed=9)
+        root, pm = extract_tree_parent_map(g)
+        assert len(pm) == 11
+        # walk up from every node reaches root
+        for v in pm:
+            x, hops = v, 0
+            while x != root:
+                x = pm[x]
+                hops += 1
+                assert hops <= 12
+
+
+class TestShortestPathTree:
+    def test_figure1_spt_materializes_when_cheapest(self):
+        g = figure1_graph()
+        tree = shortest_path_plan_tree(g)
+        # zero-retrieval aux edges dominate: everything is materialized
+        assert tree.total_retrieval == 0
+        assert sorted(tree.materialized_versions()) == sorted(g.versions)
+
+    def test_spt_minimizes_each_retrieval(self):
+        g = random_digraph(8, seed=11)
+        ext = g.extended()
+        dist, _ = single_source_retrieval(ext, AUX)
+        tree = shortest_path_plan_tree(g)
+        for v in g.versions:
+            assert tree.ret[v] == pytest.approx(dist[v])
+
+    def test_spt_retrieval_lower_bounds_all_plans(self):
+        from repro.algorithms.brute_force import enumerate_plan_scores
+
+        g = random_digraph(6, seed=13)
+        spt = shortest_path_plan_tree(g)
+        for _, score in enumerate_plan_scores(g):
+            assert score.sum_retrieval >= spt.total_retrieval - 1e-9

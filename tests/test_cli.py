@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.instances import figure1_graph
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "g.json"
+    path.write_text(figure1_graph().to_json())
+    return str(path)
+
+
+class TestSolve:
+    def test_msr_lmg_all(self, graph_file, capsys):
+        rc = main(["solve", "msr", graph_file, "--budget", "21000", "--solver", "lmg-all"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sum_retrieval"] == 1350
+        assert payload["storage"] <= 21000
+        assert sorted(payload["materialized"]) == ["v1", "v3"]
+
+    def test_msr_infeasible(self, graph_file, capsys):
+        rc = main(["solve", "msr", graph_file, "--budget", "100", "--solver", "lmg"])
+        assert rc == 1
+
+    def test_bmr_dp(self, graph_file, capsys):
+        rc = main(["solve", "bmr", graph_file, "--budget", "600", "--solver", "dp-bmr"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_retrieval"] <= 600
+
+    def test_unknown_solver(self, graph_file):
+        with pytest.raises(KeyError):
+            main(["solve", "msr", graph_file, "--budget", "21000", "--solver", "nope"])
+
+
+class TestDataset:
+    def test_stats_output(self, capsys):
+        rc = main(["dataset", "datasharing", "--scale", "1.0"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nodes"] == 29
+
+    def test_write_graph(self, tmp_path, capsys):
+        out = tmp_path / "ds.json"
+        rc = main(["dataset", "datasharing", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        from repro.core import VersionGraph
+
+        g = VersionGraph.from_json(out.read_text())
+        assert g.num_versions == 29
+
+
+class TestFigure:
+    def test_unknown_figure(self, capsys):
+        rc = main(["figure", "fig99"])
+        assert rc == 2
+
+    def test_theorem1(self, capsys):
+        rc = main(["figure", "theorem1"])
+        assert rc == 0
+        assert "gap" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Unit tests for problem descriptors (Table 1 encodings)."""
+
+import pytest
+
+from repro.core import BMR, BSR, MMR, MSR, Objective, StoragePlan, evaluate_plan
+from repro.core.instances import figure1_graph
+
+
+@pytest.fixture()
+def g():
+    return figure1_graph()
+
+
+@pytest.fixture()
+def plan_iv():
+    # Figure 1(iv): materialize v1, v3
+    return StoragePlan.of(["v1", "v3"], [("v1", "v2"), ("v2", "v4"), ("v3", "v5")])
+
+
+class TestProblemDescriptors:
+    def test_msr(self, g, plan_iv):
+        score = evaluate_plan(g, plan_iv)
+        prob = MSR(storage_budget=25_000)
+        assert prob.is_feasible(score)
+        assert prob.objective_value(score) == score.sum_retrieval == 1350
+
+    def test_msr_budget_violation(self, g, plan_iv):
+        score = evaluate_plan(g, plan_iv)
+        prob = MSR(storage_budget=score.storage - 1)
+        assert not prob.is_feasible(score)
+        with pytest.raises(ValueError):
+            prob.check(g, plan_iv)
+
+    def test_mmr(self, g, plan_iv):
+        score = evaluate_plan(g, plan_iv)
+        assert MMR(25_000).objective_value(score) == 600
+
+    def test_bsr(self, g, plan_iv):
+        score = evaluate_plan(g, plan_iv)
+        prob = BSR(retrieval_budget=1350)
+        assert prob.is_feasible(score)
+        assert prob.objective_value(score) == score.storage
+        assert not BSR(1349).is_feasible(score)
+
+    def test_bmr(self, g, plan_iv):
+        score = evaluate_plan(g, plan_iv)
+        assert BMR(600).is_feasible(score)
+        assert not BMR(599).is_feasible(score)
+
+    def test_infeasible_reconstruction_fails_every_variant(self, g):
+        broken = StoragePlan.of(["v1"], [])
+        score = evaluate_plan(g, broken)
+        for prob in (MSR(1e12), MMR(1e12), BSR(1e12), BMR(1e12)):
+            assert not prob.is_feasible(score)
+
+    def test_objective_enum(self, g, plan_iv):
+        score = evaluate_plan(g, plan_iv)
+        assert score.objective(Objective.STORAGE) == score.storage
+        assert score.objective(Objective.SUM_RETRIEVAL) == score.sum_retrieval
+        assert score.objective(Objective.MAX_RETRIEVAL) == score.max_retrieval
+
+    def test_str(self):
+        assert "MSR" in str(MSR(5))
+
+    def test_check_returns_score(self, g, plan_iv):
+        score = MSR(1e9).check(g, plan_iv)
+        assert score.sum_retrieval == 1350

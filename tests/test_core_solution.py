@@ -1,0 +1,185 @@
+"""Unit tests for storage plans and plan trees."""
+
+import math
+
+import pytest
+
+from repro.core import AUX, GraphError, PlanTree, StoragePlan, evaluate_plan
+from repro.core.instances import figure1_graph
+
+
+@pytest.fixture()
+def g():
+    return figure1_graph()
+
+
+class TestStoragePlan:
+    def test_materialize_everything(self, g):
+        plan = StoragePlan.of(g.versions)
+        score = evaluate_plan(g, plan)
+        # Figure 1(ii): storing all versions costs the sum of version sizes
+        assert score.storage == 10000 + 10100 + 9700 + 9800 + 10120
+        assert score.sum_retrieval == 0
+        assert score.max_retrieval == 0
+
+    def test_figure1_option_iii(self, g):
+        # Figure 1(iii): materialize v1, store all parent->child deltas
+        plan = StoragePlan.of(
+            ["v1"], [("v1", "v2"), ("v1", "v3"), ("v2", "v4"), ("v2", "v5"), ("v3", "v5")]
+        )
+        score = evaluate_plan(g, plan)
+        assert score.storage == 10000 + 200 + 1000 + 50 + 800 + 200
+        # v5 is retrieved via the cheaper path v1->v2->v5? r=200+2500=2700
+        # vs v1->v3->v5 = 3000+550=3550 -> Dijkstra picks 2700
+        summary = plan.retrieval(g)
+        assert summary.per_version["v5"] == 2700
+        assert summary.per_version["v4"] == 600
+
+    def test_figure1_option_iv(self, g):
+        # Figure 1(iv): materialize v1 and v3
+        plan = StoragePlan.of(["v1", "v3"], [("v1", "v2"), ("v2", "v4"), ("v3", "v5")])
+        summary = plan.retrieval(g)
+        assert summary.per_version["v3"] == 0
+        assert summary.per_version["v5"] == 550
+        assert summary.total == 0 + 200 + 0 + 600 + 550
+        assert summary.maximum == 600
+
+    def test_infeasible_plan(self, g):
+        plan = StoragePlan.of(["v1"], [("v1", "v2")])
+        summary = plan.retrieval(g)
+        assert not summary.feasible
+        assert math.isinf(summary.per_version["v4"])
+        assert not plan.is_feasible(g)
+
+    def test_unused_deltas_do_not_help_retrieval(self, g):
+        base = StoragePlan.of(["v1", "v3"], [("v1", "v2"), ("v2", "v4"), ("v3", "v5")])
+        extra = StoragePlan.of(["v1", "v3"], base.stored_deltas | {("v2", "v5")})
+        # extra stored delta can only lower retrieval, raise storage
+        assert extra.storage_cost(g) > base.storage_cost(g)
+        assert extra.retrieval(g).total <= base.retrieval(g).total
+
+    def test_validate_rejects_unknown(self, g):
+        with pytest.raises(GraphError):
+            StoragePlan.of(["nope"]).validate(g)
+        with pytest.raises(GraphError):
+            StoragePlan.of([], [("v1", "v4")]).validate(g)
+
+    def test_union(self, g):
+        a = StoragePlan.of(["v1"], [("v1", "v2")])
+        b = StoragePlan.of(["v3"], [("v3", "v5")])
+        u = a | b
+        assert u.materialized == frozenset({"v1", "v3"})
+        assert len(u.stored_deltas) == 2
+
+
+def full_tree_parent_map():
+    return {"v1": AUX, "v2": "v1", "v3": "v1", "v4": "v2", "v5": "v2"}
+
+
+class TestPlanTree:
+    def test_requires_extended_graph(self, g):
+        with pytest.raises(GraphError):
+            PlanTree(g, full_tree_parent_map())
+
+    def test_costs_match_plan_evaluation(self, g):
+        ext = g.extended()
+        tree = PlanTree(ext, full_tree_parent_map())
+        plan = tree.to_plan()
+        score = evaluate_plan(g, plan)
+        assert tree.total_storage == pytest.approx(score.storage)
+        # tree paths are the only paths here, so Dijkstra agrees
+        assert tree.total_retrieval == pytest.approx(score.sum_retrieval)
+        assert tree.max_retrieval() == pytest.approx(score.max_retrieval)
+
+    def test_retrieval_values(self, g):
+        tree = PlanTree(g.extended(), full_tree_parent_map())
+        assert tree.ret["v1"] == 0
+        assert tree.ret["v2"] == 200
+        assert tree.ret["v5"] == 2700
+        assert tree.subtree_size["v2"] == 3
+        assert tree.subtree_size["v1"] == 5
+
+    def test_missing_version_rejected(self, g):
+        pm = full_tree_parent_map()
+        del pm["v5"]
+        with pytest.raises(GraphError):
+            PlanTree(g.extended(), pm)
+
+    def test_cycle_rejected(self, g):
+        # v2 and v4 form a cycle if v2's parent were v4 (no such delta,
+        # so craft one on a custom graph)
+        h = g.copy()
+        h.add_delta("v4", "v2", 1, 1)
+        pm = full_tree_parent_map()
+        pm["v2"] = "v4"
+        with pytest.raises(GraphError):
+            PlanTree(h.extended(), pm)
+
+    def test_swap_evaluation_matches_application(self, g):
+        ext = g.extended()
+        tree = PlanTree(ext, full_tree_parent_map())
+        ds, dr = tree.swap_deltas("v3", "v5")
+        before_s, before_r = tree.total_storage, tree.total_retrieval
+        tree.apply_swap("v3", "v5")
+        assert tree.total_storage == pytest.approx(before_s + ds)
+        assert tree.total_retrieval == pytest.approx(before_r + dr)
+        tree.check_invariants()
+
+    def test_materialize(self, g):
+        tree = PlanTree(g.extended(), full_tree_parent_map())
+        tree.materialize("v3")
+        assert tree.parent["v3"] is AUX
+        assert tree.ret["v3"] == 0
+        assert "v3" in tree.materialized_versions()
+        tree.check_invariants()
+
+    def test_ancestor_queries(self, g):
+        tree = PlanTree(g.extended(), full_tree_parent_map())
+        assert tree.is_ancestor("v1", "v5")
+        assert tree.is_ancestor("v2", "v2")
+        assert not tree.is_ancestor("v5", "v1")
+        assert tree.is_ancestor(AUX, "v4")
+
+    def test_swap_cycle_guard(self, g):
+        h = g.copy()
+        h.add_delta("v4", "v2", 1, 1)
+        tree = PlanTree(h.extended(), full_tree_parent_map())
+        with pytest.raises(GraphError):
+            tree.apply_swap("v4", "v2")  # v4 is inside subtree(v2)
+
+    def test_sequence_of_swaps_keeps_invariants(self, g):
+        ext = g.extended()
+        tree = PlanTree(ext, full_tree_parent_map())
+        tree.apply_swap("v3", "v5")  # v5 now under v3
+        tree.materialize("v3")
+        tree.apply_swap("v1", "v3")  # attach v3 back under v1
+        tree.check_invariants()
+        # plan export matches
+        plan = tree.to_plan()
+        assert plan.is_feasible(g)
+
+    def test_to_plan_roundtrip_cost(self, g):
+        tree = PlanTree(g.extended(), full_tree_parent_map())
+        tree.materialize("v3")
+        plan = tree.to_plan()
+        score = evaluate_plan(g, plan)
+        assert score.storage == pytest.approx(tree.total_storage)
+        # Dijkstra may find cheaper paths than tree paths in general, but
+        # here the tree is the set of stored edges so values agree:
+        assert score.sum_retrieval <= tree.total_retrieval + 1e-9
+
+    def test_iter_nodes_topological(self, g):
+        tree = PlanTree(g.extended(), full_tree_parent_map())
+        order = list(tree.iter_nodes_topological())
+        pos = {v: i for i, v in enumerate(order)}
+        for v, p in tree.parent.items():
+            if p is not AUX:
+                assert pos[p] < pos[v]
+
+    def test_copy_independent(self, g):
+        tree = PlanTree(g.extended(), full_tree_parent_map())
+        clone = tree.copy()
+        clone.materialize("v2")
+        assert tree.parent["v2"] == "v1"
+        tree.check_invariants()
+        clone.check_invariants()

@@ -1,0 +1,160 @@
+"""Tests for DP-BMR (Algorithm 2): exactness, reconstruction, heuristic."""
+
+import math
+
+import pytest
+
+from repro.core import BMR, GraphError, evaluate_plan
+from repro.algorithms import (
+    brute_force_solve,
+    dp_bmr,
+    dp_bmr_heuristic,
+    extract_index,
+    mp,
+)
+from repro.algorithms.dp_bmr import TreeIndex, _orient, build_bidirectional_tree
+from repro.gen import natural_graph, random_bidirectional_tree, random_digraph
+
+
+class TestTreeIndex:
+    def test_path_costs_directed(self):
+        g = random_bidirectional_tree(6, seed=0)
+        idx = TreeIndex(g, 0, _orient(g, 0))
+        for u in g.versions:
+            assert idx.path_cost[u][u] == 0
+        # directed asymmetry: cost(u->v) generally != cost(v->u)
+        asym = any(
+            idx.path_cost[u][v] != idx.path_cost[v][u]
+            for u in g.versions
+            for v in g.versions
+            if u != v
+        )
+        assert asym
+
+    def test_pred_on_path(self):
+        g = random_bidirectional_tree(8, seed=1)
+        idx = TreeIndex(g, 0, _orient(g, 0))
+        for u in g.versions:
+            for v in g.versions:
+                if u == v:
+                    continue
+                p = idx.pred_on_path(u, v)
+                # the predecessor is adjacent to v and closer to u
+                assert g.has_delta(p, v)
+                assert idx.path_cost[u][p] + g.delta(p, v).retrieval == pytest.approx(
+                    idx.path_cost[u][v]
+                )
+
+    def test_subtree_nodes(self):
+        g = random_bidirectional_tree(10, seed=2)
+        idx = TreeIndex(g, 0, _orient(g, 0))
+        assert sorted(idx.subtree_nodes(0), key=str) == sorted(g.versions, key=str)
+        for v in g.versions:
+            for x in idx.subtree_nodes(v):
+                assert idx.in_subtree(x, v)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        g = random_bidirectional_tree(6, seed=seed)
+        # probe several budgets including tight and loose
+        budgets = [0, 5, 10, 20, 40, 1000]
+        for budget in budgets:
+            res = dp_bmr(g, budget)
+            bf = brute_force_solve(g, BMR(budget))
+            assert bf is not None
+            assert res.storage == pytest.approx(bf[1].storage), f"budget={budget}"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_plan_is_feasible_and_matches_reported_storage(self, seed):
+        g = random_bidirectional_tree(7, seed=100 + seed)
+        res = dp_bmr(g, 25)
+        score = evaluate_plan(g, res.plan)
+        assert score.max_retrieval <= 25 + 1e-9
+        assert score.storage == pytest.approx(res.storage)
+
+    def test_zero_budget_materializes_everything(self):
+        g = random_bidirectional_tree(6, seed=3)
+        res = dp_bmr(g, 0)
+        assert sorted(res.plan.materialized, key=str) == sorted(g.versions, key=str)
+        assert res.storage == pytest.approx(g.total_version_storage())
+
+    def test_huge_budget_hits_min_storage(self):
+        from repro.algorithms import min_storage_plan_tree
+
+        g = random_bidirectional_tree(8, seed=4)
+        res = dp_bmr(g, 10**9)
+        # on a tree, min storage over all plans is achievable by DP too
+        best = min_storage_plan_tree(g).total_storage
+        assert res.storage <= best + 1e-9
+
+    def test_monotone_in_budget(self):
+        g = random_bidirectional_tree(12, seed=5)
+        values = [dp_bmr(g, b).storage for b in (0, 5, 10, 20, 40, 80)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_rejects_non_tree(self):
+        g = random_digraph(6, extra_edge_prob=0.5, seed=6)
+        with pytest.raises(GraphError):
+            dp_bmr(g, 10)
+
+    def test_index_reuse_consistent(self):
+        g = random_bidirectional_tree(9, seed=7)
+        idx = TreeIndex(g, 0, _orient(g, 0))
+        for b in (5, 15, 45):
+            assert dp_bmr(g, b).storage == pytest.approx(dp_bmr(g, b, index=idx).storage)
+
+
+class TestCenters:
+    def test_centers_are_materialized_and_paths_within_budget(self):
+        g = random_bidirectional_tree(10, seed=8)
+        idx = TreeIndex(g, 0, _orient(g, 0))
+        res = dp_bmr(g, 30, index=idx)
+        for v, u in res.centers.items():
+            assert res.centers[u] == u, "centers must be materialized"
+            assert idx.path_cost[u][v] <= 30 + 1e-9
+
+
+class TestHeuristic:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_heuristic_feasible_on_general_graphs(self, seed):
+        g = random_digraph(10, extra_edge_prob=0.3, seed=seed)
+        res = dp_bmr_heuristic(g, 25)
+        score = evaluate_plan(g, res.plan)
+        assert score.feasible_reconstruction
+        assert score.max_retrieval <= 25 + 1e-9
+        assert score.storage == pytest.approx(res.storage)
+
+    def test_heuristic_vs_mp_on_natural_graph(self):
+        # the Figure-13 claim: DP-BMR usually beats MP except near R=0
+        g = natural_graph(60, seed=9)
+        budget = g.max_retrieval_cost() * 4
+        dp_res = dp_bmr_heuristic(g, budget)
+        mp_res = mp(g, budget)
+        assert dp_res.storage <= mp_res.total_storage * 1.05
+
+    def test_index_reuse_on_heuristic(self):
+        g = natural_graph(40, seed=10)
+        idx = extract_index(g)
+        a = dp_bmr_heuristic(g, 1000, index=idx).storage
+        b = dp_bmr_heuristic(g, 1000).storage
+        assert a == pytest.approx(b)
+
+
+class TestBidirectionalTreeBuilder:
+    def test_synthetic_reverse_edges(self):
+        from repro.algorithms.arborescence import extract_tree_parent_map
+
+        g = random_digraph(8, extra_edge_prob=0.0, seed=11)
+        # drop reverse edges to force synthesis
+        for u, v, _ in list(g.deltas()):
+            if u > v and g.has_delta(u, v):
+                g.remove_delta(u, v)
+        root, pm = extract_tree_parent_map(g)
+        tree, synthetic = build_bidirectional_tree(g, root, pm)
+        assert tree.is_bidirectional_tree()
+        for (u, v) in synthetic:
+            d = tree.delta(u, v)
+            assert d.storage == g.storage_cost(v)
+            assert d.retrieval == 0

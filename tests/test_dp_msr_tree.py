@@ -1,0 +1,116 @@
+"""Tests for the Section-5.1 reference (k, γ, ρ) DP.
+
+The reference implementation is cross-validated against the exact
+production DP (`dp_msr_frontier(ticks=None)`) and brute force at every
+budget regime, including trees requiring Appendix-C binarization
+(nodes with 3+ children).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import GraphError, VersionGraph
+from repro.algorithms import brute_force_frontier, dp_msr_frontier, dp_msr_tree_reference
+from repro.gen import random_bidirectional_tree
+
+
+def star_tree(n_leaves: int, seed: int = 0) -> VersionGraph:
+    """A root with many children — exercises vertex splitting."""
+    rng = np.random.default_rng(seed)
+    g = VersionGraph(name="star")
+    g.add_version("hub", int(rng.integers(20, 60)))
+    for i in range(n_leaves):
+        g.add_version(i, int(rng.integers(5, 40)))
+        g.add_delta("hub", i, int(rng.integers(1, 15)), int(rng.integers(1, 15)))
+        g.add_delta(i, "hub", int(rng.integers(1, 15)), int(rng.integers(1, 15)))
+    return g
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_production_dp(self, seed):
+        g = random_bidirectional_tree(6, seed=seed)
+        f = dp_msr_frontier(g, ticks=None)
+        total = g.total_version_storage()
+        for frac in (0.35, 0.55, 0.8, 1.0):
+            budget = total * frac
+            expect = f.best_retrieval_within(budget)
+            if math.isinf(expect):
+                with pytest.raises(GraphError):
+                    dp_msr_tree_reference(g, budget)
+            else:
+                got = dp_msr_tree_reference(g, budget).retrieval
+                assert got == pytest.approx(expect), f"budget frac {frac}"
+
+    @pytest.mark.parametrize("n_leaves", [3, 5])
+    def test_binarization_on_stars(self, n_leaves):
+        g = star_tree(n_leaves, seed=n_leaves)
+        f = dp_msr_frontier(g, ticks=None)
+        total = g.total_version_storage()
+        for frac in (0.5, 0.75, 1.0):
+            budget = total * frac
+            expect = f.best_retrieval_within(budget)
+            if math.isinf(expect):
+                continue
+            got = dp_msr_tree_reference(g, budget).retrieval
+            assert got == pytest.approx(expect)
+
+    def test_matches_brute_force_directly(self):
+        g = random_bidirectional_tree(5, seed=99)
+        bf = brute_force_frontier(g)
+        for storage, retrieval in bf:
+            got = dp_msr_tree_reference(g, storage).retrieval
+            assert got == pytest.approx(retrieval)
+
+    def test_rejects_non_tree(self):
+        from repro.gen import random_digraph
+
+        g = random_digraph(6, extra_edge_prob=0.4, seed=1)
+        with pytest.raises(GraphError):
+            dp_msr_tree_reference(g, 1e9)
+
+
+class TestDiscretization:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma9_additive_guarantee(self, seed):
+        """With epsilon, the result is within OPT + eps*r_max and never
+        below OPT (discretization rounds retrievals up)."""
+        g = random_bidirectional_tree(6, seed=40 + seed)
+        f = dp_msr_frontier(g, ticks=None)
+        total = g.total_version_storage()
+        budget = total * 0.6
+        opt = f.best_retrieval_within(budget)
+        if math.isinf(opt):
+            return
+        eps = 0.5
+        rmax = g.max_retrieval_cost()
+        got = dp_msr_tree_reference(g, budget, epsilon=eps).retrieval
+        assert got <= opt + eps * rmax + 1e-6
+        assert got >= opt - 1e-9
+
+    def test_finer_epsilon_tightens(self):
+        g = random_bidirectional_tree(7, seed=77)
+        budget = g.total_version_storage() * 0.6
+        coarse = dp_msr_tree_reference(g, budget, epsilon=1.0).retrieval
+        fine = dp_msr_tree_reference(g, budget, epsilon=0.01).retrieval
+        exact = dp_msr_tree_reference(g, budget).retrieval
+        assert fine <= coarse + 1e-9
+        assert abs(fine - exact) <= 0.02 * max(exact, g.max_retrieval_cost())
+
+
+class TestStateAccounting:
+    def test_state_counts_reported(self):
+        g = random_bidirectional_tree(6, seed=5)
+        res = dp_msr_tree_reference(g, g.total_version_storage())
+        assert res.states > 0
+        assert res.scale == 1.0
+
+    def test_budget_pruning_keeps_refundable_states(self):
+        """Regression: a subtree-root materialization over budget must
+        survive pruning because a parent steal refunds it (§5.1.1)."""
+        g = random_bidirectional_tree(6, seed=8)
+        budget = g.total_version_storage() * 0.4
+        exact = dp_msr_frontier(g, ticks=None).best_retrieval_within(budget)
+        assert dp_msr_tree_reference(g, budget).retrieval == pytest.approx(exact)

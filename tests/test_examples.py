@@ -1,0 +1,50 @@
+"""Smoke tests for the example scripts.
+
+The two fast examples run end-to-end; the longer ones are compiled and
+import-checked (their components are exercised by the unit tests and
+benchmarks).
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "OPT (ILP)" in out
+    assert "sum_retrieval=   1350" in out  # matches the known optimum
+
+
+def test_adversarial_lmg_runs():
+    out = run_example("adversarial_lmg.py")
+    assert "10000.0x" in out  # the gap at c/b = 10^4
+
+
+def test_git_history_optimizer_runs_small():
+    out = run_example("git_history_optimizer.py", "25", "3")
+    assert "Materialization schedule" in out
+    assert "DP-BMR" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["datalake_snapshots.py", "ml_pipeline_versions.py"]
+)
+def test_long_examples_compile(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)

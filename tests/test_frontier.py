@@ -1,0 +1,158 @@
+"""Unit + property tests for the Pareto frontier machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.frontier import Frontier, ThinningGrid, merge_frontiers
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def build(points, grid=None):
+    if not points:
+        return Frontier.empty()
+    s, r = zip(*points)
+    return Frontier.from_points(np.array(s), np.array(r), grid)
+
+
+class TestBasics:
+    def test_empty(self):
+        f = Frontier.empty()
+        assert f.is_empty
+        assert math.isinf(f.best_retrieval_within(1e9))
+        assert f.best_point_within(1e9) is None
+        assert math.isinf(f.min_storage())
+
+    def test_single(self):
+        f = Frontier.single(10, 5)
+        assert f.points() == [(10, 5)]
+        assert f.best_retrieval_within(10) == 5
+        assert math.isinf(f.best_retrieval_within(9))
+
+    def test_dominated_points_removed(self):
+        f = build([(10, 5), (12, 5), (11, 7), (15, 3)])
+        assert f.points() == [(10, 5), (15, 3)]
+
+    def test_equal_storage_keeps_best(self):
+        f = build([(10, 5), (10, 3)])
+        assert f.points() == [(10, 3)]
+
+    def test_shift(self):
+        f = build([(10, 5), (15, 3)]).shift(2, 1)
+        assert f.points() == [(12, 6), (17, 4)]
+
+    def test_combine(self):
+        a = build([(1, 10), (3, 4)])
+        b = build([(2, 8), (5, 1)])
+        c = a.combine(b)
+        # candidates: (3,18) (6,11) (5,12) (8,5)
+        assert c.points() == [(3, 18), (5, 12), (6, 11), (8, 5)]
+
+    def test_combine_with_empty(self):
+        a = build([(1, 1)])
+        assert a.combine(Frontier.empty()).is_empty
+
+    def test_union(self):
+        a = build([(1, 10)])
+        b = build([(2, 3)])
+        assert a.union(b).points() == [(1, 10), (2, 3)]
+
+    def test_merge_many(self):
+        fs = [build([(i, 10 - i)]) for i in range(1, 5)]
+        m = merge_frontiers(fs)
+        assert m.points() == [(1, 9), (2, 8), (3, 7), (4, 6)]
+
+    def test_cap_filters(self):
+        grid = ThinningGrid(cap=10, max_points=100)
+        f = build([(5, 5), (20, 1)], grid)
+        assert f.points() == [(5, 5)]
+
+    def test_thinning_respects_max_points(self):
+        grid = ThinningGrid(cap=math.inf, max_points=4)
+        pts = [(float(i), 1000.0 - i) for i in range(1, 101)]
+        f = build(pts, grid)
+        assert len(f) <= 5  # max_points buckets + forced min point
+
+    def test_min_storage_point_survives_thinning(self):
+        grid = ThinningGrid(cap=math.inf, max_points=2)
+        pts = [(float(i), 1000.0 - i) for i in range(1, 50)]
+        f = build(pts, grid)
+        assert f.min_storage() == 1.0
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            ThinningGrid(cap=1, max_points=0)
+
+
+class TestProperties:
+    @given(points_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_canonical_invariants(self, pts):
+        f = build(pts)
+        f.check_invariants()
+
+    @given(points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_every_input_point_dominated(self, pts):
+        f = build(pts)
+        for s, r in pts:
+            assert f.dominates_point(s, r)
+
+    @given(points_strategy, points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_union_commutative(self, p1, p2):
+        a, b = build(p1), build(p2)
+        assert a.union(b).points() == b.union(a).points()
+
+    @given(points_strategy, points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_combine_commutative(self, p1, p2):
+        a, b = build(p1), build(p2)
+        x = a.combine(b).points()
+        y = b.combine(a).points()
+        assert len(x) == len(y)
+        for (s1, r1), (s2, r2) in zip(x, y):
+            assert math.isclose(s1, s2, rel_tol=1e-12, abs_tol=1e-9)
+            assert math.isclose(r1, r2, rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_thinning_is_sound(self, pts):
+        """Thinned frontiers only contain achievable points and never
+        improve on the exact frontier."""
+        exact = build(pts)
+        thinned = build(pts, ThinningGrid(cap=math.inf, max_points=5))
+        thinned.check_invariants()
+        for s, r in thinned.points():
+            assert exact.dominates_point(s, r)
+            assert exact.best_retrieval_within(s) <= r + 1e-9
+
+    @given(points_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_best_retrieval_monotone_in_budget(self, pts):
+        f = build(pts)
+        budgets = sorted({s for s, _ in pts} | {0.0, 1e9})
+        vals = [f.best_retrieval_within(b) for b in budgets]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    @given(points_strategy, points_strategy, points_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_combine_associative_value(self, p1, p2, p3):
+        a, b, c = build(p1), build(p2), build(p3)
+        left = a.combine(b).combine(c)
+        right = a.combine(b.combine(c))
+        for budget in (10.0, 1000.0, 1e7):
+            lv = left.best_retrieval_within(budget)
+            rv = right.best_retrieval_within(budget)
+            assert lv == rv or math.isclose(lv, rv, rel_tol=1e-9, abs_tol=1e-9)

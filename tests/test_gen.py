@@ -1,0 +1,192 @@
+"""Tests for the synthetic generators (commits, natural, ER, compression,
+presets, random graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import validate_graph
+from repro.gen import (
+    CostModel,
+    TABLE4_PAPER,
+    er_construction,
+    generate_history,
+    load_dataset,
+    natural_graph,
+    random_arborescence,
+    random_bidirectional_tree,
+    random_compression,
+    random_digraph,
+    series_parallel_graph,
+)
+
+
+class TestCommitHistory:
+    def test_deterministic(self):
+        h1 = generate_history(200, seed=1)
+        h2 = generate_history(200, seed=1)
+        assert [c.parents for c in h1.commits] == [c.parents for c in h2.commits]
+
+    def test_dag_structure(self):
+        h = generate_history(300, seed=2)
+        h.validate()
+        assert h.num_commits == 300
+
+    def test_merges_have_two_parents(self):
+        h = generate_history(500, merge_prob=0.2, seed=3)
+        merges = h.merge_commits()
+        assert merges, "expected some merges at merge_prob=0.2"
+        for m in merges:
+            assert len(m.parents) == 2
+            assert m.parents[0] != m.parents[1]
+
+    def test_no_merges_when_disabled(self):
+        h = generate_history(200, merge_prob=0.0, seed=4)
+        assert not h.merge_commits()
+
+    def test_parent_link_count(self):
+        h = generate_history(100, seed=5)
+        assert h.num_parent_links == 99 + len(h.merge_commits())
+
+    def test_single_commit(self):
+        h = generate_history(1, seed=6)
+        assert h.num_commits == 1
+        assert h.commits[0].parents == ()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_history(0)
+
+
+class TestNaturalGraph:
+    def test_structure(self):
+        g = natural_graph(120, seed=7)
+        validate_graph(g)
+        assert g.num_versions == 120
+        # bidirectional parent-child edges
+        for u, v, _ in list(g.deltas()):
+            assert g.has_delta(v, u)
+
+    def test_single_weight_function(self):
+        g = natural_graph(50, seed=8, model=CostModel(retrieval_ratio=1.0))
+        for _, _, d in g.deltas():
+            assert d.retrieval == pytest.approx(d.storage)
+
+    def test_costs_positive_and_versions_dominant(self):
+        g = natural_graph(80, seed=9)
+        assert g.average_version_storage() > 10 * g.average_delta_storage()
+
+    def test_deterministic(self):
+        a = natural_graph(60, seed=10).to_json()
+        b = natural_graph(60, seed=10).to_json()
+        assert a == b
+
+
+class TestER:
+    def test_full_density_is_complete(self):
+        g = natural_graph(15, seed=11)
+        er = er_construction(g, 1.0, CostModel(), seed=11)
+        assert er.num_deltas == 15 * 14
+
+    def test_density_scales_edges(self):
+        g = natural_graph(40, seed=12)
+        e1 = er_construction(g, 0.1, CostModel(), seed=1).num_deltas
+        e2 = er_construction(g, 0.4, CostModel(), seed=1).num_deltas
+        assert e2 > e1 * 2
+
+    def test_natural_costs_preserved(self):
+        g = natural_graph(12, seed=13)
+        er = er_construction(g, 1.0, CostModel(), seed=2)
+        for u, v, d in g.deltas():
+            assert er.delta(u, v) == d
+
+    def test_unnatural_deltas_cost_more(self):
+        model = CostModel(unnatural_factor=10)
+        g = natural_graph(20, seed=14, model=model)
+        er = er_construction(g, 1.0, model, seed=3)
+        nat = [d.storage for u, v, d in er.deltas() if g.has_delta(u, v)]
+        unnat = [d.storage for u, v, d in er.deltas() if not g.has_delta(u, v)]
+        assert np.mean(unnat) > 3 * np.mean(nat)
+
+    def test_invalid_p(self):
+        g = natural_graph(5, seed=15)
+        with pytest.raises(ValueError):
+            er_construction(g, 1.5, CostModel())
+
+
+class TestCompression:
+    def test_storage_shrinks_retrieval_grows(self):
+        g = natural_graph(60, seed=16)
+        c = random_compression(g, seed=17)
+        for (u, v, d), (_, _, dc) in zip(g.deltas(), c.deltas()):
+            assert dc.storage <= d.storage + 1e-9
+            assert dc.retrieval >= d.retrieval - 1e-9
+
+    def test_breaks_single_weight_function(self):
+        g = natural_graph(60, seed=18)
+        c = random_compression(g, seed=19)
+        ratios = {round(d.retrieval / d.storage, 3) for _, _, d in c.deltas()}
+        assert len(ratios) > 10
+
+    def test_version_compression_toggle(self):
+        g = natural_graph(20, seed=20)
+        c = random_compression(g, seed=21, compress_versions=False)
+        for v in g.versions:
+            assert c.storage_cost(v) == g.storage_cost(v)
+
+
+class TestPresets:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_datasharing_full_scale_matches_table4(self):
+        g = load_dataset("datasharing", scale=1.0)
+        n, e, sv, se = TABLE4_PAPER["datasharing"]
+        assert g.num_versions == n
+        assert abs(g.num_deltas - e) <= 20  # stochastic edge count
+        assert 0.3 * sv <= g.average_version_storage() <= 3 * sv
+        assert 0.3 * se <= g.average_delta_storage() <= 3 * se
+
+    def test_styleguide_scaled(self):
+        g = load_dataset("styleguide", scale=0.2)
+        assert 80 <= g.num_versions <= 120
+
+    def test_er_presets(self):
+        g = load_dataset("LeetCode (0.05)", scale=0.5)
+        n = g.num_versions
+        expected = 0.05 * n * (n - 1)
+        assert 0.5 * expected <= g.num_deltas <= 2 * expected
+
+    def test_compressed_variant(self):
+        a = load_dataset("datasharing", scale=1.0)
+        b = load_dataset("datasharing", scale=1.0, compressed=True)
+        assert b.average_delta_storage() < a.average_delta_storage()
+
+    def test_deterministic(self):
+        a = load_dataset("datasharing")
+        b = load_dataset("datasharing")
+        assert a.to_json() == b.to_json()
+
+
+class TestRandomGraphs:
+    def test_bidirectional_tree_is_tree(self):
+        g = random_bidirectional_tree(25, seed=22)
+        assert g.is_bidirectional_tree()
+
+    def test_arborescence_in_degrees(self):
+        g = random_arborescence(20, seed=23)
+        roots = [v for v in g.versions if g.in_degree(v) == 0]
+        assert roots == [0]
+        assert all(g.in_degree(v) == 1 for v in g.versions if v != 0)
+
+    def test_digraph_extra_edges(self):
+        sparse = random_digraph(15, extra_edge_prob=0.0, seed=24)
+        dense = random_digraph(15, extra_edge_prob=0.5, seed=24)
+        assert dense.num_deltas > sparse.num_deltas
+
+    def test_series_parallel_validates(self):
+        g = series_parallel_graph(30, seed=25)
+        validate_graph(g)
+        # every undirected edge present in both directions
+        for u, v, _ in list(g.deltas()):
+            assert g.has_delta(v, u)

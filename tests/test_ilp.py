@@ -1,0 +1,92 @@
+"""Tests for the exact ILP solvers (Appendix D, via HiGHS)."""
+
+import math
+
+import pytest
+
+from repro.core import BMR, BSR, MMR, MSR, evaluate_plan
+from repro.core.instances import figure1_graph
+from repro.algorithms import (
+    bmr_ilp,
+    brute_force_solve,
+    bsr_ilp,
+    min_storage_plan_tree,
+    mmr_ilp,
+    msr_ilp,
+)
+from repro.gen import random_bidirectional_tree, random_digraph
+
+
+class TestMSRILP:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        g = random_digraph(7, extra_edge_prob=0.25, seed=seed)
+        base = min_storage_plan_tree(g).total_storage
+        for frac in (1.0, 1.4, 2.5):
+            budget = base * frac + 1
+            res = msr_ilp(g, budget)
+            bf = brute_force_solve(g, MSR(budget))
+            assert res.optimal
+            assert res.score.sum_retrieval == pytest.approx(bf[1].sum_retrieval)
+            assert res.score.storage <= budget + 1e-6
+
+    def test_figure1(self):
+        g = figure1_graph()
+        res = msr_ilp(g, 21_000)
+        assert res.optimal
+        assert res.objective == pytest.approx(1350)
+        assert sorted(res.plan.materialized) == ["v1", "v3"]
+
+    def test_infeasible_budget(self):
+        g = figure1_graph()
+        res = msr_ilp(g, 100)  # below min storage
+        assert res.plan is None
+        assert math.isinf(res.objective)
+
+
+class TestBSRILP:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        g = random_digraph(6, extra_edge_prob=0.25, seed=10 + seed)
+        for budget in (10, 40, 200):
+            res = bsr_ilp(g, budget)
+            bf = brute_force_solve(g, BSR(budget))
+            assert res.optimal
+            assert res.score.storage == pytest.approx(bf[1].storage)
+            assert res.score.sum_retrieval <= budget + 1e-6
+
+    def test_zero_budget(self):
+        g = figure1_graph()
+        res = bsr_ilp(g, 0)
+        assert res.score.storage == pytest.approx(g.total_version_storage())
+
+
+class TestBMRILP:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        g = random_bidirectional_tree(6, seed=seed)
+        for budget in (0, 10, 30):
+            res = bmr_ilp(g, budget)
+            bf = brute_force_solve(g, BMR(budget))
+            assert res.optimal
+            assert res.score.storage == pytest.approx(bf[1].storage)
+            assert res.score.max_retrieval <= budget + 1e-6
+
+
+class TestMMRILP:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force(self, seed):
+        g = random_bidirectional_tree(6, seed=20 + seed)
+        base = min_storage_plan_tree(g).total_storage
+        for frac in (1.0, 1.6):
+            budget = base * frac + 1
+            res = mmr_ilp(g, budget)
+            bf = brute_force_solve(g, MMR(budget))
+            assert res.optimal
+            assert res.objective == pytest.approx(bf[1].max_retrieval)
+            assert res.score.storage <= budget + 1e-6
+
+    def test_huge_budget_gives_zero_max_retrieval(self):
+        g = figure1_graph()
+        res = mmr_ilp(g, 10**9)
+        assert res.objective == pytest.approx(0.0)

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: full pipelines, solver cross-checks.
+
+These tie the substrates together the way the benchmarks and examples
+do: content-backed repository -> version graph -> every solver family,
+with mutual consistency assertions (exact solvers agree; heuristics are
+feasible and no better than exact; reductions agree with direct
+solvers; parallel equals serial).
+"""
+
+import math
+
+import pytest
+
+from repro.core import BMR, MSR, evaluate_plan
+from repro.algorithms import (
+    brute_force_solve,
+    bmr_ilp,
+    dp_bmr_heuristic,
+    dp_msr,
+    dp_msr_frontier,
+    dp_msr_tree_reference,
+    last_tree,
+    lmg,
+    lmg_all,
+    min_storage_plan_tree,
+    mp,
+    msr_ilp,
+    shortest_path_plan_tree,
+)
+from repro.gen import load_dataset, natural_graph, random_bidirectional_tree
+from repro.vcs import build_graph_from_repo, random_repository
+
+
+@pytest.fixture(scope="module")
+def repo_graph():
+    repo = random_repository(30, branch_prob=0.2, merge_prob=0.1, seed=99)
+    return build_graph_from_repo(repo, name="integration-repo")
+
+
+class TestRepoPipeline:
+    def test_all_msr_solvers_feasible_and_ordered(self, repo_graph):
+        g = repo_graph
+        base = min_storage_plan_tree(g).total_storage
+        budget = base * 1.6
+        plans = {
+            "lmg": lmg(g, budget).to_plan(),
+            "lmg-all": lmg_all(g, budget).to_plan(),
+            "dp-msr": dp_msr(g, budget, ticks=64).plan,
+        }
+        scores = {k: evaluate_plan(g, p) for k, p in plans.items()}
+        for name, score in scores.items():
+            assert score.feasible_reconstruction, name
+            assert score.storage <= budget + 1e-6, name
+        # the paper's headline ordering on natural graphs
+        assert scores["lmg-all"].sum_retrieval <= scores["lmg"].sum_retrieval * 1.001
+        assert scores["dp-msr"].sum_retrieval <= scores["lmg"].sum_retrieval * 1.05
+
+    def test_bmr_solvers_meet_sla(self, repo_graph):
+        g = repo_graph
+        sla = g.max_retrieval_cost() * 2.5
+        for plan in (mp(g, sla).to_plan(), dp_bmr_heuristic(g, sla).plan):
+            score = evaluate_plan(g, plan)
+            assert score.max_retrieval <= sla + 1e-6
+
+    def test_extremes_bracket_everything(self, repo_graph):
+        g = repo_graph
+        base = min_storage_plan_tree(g)
+        spt = shortest_path_plan_tree(g)
+        mid = lmg_all(g, base.total_storage * 2).to_plan()
+        score = evaluate_plan(g, mid)
+        assert base.total_storage - 1e-6 <= score.storage <= spt.total_storage + 1e-6
+        assert spt.total_retrieval - 1e-6 <= score.sum_retrieval <= base.total_retrieval + 1e-6
+
+
+class TestExactSolversAgree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_three_way_msr_agreement(self, seed):
+        """Brute force == ILP == exact DP reference on small trees."""
+        g = random_bidirectional_tree(6, seed=200 + seed)
+        budget = g.total_version_storage() * 0.6
+        bf = brute_force_solve(g, MSR(budget))
+        if bf is None:
+            return
+        ilp = msr_ilp(g, budget)
+        ref = dp_msr_tree_reference(g, budget)
+        frontier = dp_msr_frontier(g, ticks=None)
+        assert ilp.score.sum_retrieval == pytest.approx(bf[1].sum_retrieval)
+        assert ref.retrieval == pytest.approx(bf[1].sum_retrieval)
+        assert frontier.best_retrieval_within(budget) == pytest.approx(bf[1].sum_retrieval)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bmr_agreement(self, seed):
+        from repro.algorithms import dp_bmr
+
+        g = random_bidirectional_tree(6, seed=300 + seed)
+        budget = 20
+        bf = brute_force_solve(g, BMR(budget))
+        dp = dp_bmr(g, budget)
+        ilp = bmr_ilp(g, budget)
+        assert dp.storage == pytest.approx(bf[1].storage)
+        assert ilp.score.storage == pytest.approx(bf[1].storage)
+
+
+class TestDatasetPresetsSolvable:
+    @pytest.mark.parametrize("name", ["datasharing", "LeetCodeAnimation"])
+    def test_presets_run_through_solvers(self, name):
+        g = load_dataset(name, scale=0.5 if name != "datasharing" else 1.0)
+        base = min_storage_plan_tree(g).total_storage
+        tree = lmg_all(g, base * 1.5)
+        assert evaluate_plan(g, tree.to_plan()).feasible_reconstruction
+        f = dp_msr_frontier(g, ticks=32)
+        assert not f.is_empty
+        # the s+r-extracted tree need not contain the min-storage
+        # arborescence, so its cheapest plan may cost slightly more
+        assert f.min_storage() <= base * 1.05
+
+
+class TestHeuristicNeverBeatsExact:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_msr_heuristics_lower_bounded_by_opt(self, seed):
+        g = random_bidirectional_tree(7, seed=400 + seed)
+        budget = g.total_version_storage() * 0.55
+        bf = brute_force_solve(g, MSR(budget))
+        if bf is None:
+            return
+        opt = bf[1].sum_retrieval
+        for plan in (
+            lmg(g, budget).to_plan(),
+            lmg_all(g, budget).to_plan(),
+            dp_msr(g, budget, ticks=16).plan,
+            last_tree(g, 2.0).to_plan(),
+        ):
+            score = evaluate_plan(g, plan)
+            if score.storage <= budget + 1e-6:
+                assert score.sum_retrieval >= opt - 1e-6

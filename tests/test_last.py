@@ -1,0 +1,78 @@
+"""Tests for the LAST-based balanced baseline."""
+
+import pytest
+
+from repro.core import AUX, evaluate_plan
+from repro.algorithms import (
+    last_sweep,
+    last_tree,
+    min_storage_plan_tree,
+    single_source_retrieval,
+)
+from repro.algorithms.last import _spanning_root
+from repro.gen import natural_graph, random_digraph
+
+
+def reference_distances(g):
+    ext = g.extended()
+    r0 = _spanning_root(ext)
+    dist, _ = single_source_retrieval(ext, r0)
+    return r0, dist
+
+
+class TestStretchInvariant:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("alpha", [1.0, 1.5, 3.0])
+    def test_every_version_within_stretch(self, seed, alpha):
+        g = random_digraph(12, extra_edge_prob=0.25, seed=seed)
+        _, dist = reference_distances(g)
+        tree = last_tree(g, alpha)
+        for v in g.versions:
+            assert tree.ret[v] <= alpha * dist.get(v, 0.0) + 1e-6
+
+    def test_alpha_one_pins_shortest_paths(self):
+        g = random_digraph(10, seed=7)
+        _, dist = reference_distances(g)
+        tree = last_tree(g, 1.0)
+        for v in g.versions:
+            assert tree.ret[v] <= dist[v] + 1e-9
+
+    def test_huge_alpha_stays_near_min_storage(self):
+        g = random_digraph(10, seed=8)
+        ext = g.extended()
+        r0 = _spanning_root(ext)
+        t = last_tree(g, 1e9)
+        base = min_storage_plan_tree(g).total_storage
+        # only the root (distance 0) may have been materialized
+        assert t.total_storage <= base + g.storage_cost(r0) + 1e-6
+        assert t.total_storage >= base - 1e-6
+
+    def test_invalid_alpha(self):
+        g = random_digraph(5, seed=9)
+        with pytest.raises(ValueError):
+            last_tree(g, 0.5)
+
+
+class TestTradeoff:
+    def test_sweep_monotone_tendencies(self):
+        g = natural_graph(50, seed=10)
+        plans = last_sweep(g)
+        storages = [t.total_storage for _, t in plans]
+        retrievals = [t.total_retrieval for _, t in plans]
+        # growing alpha: storage shrinks (weakly), retrieval grows (weakly)
+        assert storages[0] >= storages[-1] - 1e-6
+        assert retrievals[0] <= retrievals[-1] + 1e-6
+
+    def test_plans_are_feasible(self):
+        g = natural_graph(40, seed=11)
+        for _, t in last_sweep(g, alphas=(1.0, 2.0, 4.0)):
+            score = evaluate_plan(g, t.to_plan())
+            assert score.feasible_reconstruction
+            t.check_invariants()
+
+    def test_interpolates_between_extremes(self):
+        g = natural_graph(60, seed=12)
+        tight = last_tree(g, 1.0)
+        loose = last_tree(g, 50.0)
+        assert tight.total_retrieval <= loose.total_retrieval + 1e-6
+        assert tight.total_storage >= loose.total_storage - 1e-6

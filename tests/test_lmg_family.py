@@ -1,0 +1,156 @@
+"""Tests for LMG and LMG-All (Algorithms 1 and 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import AUX, MSR, evaluate_plan
+from repro.core.instances import figure1_graph, lmg_adversarial_chain
+from repro.algorithms import brute_force_solve, lmg, lmg_all, min_storage_plan_tree
+from repro.gen import natural_graph, random_digraph
+
+
+def run_both(g, budget):
+    return lmg(g, budget), lmg_all(g, budget)
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_plans_respect_budget(self, seed):
+        g = random_digraph(10, seed=seed)
+        base = min_storage_plan_tree(g).total_storage
+        total = g.total_version_storage()
+        for frac in (1.0, 1.3, 2.0):
+            budget = base * frac + 1
+            for tree in run_both(g, min(budget, total * 2)):
+                assert tree.total_storage <= budget + 1e-6
+                plan = tree.to_plan()
+                score = evaluate_plan(g, plan)
+                assert score.feasible_reconstruction
+                assert score.storage <= budget + 1e-6
+
+    def test_infeasible_budget_raises(self):
+        g = figure1_graph()
+        base = min_storage_plan_tree(g).total_storage
+        with pytest.raises(ValueError):
+            lmg(g, base - 1)
+        with pytest.raises(ValueError):
+            lmg_all(g, base - 1)
+
+    def test_tight_budget_returns_min_storage(self):
+        g = figure1_graph()
+        base = min_storage_plan_tree(g).total_storage
+        t1 = lmg(g, base)
+        t2 = lmg_all(g, base)
+        assert t1.total_storage == t2.total_storage == base
+
+
+class TestQuality:
+    def test_figure1_budget_finds_optimum(self):
+        g = figure1_graph()
+        opt = brute_force_solve(g, MSR(21_000))
+        t1, t2 = run_both(g, 21_000)
+        assert t2.total_retrieval == pytest.approx(opt[1].sum_retrieval)
+        assert t1.total_retrieval == pytest.approx(opt[1].sum_retrieval)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lmg_all_never_worse_than_lmg_here(self, seed):
+        # Not a theorem (both are greedy), but holds on these instances
+        # and in every experiment of the paper.
+        g = random_digraph(9, extra_edge_prob=0.3, seed=seed)
+        base = min_storage_plan_tree(g).total_storage
+        budget = base * 1.5 + 5
+        t1, t2 = run_both(g, budget)
+        assert t2.total_retrieval <= t1.total_retrieval + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_vs_optimal_gap_bounded_on_small(self, seed):
+        g = random_digraph(7, seed=seed)
+        base = min_storage_plan_tree(g).total_storage
+        budget = base * 1.4 + 3
+        opt = brute_force_solve(g, MSR(budget))
+        _, t2 = run_both(g, budget)
+        assert t2.total_retrieval >= opt[1].sum_retrieval - 1e-9  # sanity
+        # LMG-All is not exact, but should stay within a small factor here
+        assert t2.total_retrieval <= max(10 * opt[1].sum_retrieval, opt[1].sum_retrieval + 50)
+
+    def test_retrieval_monotone_in_budget(self):
+        g = natural_graph(40, seed=2)
+        base = min_storage_plan_tree(g).total_storage
+        rets = []
+        for frac in (1.0, 1.2, 1.5, 2.0, 3.0):
+            rets.append(lmg_all(g, base * frac).total_retrieval)
+        assert all(a >= b - 1e-6 for a, b in zip(rets, rets[1:]))
+
+
+class TestTheorem1:
+    """LMG's unbounded gap on the adversarial chain (Theorem 1).
+
+    On the chain the *ratio-greedy step itself* is the trap: option (1)
+    (materialize B, rho = 2/eps - 1) beats option (2) (materialize C,
+    rho = 1/eps - eps), yet only option (2) leads to the optimum.  Both
+    LMG and LMG-All take option (1) — the chain has no extra edges for
+    LMG-All's wider move set to exploit — while the exact solvers and
+    DP-MSR recover the optimum (1-eps)*b.
+    """
+
+    def test_greedy_falls_into_the_trap(self):
+        b, c = 100.0, 10_000.0
+        g = lmg_adversarial_chain(a=10_000.0, b=b, c=c)
+        eps = b / c
+        budget = 10_000.0 + (1 - eps) * b + c  # in [a+(1-eps)b+c, a+b+c)
+        assert lmg(g, budget).total_retrieval == pytest.approx((1 - eps) * c)
+        assert lmg_all(g, budget).total_retrieval == pytest.approx((1 - eps) * c)
+
+    def test_optimum_is_materializing_c(self):
+        from repro.algorithms import dp_msr
+
+        b, c = 100.0, 10_000.0
+        g = lmg_adversarial_chain(a=10_000.0, b=b, c=c)
+        eps = b / c
+        budget = 10_000.0 + (1 - eps) * b + c
+        opt = brute_force_solve(g, MSR(budget))
+        assert opt[1].sum_retrieval == pytest.approx((1 - eps) * b)
+        assert sorted(opt[0].materialized) == ["A", "C"]
+        # DP-MSR (exact on the extracted chain) also finds it
+        res = dp_msr(g, budget, ticks=None)
+        assert res.score.sum_retrieval == pytest.approx((1 - eps) * b)
+
+    def test_gap_scales_with_c_over_b(self):
+        gaps = []
+        for c in (1_000.0, 10_000.0, 100_000.0):
+            b = 100.0
+            g = lmg_adversarial_chain(a=c, b=b, c=c)
+            eps = b / c
+            budget = c + (1 - eps) * b + c
+            r_lmg = lmg(g, budget).total_retrieval
+            r_opt = brute_force_solve(g, MSR(budget))[1].sum_retrieval
+            gaps.append(r_lmg / r_opt)
+        assert gaps[0] < gaps[1] < gaps[2]
+        assert gaps[2] > 500  # c/b = 1000, the gap approaches it
+
+    def test_invalid_chain_parameters(self):
+        with pytest.raises(ValueError):
+            lmg_adversarial_chain(b=10, c=10)
+
+
+class TestMechanics:
+    def test_lmg_each_version_materialized_at_most_once(self):
+        g = natural_graph(30, seed=4)
+        budget = g.total_version_storage()  # everything fits
+        tree = lmg(g, budget)
+        mats = tree.materialized_versions()
+        assert len(mats) == len(set(mats))
+
+    def test_lmg_all_caches_consistent_after_run(self):
+        g = random_digraph(12, extra_edge_prob=0.2, seed=21)
+        base = min_storage_plan_tree(g).total_storage
+        tree = lmg_all(g, base * 2)
+        tree.check_invariants()
+
+    def test_max_iterations_caps_work(self):
+        g = natural_graph(30, seed=4)
+        tree = lmg_all(g, g.total_version_storage(), max_iterations=1)
+        # only the single best move applied
+        assert tree.total_storage <= g.total_version_storage()

@@ -1,0 +1,59 @@
+"""Tests for the MP (Modified Prim) BMR baseline."""
+
+import math
+
+import pytest
+
+from repro.core import BMR, evaluate_plan
+from repro.algorithms import brute_force_solve, min_storage_plan_tree, mp
+from repro.gen import natural_graph, random_bidirectional_tree, random_digraph
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_feasible(self, seed):
+        g = random_digraph(12, extra_edge_prob=0.2, seed=seed)
+        for budget in (0, 3, 10, 50):
+            tree = mp(g, budget)
+            assert tree.max_retrieval() <= budget + 1e-9
+            score = evaluate_plan(g, tree.to_plan())
+            assert score.feasible_reconstruction
+            assert score.max_retrieval <= budget + 1e-9
+
+    def test_zero_budget_materializes_everything(self):
+        g = random_digraph(8, seed=1)
+        tree = mp(g, 0)
+        assert sorted(tree.materialized_versions(), key=str) == sorted(g.versions, key=str)
+
+    def test_infinite_budget_matches_min_storage(self):
+        g = random_digraph(10, extra_edge_prob=0.3, seed=2)
+        tree = mp(g, math.inf)
+        best = min_storage_plan_tree(g).total_storage
+        # Prim on a digraph is not Edmonds: allow a small gap but require
+        # the same ballpark (exact on graphs without contraction cycles)
+        assert tree.total_storage <= best * 1.5 + 1e-9
+        assert tree.total_storage >= best - 1e-9
+
+
+class TestQuality:
+    def test_storage_monotone_in_budget(self):
+        g = natural_graph(50, seed=3)
+        budgets = [0, 1000, 10_000, 100_000, 10**7]
+        storages = [mp(g, b).total_storage for b in budgets]
+        assert all(a >= b - 1e-6 for a, b in zip(storages, storages[1:]))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_within_factor_of_optimal_on_small(self, seed):
+        g = random_bidirectional_tree(7, seed=seed)
+        budget = 15
+        opt = brute_force_solve(g, BMR(budget))
+        tree = mp(g, budget)
+        assert tree.total_storage >= opt[1].storage - 1e-9
+        # greedy should stay within a small factor on tiny trees
+        assert tree.total_storage <= opt[1].storage * 3 + 1e-9
+
+    def test_deterministic(self):
+        g = natural_graph(30, seed=4)
+        a = mp(g, 5000).to_plan()
+        b = mp(g, 5000).to_plan()
+        assert a == b

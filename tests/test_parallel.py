@@ -1,0 +1,100 @@
+"""Tests for the parallel substrate (pool, sweeps, parallel DP)."""
+
+import math
+import os
+
+import pytest
+
+from repro.gen import natural_graph, random_bidirectional_tree
+from repro.parallel import (
+    default_workers,
+    dp_msr_frontier_parallel,
+    parallel_map,
+    sweep_bmr,
+    sweep_msr,
+)
+from repro.parallel.pool import parallel_map as pm
+from repro.algorithms import dp_msr_frontier, min_storage_plan_tree
+
+
+def square(x):
+    return x * x
+
+
+def raise_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestParallelMap:
+    def test_preserves_order_serial(self):
+        assert parallel_map(square, list(range(10)), processes=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_preserves_order_parallel(self):
+        xs = list(range(50))
+        assert parallel_map(square, xs, processes=4) == [x * x for x in xs]
+
+    def test_small_inputs_fall_back_to_serial(self):
+        assert parallel_map(square, [2], processes=8) == [4]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            parallel_map(raise_on_three, [1, 2, 3, 4] * 4, processes=2)
+
+    def test_default_workers_sane(self):
+        assert 1 <= default_workers() <= 8
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return natural_graph(25, seed=1)
+
+    def test_msr_sweep_serial_vs_parallel(self, graph):
+        base = min_storage_plan_tree(graph).total_storage
+        budgets = [base * f for f in (1.05, 1.3, 1.8, 2.5)]
+        serial = sweep_msr(graph, ["lmg", "lmg-all"], budgets, processes=1)
+        para = sweep_msr(graph, ["lmg", "lmg-all"], budgets, processes=2)
+        assert len(serial) == len(para) == 8
+        for a, b in zip(serial, para):
+            assert a.solver == b.solver and a.budget == b.budget
+            assert a.score.sum_retrieval == pytest.approx(b.score.sum_retrieval)
+
+    def test_msr_sweep_infeasible_budget(self, graph):
+        base = min_storage_plan_tree(graph).total_storage
+        pts = sweep_msr(graph, ["lmg"], [base * 0.1], processes=1)
+        assert not pts[0].feasible
+
+    def test_bmr_sweep(self, graph):
+        budgets = [0.0, graph.max_retrieval_cost() * 3]
+        pts = sweep_bmr(graph, ["mp", "dp-bmr"], budgets, processes=1)
+        for p in pts:
+            assert p.feasible
+            assert p.score.max_retrieval <= p.budget + 1e-6
+        assert all(p.seconds >= 0 for p in pts)
+
+
+class TestParallelDP:
+    @pytest.mark.parametrize("n", [15, 30])
+    def test_matches_serial_exact(self, n):
+        g = random_bidirectional_tree(n, seed=n)
+        serial = dp_msr_frontier(g, ticks=None)
+        para = dp_msr_frontier_parallel(g, ticks=None, processes=2)
+        assert serial.points() == para.points()
+
+    def test_matches_serial_thinned(self):
+        g = natural_graph(40, seed=2)
+        serial = dp_msr_frontier(g, ticks=32)
+        para = dp_msr_frontier_parallel(g, ticks=32, processes=3)
+        assert len(serial) == len(para)
+        for (s1, r1), (s2, r2) in zip(serial.points(), para.points()):
+            assert math.isclose(s1, s2, rel_tol=1e-12)
+            assert math.isclose(r1, r2, rel_tol=1e-12)
+
+    def test_single_process_fallback(self):
+        g = random_bidirectional_tree(12, seed=3)
+        assert dp_msr_frontier_parallel(g, ticks=None, processes=1).points() == \
+            dp_msr_frontier(g, ticks=None).points()

@@ -1,0 +1,88 @@
+"""Hypothesis property tests for PlanTree mutation sequences.
+
+The greedy heuristics rely on the incremental caches (retrieval costs,
+subtree sizes, totals, Euler intervals) staying exact through arbitrary
+swap sequences.  These tests drive random (valid) swap sequences on
+random graphs and verify every cached quantity against a from-scratch
+rebuild, plus the O(1) move-evaluation contract.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AUX, PlanTree, evaluate_plan
+from repro.algorithms import min_storage_plan_tree
+from repro.gen import random_digraph
+
+
+def apply_random_swaps(tree: PlanTree, rng: np.random.Generator, steps: int) -> int:
+    """Apply up to ``steps`` random valid swaps; returns how many applied."""
+    ext = tree.graph
+    edges = [(u, v) for u, v, _ in ext.deltas()]
+    applied = 0
+    for _ in range(steps):
+        u, v = edges[int(rng.integers(0, len(edges)))]
+        if tree.parent[v] == u:
+            continue
+        if u is not AUX and tree.is_ancestor(v, u):
+            continue
+        tree.apply_swap(u, v)
+        applied += 1
+    return applied
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    steps=st.integers(0, 25),
+    n=st.integers(4, 12),
+)
+@settings(max_examples=60, deadline=None)
+def test_caches_survive_random_swap_sequences(seed, steps, n):
+    rng = np.random.default_rng(seed)
+    g = random_digraph(n, extra_edge_prob=0.3, seed=seed % 1000)
+    tree = min_storage_plan_tree(g)
+    apply_random_swaps(tree, rng, steps)
+    tree.check_invariants()  # compares every cache to a fresh rebuild
+
+
+@given(seed=st.integers(0, 10**6), n=st.integers(4, 10))
+@settings(max_examples=40, deadline=None)
+def test_swap_evaluation_is_exact(seed, n):
+    """swap_deltas must predict apply_swap's effect exactly."""
+    rng = np.random.default_rng(seed)
+    g = random_digraph(n, extra_edge_prob=0.4, seed=seed % 1000)
+    tree = min_storage_plan_tree(g)
+    apply_random_swaps(tree, rng, 5)
+    ext = tree.graph
+    candidates = [
+        (u, v)
+        for u, v, _ in ext.deltas()
+        if tree.parent[v] != u and (u is AUX or not tree.is_ancestor(v, u))
+    ]
+    if not candidates:
+        return
+    u, v = candidates[int(rng.integers(0, len(candidates)))]
+    ds, dr = tree.swap_deltas(u, v)
+    s0, r0 = tree.total_storage, tree.total_retrieval
+    tree.apply_swap(u, v)
+    assert math.isclose(tree.total_storage, s0 + ds, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(tree.total_retrieval, r0 + dr, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(seed=st.integers(0, 10**6), n=st.integers(4, 10))
+@settings(max_examples=40, deadline=None)
+def test_tree_plans_match_dijkstra_evaluation(seed, n):
+    """A PlanTree's cached totals upper-bound (and usually equal) the
+    general Dijkstra evaluation of its exported plan."""
+    rng = np.random.default_rng(seed)
+    g = random_digraph(n, extra_edge_prob=0.3, seed=seed % 1000)
+    tree = min_storage_plan_tree(g)
+    apply_random_swaps(tree, rng, 8)
+    score = evaluate_plan(g, tree.to_plan())
+    assert score.feasible_reconstruction
+    assert math.isclose(score.storage, tree.total_storage, rel_tol=1e-9, abs_tol=1e-6)
+    assert score.sum_retrieval <= tree.total_retrieval + 1e-6

@@ -1,0 +1,101 @@
+"""Tests for the Lemma-7 binary-search reductions."""
+
+import pytest
+
+from repro.core import BMR, MMR, MSR, evaluate_plan
+from repro.algorithms import (
+    bmr_ilp,
+    brute_force_solve,
+    bsr_ilp,
+    dp_bmr,
+    min_storage_plan_tree,
+    mmr_via_bmr,
+    msr_via_bsr,
+    bmr_via_mmr,
+    bsr_via_msr,
+    mp,
+    msr_ilp,
+)
+from repro.gen import random_bidirectional_tree, random_digraph
+
+
+def bmr_exact_solver(graph, budget):
+    return dp_bmr(graph, budget).plan
+
+
+def bsr_exact_solver(graph, budget):
+    return bsr_ilp(graph, budget).plan  # None when infeasible
+
+
+def msr_exact_solver(graph, budget):
+    return msr_ilp(graph, budget).plan  # None when infeasible
+
+
+class TestMMRViaBMR:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_on_trees(self, seed):
+        g = random_bidirectional_tree(6, seed=seed)
+        base = min_storage_plan_tree(g).total_storage
+        budget = base * 1.3 + 2
+        red = mmr_via_bmr(g, bmr_exact_solver, budget)
+        bf = brute_force_solve(g, MMR(budget))
+        assert red.score.storage <= budget + 1e-6
+        assert red.score.max_retrieval == pytest.approx(bf[1].max_retrieval)
+
+    def test_heuristic_inner_solver_is_feasible(self):
+        g = random_digraph(10, extra_edge_prob=0.2, seed=7)
+        base = min_storage_plan_tree(g).total_storage
+        red = mmr_via_bmr(g, lambda gr, b: mp(gr, b).to_plan(), base * 1.5)
+        assert red.score.storage <= base * 1.5 + 1e-6
+
+    def test_probe_accounting(self):
+        g = random_bidirectional_tree(6, seed=9)
+        red = mmr_via_bmr(g, bmr_exact_solver, min_storage_plan_tree(g).total_storage * 2)
+        assert 1 <= red.probes <= 80
+
+
+class TestMSRViaBSR:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact(self, seed):
+        g = random_digraph(6, extra_edge_prob=0.2, seed=30 + seed)
+        base = min_storage_plan_tree(g).total_storage
+        budget = base * 1.4 + 2
+        red = msr_via_bsr(g, bsr_exact_solver, budget)
+        bf = brute_force_solve(g, MSR(budget))
+        assert red.score.sum_retrieval == pytest.approx(bf[1].sum_retrieval, abs=1e-5)
+        assert red.score.storage <= budget + 1e-6
+
+
+class TestReverseDirections:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bsr_via_msr(self, seed):
+        from repro.core import BSR
+
+        g = random_digraph(6, extra_edge_prob=0.2, seed=40 + seed)
+        budget = 60
+        red = bsr_via_msr(g, msr_exact_solver, budget)
+        bf = brute_force_solve(g, BSR(budget))
+        assert red.score.sum_retrieval <= budget + 1e-6
+        assert red.score.storage == pytest.approx(bf[1].storage, rel=1e-6)
+
+    def test_bmr_via_mmr(self):
+        from repro.algorithms import mmr_ilp
+
+        g = random_bidirectional_tree(6, seed=50)
+
+        def mmr_solver(gr, b):
+            return mmr_ilp(gr, b).plan  # None when infeasible
+
+        budget = 20
+        red = bmr_via_mmr(g, mmr_solver, budget)
+        bf = brute_force_solve(g, BMR(budget))
+        assert red.score.max_retrieval <= budget + 1e-6
+        assert red.score.storage == pytest.approx(bf[1].storage, rel=1e-6)
+
+
+class TestErrors:
+    def test_unreachable_constraint_raises(self):
+        g = random_bidirectional_tree(5, seed=60)
+        # storage budget below minimum: even infinite retrieval can't fit
+        with pytest.raises(ValueError):
+            mmr_via_bmr(g, bmr_exact_solver, min_storage_plan_tree(g).total_storage * 0.1)

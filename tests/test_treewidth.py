@@ -1,0 +1,161 @@
+"""Tests for elimination orderings and (nice) tree decompositions."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import natural_graph, random_bidirectional_tree, random_digraph, series_parallel_graph
+from repro.treewidth import (
+    decompose,
+    exact_treewidth,
+    from_elimination_order,
+    make_nice,
+    min_degree_order,
+    min_fill_order,
+    treewidth_upper_bound,
+    undirected_adjacency,
+    width_of_order,
+)
+
+
+def cycle_adj(n):
+    return {i: {(i - 1) % n, (i + 1) % n} for i in range(n)}
+
+
+def complete_adj(n):
+    return {i: set(range(n)) - {i} for i in range(n)}
+
+
+def grid_adj(rows, cols):
+    adj = {}
+    for r in range(rows):
+        for c in range(cols):
+            nbrs = set()
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                rr, cc = r + dr, c + dc
+                if 0 <= rr < rows and 0 <= cc < cols:
+                    nbrs.add((rr, cc))
+            adj[(r, c)] = nbrs
+    return adj
+
+
+class TestKnownWidths:
+    def test_tree_has_width_1(self):
+        g = random_bidirectional_tree(15, seed=1)
+        adj = undirected_adjacency(g)
+        w, _ = treewidth_upper_bound(adj)
+        assert w == 1
+        assert exact_treewidth(adj) == 1
+
+    def test_cycle_has_width_2(self):
+        assert exact_treewidth(cycle_adj(8)) == 2
+        w, _ = treewidth_upper_bound(cycle_adj(8))
+        assert w == 2
+
+    def test_complete_graph(self):
+        assert exact_treewidth(complete_adj(6)) == 5
+
+    def test_grid_3xn(self):
+        assert exact_treewidth(grid_adj(3, 4)) == 3
+
+    def test_series_parallel_at_most_2(self):
+        g = series_parallel_graph(25, seed=2)
+        adj = undirected_adjacency(g)
+        w, _ = treewidth_upper_bound(adj)
+        assert w <= 2
+
+    def test_natural_graphs_are_tree_like(self):
+        """Footnote 7's claim: real version graphs have low treewidth."""
+        g = natural_graph(120, seed=3)
+        adj = undirected_adjacency(g)
+        w, _ = treewidth_upper_bound(adj)
+        assert w <= 4
+
+    def test_empty_and_singleton(self):
+        assert exact_treewidth({}) == 0
+        assert treewidth_upper_bound({}) == (0, [])
+        assert exact_treewidth({0: set()}) == 0
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_heuristics_upper_bound_exact(self, seed):
+        g = random_digraph(9, extra_edge_prob=0.3, seed=seed)
+        adj = undirected_adjacency(g)
+        exact = exact_treewidth(adj)
+        for order_fn in (min_degree_order, min_fill_order):
+            order = order_fn(adj)
+            assert sorted(map(str, order)) == sorted(map(str, adj))
+            assert width_of_order(adj, order) >= exact
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_heuristic_ballpark(self, seed):
+        g = random_digraph(12, extra_edge_prob=0.25, seed=40 + seed)
+        adj = undirected_adjacency(g)
+        w, _ = treewidth_upper_bound(adj)
+        nxg = nx.Graph({u: set(nbrs) for u, nbrs in adj.items()})
+        w_nx, _ = nx.algorithms.approximation.treewidth_min_fill_in(nxg)
+        assert abs(w - w_nx) <= 2
+
+    def test_exact_guard(self):
+        with pytest.raises(ValueError):
+            exact_treewidth(complete_adj(30))
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_from_heuristic_orders(self, seed):
+        g = random_digraph(10, extra_edge_prob=0.3, seed=seed)
+        adj = undirected_adjacency(g)
+        for order_fn in (min_degree_order, min_fill_order):
+            td = from_elimination_order(adj, order_fn(adj))
+            td.validate(adj)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_on_random_graphs(self, seed):
+        g = random_digraph(8, extra_edge_prob=0.4, seed=seed)
+        adj = undirected_adjacency(g)
+        td = decompose(adj)
+        td.validate(adj)
+        assert td.width >= exact_treewidth(adj)
+
+    def test_width_matches_order_width(self):
+        g = random_digraph(9, extra_edge_prob=0.3, seed=77)
+        adj = undirected_adjacency(g)
+        order = min_fill_order(adj)
+        td = from_elimination_order(adj, order)
+        assert td.width == width_of_order(adj, order)
+
+
+class TestNiceDecomposition:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_nice_properties_hold(self, seed):
+        g = random_digraph(9, extra_edge_prob=0.3, seed=seed)
+        adj = undirected_adjacency(g)
+        td = decompose(adj)
+        nd = make_nice(td)
+        nd.validate()  # leaf/introduce/forget/join structure
+        assert nd.width == td.width
+
+    def test_every_vertex_forgotten_or_root(self):
+        g = random_digraph(8, extra_edge_prob=0.3, seed=5)
+        adj = undirected_adjacency(g)
+        nd = make_nice(decompose(adj))
+        forgotten = {n.special for n in nd.nodes if n.kind == "forget"}
+        root_bag = nd.nodes[nd.root].bag
+        assert forgotten | set(root_bag) == set(adj)
+
+    def test_postorder_children_first(self):
+        g = random_digraph(8, extra_edge_prob=0.3, seed=6)
+        nd = make_nice(decompose(undirected_adjacency(g)))
+        pos = {x: i for i, x in enumerate(nd.postorder())}
+        for i, node in enumerate(nd.nodes):
+            for c in node.children:
+                assert pos[c] < pos[i]
+
+    def test_root_is_singleton(self):
+        g = random_digraph(8, extra_edge_prob=0.3, seed=7)
+        nd = make_nice(decompose(undirected_adjacency(g)))
+        assert len(nd.nodes[nd.root].bag) == 1

@@ -1,0 +1,199 @@
+"""Tests for the VCS substrate: Myers diff, deltas, repository, graph build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import validate_graph
+from repro.vcs import (
+    DeltaScript,
+    Repository,
+    build_graph_from_repo,
+    compute_delta,
+    diff_stats,
+    myers_diff,
+    random_repository,
+    snapshot_delta_bytes,
+)
+
+lines_strategy = st.lists(
+    st.sampled_from(["a", "b", "c", "dd", "ee", "hello world", ""]), max_size=30
+)
+
+
+def edit_distance(a, b):
+    """Reference Levenshtein (insert/delete only) via DP."""
+    n, m = len(a), len(b)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if a[i - 1] == b[j - 1]:
+                dp[i][j] = dp[i - 1][j - 1]
+            else:
+                dp[i][j] = 1 + min(dp[i - 1][j], dp[i][j - 1])
+    return dp[n][m]
+
+
+class TestMyers:
+    def test_identical(self):
+        a = ["x", "y", "z"]
+        assert myers_diff(a, a) == [("keep", l) for l in a]
+
+    def test_empty_cases(self):
+        assert myers_diff([], ["a"]) == [("insert", "a")]
+        assert myers_diff(["a"], []) == [("delete", "a")]
+        assert myers_diff([], []) == []
+
+    def test_simple_replace(self):
+        ops = myers_diff(["a", "b", "c"], ["a", "x", "c"])
+        non_keep = [op for op, _ in ops if op != "keep"]
+        assert sorted(non_keep) == ["delete", "insert"]
+
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_reconstruction(self, a, b):
+        """Applying the script's inserts/keeps reproduces b."""
+        out = []
+        consumed = 0
+        for op, line in myers_diff(a, b):
+            if op == "keep":
+                assert a[consumed] == line
+                out.append(line)
+                consumed += 1
+            elif op == "delete":
+                assert a[consumed] == line
+                consumed += 1
+            else:
+                out.append(line)
+        assert consumed == len(a)
+        assert out == b
+
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_script_is_shortest(self, a, b):
+        _, deleted, inserted = diff_stats(a, b)
+        assert deleted + inserted == edit_distance(a, b)
+
+
+class TestDeltaScript:
+    @given(lines_strategy, lines_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_apply_round_trip(self, a, b):
+        script = compute_delta(a, b)
+        assert script.apply(a) == b
+
+    def test_identity_script(self):
+        script = compute_delta(["a", "b"], ["a", "b"])
+        assert script.is_identity
+        assert script.byte_size() == 4  # single keep-run header
+
+    def test_size_scales_with_change(self):
+        base = [f"line {i}" for i in range(50)]
+        small = compute_delta(base, base[:49] + ["changed"])
+        big = compute_delta(base, [f"other {i}" for i in range(50)])
+        assert small.byte_size() < big.byte_size()
+
+    def test_apply_wrong_base_raises(self):
+        script = compute_delta(["a", "b", "c"], ["a", "c"])
+        with pytest.raises(ValueError):
+            script.apply(["a"])
+
+
+class TestRepository:
+    def test_linear_commits(self):
+        repo = Repository()
+        repo.commit({"f": ("a",)})
+        repo.commit({"f": ("a", "b")})
+        assert repo.num_commits == 2
+        assert repo.commits[1].parents == (0,)
+
+    def test_branch_and_merge(self):
+        repo = Repository()
+        repo.commit({"f": ("a",)})
+        repo.branch_from("dev")
+        repo.commit({"f": ("a", "dev")}, branch="dev")
+        repo.commit({"f": ("a", "main")})
+        m = repo.merge("dev")
+        assert len(m.parents) == 2
+        assert "dev" not in repo.heads
+        # "into" side wins conflicts
+        assert m.snapshot["f"] == ("a", "main")
+
+    def test_duplicate_branch_rejected(self):
+        repo = Repository()
+        repo.commit({"f": ("a",)})
+        repo.branch_from("dev")
+        with pytest.raises(ValueError):
+            repo.branch_from("dev")
+
+    def test_commit_to_unknown_branch_rejected(self):
+        repo = Repository()
+        repo.commit({"f": ("a",)})
+        with pytest.raises(ValueError):
+            repo.commit({"f": ("b",)}, branch="ghost")
+
+    def test_total_bytes_positive(self):
+        repo = random_repository(10, seed=1)
+        for c in repo.commits:
+            assert c.total_bytes() > 0
+
+
+class TestRandomRepository:
+    def test_deterministic(self):
+        a = random_repository(30, seed=5)
+        b = random_repository(30, seed=5)
+        assert [c.snapshot for c in a.commits] == [c.snapshot for c in b.commits]
+
+    def test_size_and_parents(self):
+        repo = random_repository(40, seed=6)
+        assert repo.num_commits >= 40
+        for c in repo.commits[1:]:
+            assert c.parents
+            for p in c.parents:
+                assert p < c.id
+
+    def test_merges_occur(self):
+        repo = random_repository(120, merge_prob=0.15, branch_prob=0.25, seed=7)
+        assert any(len(c.parents) == 2 for c in repo.commits)
+
+
+class TestBuildGraph:
+    def test_structure_matches_history(self):
+        repo = random_repository(25, seed=8)
+        g = build_graph_from_repo(repo)
+        validate_graph(g)
+        assert g.num_versions == repo.num_commits
+        links = sum(len(c.parents) for c in repo.commits)
+        assert g.num_deltas == 2 * links
+
+    def test_costs_are_diff_bytes(self):
+        repo = Repository()
+        repo.commit({"f": ("a", "b", "c")})
+        repo.commit({"f": ("a", "b", "c", "d")})
+        g = build_graph_from_repo(repo)
+        fwd = snapshot_delta_bytes(repo.commits[0].snapshot, repo.commits[1].snapshot)
+        assert g.delta(0, 1).storage == fwd
+        assert g.delta(0, 1).retrieval == fwd  # single weight function
+
+    def test_identical_snapshots_cost_minimum(self):
+        a = {"f": ("x",)}
+        assert snapshot_delta_bytes(a, dict(a)) == 1
+
+    def test_deltas_cheaper_than_materialization(self):
+        repo = random_repository(30, seed=9)
+        g = build_graph_from_repo(repo)
+        assert g.average_delta_storage() < g.average_version_storage()
+
+    def test_end_to_end_with_solver(self):
+        from repro.algorithms import lmg_all, min_storage_plan_tree
+
+        repo = random_repository(25, seed=10)
+        g = build_graph_from_repo(repo)
+        base = min_storage_plan_tree(g).total_storage
+        tree = lmg_all(g, base * 1.5)
+        assert tree.total_storage <= base * 1.5 + 1e-6
