@@ -16,6 +16,11 @@ Subpackages
 ``repro.algorithms``
     Baselines, LMG / LMG-All greedy heuristics, tree DPs (DP-BMR exact,
     DP-MSR frontier), ILP exacts, Lemma-7 reductions.
+``repro.fastgraph``
+    Flat-array (CSR) solver kernels: compiled graphs
+    (``VersionGraph.compile()``) and plan-identical array
+    implementations of the greedy family; the registry's default
+    backend (``backend="dict"`` keeps the reference path).
 ``repro.treewidth``
     Tree decompositions and the bounded-treewidth DP (Section 5.3).
 ``repro.vcs``

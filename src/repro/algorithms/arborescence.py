@@ -6,17 +6,25 @@ starting configuration of both LMG (Algorithm 1 line 7) and LMG-All
 (Algorithm 7 line 2).  Weighted by ``storage + retrieval`` it is the
 tree-extraction step of the DP heuristics (Section 6.2 step 1).
 
-The implementation is the classic recursive contraction algorithm:
+The implementation is the classic contraction algorithm:
 
 1. every non-root node picks its cheapest incoming edge;
 2. if the picked edges are acyclic they form the answer;
 3. otherwise a cycle is contracted into a super-node, edge weights into
    the cycle are reduced by the weight of the cycle edge they would
-   displace, and the algorithm recurses; the cycle is then unrolled by
-   dropping the one cycle edge displaced by the recursion's choice.
+   displace, and the algorithm repeats on the contracted graph; the
+   cycles are then unrolled innermost-last, each dropping the one cycle
+   edge displaced by the contracted level's choice.
 
-O(V·E); fine for every graph in the benchmark suite.  Tests cross-check
-against ``networkx.minimum_spanning_arborescence``.
+The contraction loop is iterative (bidirectional graphs contract one
+2-cycle per level, so natural graphs reach O(V) levels — a recursive
+formulation overflows the interpreter stack around 1k versions), and
+cycle discovery scans nodes in deterministic first-seen edge order so
+the same graph yields the same arborescence in every process regardless
+of hash randomization.  O(V·E); fine for every graph in the benchmark
+suite, and :mod:`repro.fastgraph` carries a vectorized equivalent for
+the solver hot paths.  Tests cross-check against
+``networkx.minimum_spanning_arborescence``.
 """
 
 from __future__ import annotations
@@ -55,7 +63,11 @@ def minimum_arborescence(
     """Parent map of the minimum arborescence of ``graph`` rooted at ``root``.
 
     Raises :class:`GraphError` when some node is unreachable from the
-    root.  Deterministic: ties are broken by edge insertion order.
+    root.  Deterministic: ties are broken by edge insertion order.  The
+    returned map is keyed in **graph insertion order**, so downstream
+    float accumulations over it (``PlanTree`` storage/retrieval totals)
+    are reproducible and bit-identical to the fastgraph kernels, which
+    consume parent maps in node-index order.
     """
     nodes = [v for v in graph.versions]
     if root not in graph:
@@ -68,24 +80,17 @@ def minimum_arborescence(
             continue  # edges into the root are never useful
         edges.append((u, v, weight(u, v, d)))
 
-    parent_of = _edmonds(nodes, root, edges)
+    parent_of = _edmonds(edges)
     missing = [v for v in nodes if v != root and v not in parent_of]
     if missing:
         raise GraphError(f"nodes unreachable from root: {missing[:5]!r}")
-    return parent_of
+    return {v: parent_of[v] for v in nodes if v != root}
 
 
-def _edmonds(
-    nodes: list[Node], root: Node, edges: list[tuple[Node, Node, float]]
-) -> dict[Node, Node]:
-    """Recursive Chu-Liu/Edmonds on an explicit edge list.
-
-    ``edges`` entries are ``(u, v, w)``; returns ``{v: u}`` over the
-    *original* node ids.  Super-nodes created by contraction are integers
-    from an internal counter wrapped in a tuple to avoid clashing with
-    user node ids.
-    """
-    # pick cheapest incoming edge per node
+def _best_incoming(
+    edges: list[tuple[Node, Node, float]],
+) -> dict[Node, tuple[Node, float, int]]:
+    """Cheapest incoming edge per node; ties keep the earliest edge."""
     best_in: dict[Node, tuple[Node, float, int]] = {}
     for idx, (u, v, w) in enumerate(edges):
         if u == v:
@@ -93,12 +98,16 @@ def _edmonds(
         cur = best_in.get(v)
         if cur is None or w < cur[1]:
             best_in[v] = (u, w, idx)
+    return best_in
 
-    reachable = set(best_in)
-    # find a cycle among the picked edges
+
+def _first_cycle(best_in: dict[Node, tuple[Node, float, int]]) -> list[Node] | None:
+    """First cycle among the picked edges, scanning starts in ``best_in``
+    insertion order (= first-seen edge order) so the choice — and with it
+    the whole arborescence — is identical in every process, independent
+    of hash randomization."""
     color: dict[Node, int] = {}
-    cycle: list[Node] | None = None
-    for start in reachable:
+    for start in best_in:
         if start in color:
             continue
         path = []
@@ -107,65 +116,93 @@ def _edmonds(
             color[x] = 1  # on current path
             path.append(x)
             x = best_in[x][0]
+        cycle = None
         if x in color and color[x] == 1:
             # found a cycle: suffix of path starting at x
             cycle = path[path.index(x):]
         for y in path:
             color[y] = 2
         if cycle:
+            return cycle
+    return None
+
+
+def _edmonds(edges: list[tuple[Node, Node, float]]) -> dict[Node, Node]:
+    """Iterative Chu-Liu/Edmonds on an explicit edge list.
+
+    ``edges`` entries are ``(u, v, w)``; returns ``{v: u}`` over the
+    *original* node ids.  The caller must pre-filter edges into the
+    intended root (the root is simply the node that never appears as a
+    destination).  Super-nodes created by contraction are tuples from an
+    internal counter to avoid clashing with user node ids.  The
+    contraction phase records one level per contracted cycle; the unroll
+    phase then walks the levels innermost-first.
+    """
+    # -- contraction phase: one cycle per level -------------------------
+    levels: list[
+        tuple[
+            dict[Node, tuple[Node, float, int]],  # best_in at this level
+            list[Node],  # contracted cycle
+            list[tuple[Node, Node, float]],  # relabeled edges
+            dict[int, tuple[Node, Node]],  # new edge idx -> pre-relabel endpoints
+            Node,  # super node id
+        ]
+    ] = []
+    while True:
+        best_in = _best_incoming(edges)
+        cycle = _first_cycle(best_in)
+        if cycle is None:
+            result = {v: u for v, (u, w, i) in best_in.items()}
             break
 
-    if cycle is None:
-        return {v: u for v, (u, w, i) in best_in.items()}
+        cyc_set = set(cycle)
+        super_node: Node = ("__cyc__", len(levels), len(cycle))
+        new_edges: list[tuple[Node, Node, float]] = []
+        # bookkeeping: for each relabeled edge remember the endpoints at
+        # this level so the unroll can translate choices back down.
+        into_cycle: dict[int, tuple[Node, Node]] = {}
+        for u, v, w in edges:
+            if u in cyc_set and v in cyc_set:
+                continue
+            if v in cyc_set:
+                # displaced cycle edge is best_in[v]
+                reduced = w - best_in[v][1]
+                new_edges.append((u, super_node, reduced))
+                into_cycle[len(new_edges) - 1] = (u, v)
+            elif u in cyc_set:
+                new_edges.append((super_node, v, w))
+                into_cycle[len(new_edges) - 1] = (u, v)
+            else:
+                new_edges.append((u, v, w))
+                into_cycle[len(new_edges) - 1] = (u, v)
+        levels.append((best_in, cycle, new_edges, into_cycle, super_node))
+        edges = new_edges
 
-    # contract the cycle
-    cyc_set = set(cycle)
-    super_node: Node = ("__cyc__", id(cycle), len(cycle))
-    new_edges: list[tuple[Node, Node, float]] = []
-    # bookkeeping: for each contracted incoming edge remember the original
-    # (u, v, w) so we can unroll afterwards.
-    into_cycle: dict[int, tuple[Node, Node]] = {}
-    for idx, (u, v, w) in enumerate(edges):
-        if u in cyc_set and v in cyc_set:
-            continue
-        if v in cyc_set:
-            # displaced cycle edge is best_in[v]
-            reduced = w - best_in[v][1]
-            new_edges.append((u, super_node, reduced))
-            into_cycle[len(new_edges) - 1] = (u, v)
-        elif u in cyc_set:
-            new_edges.append((super_node, v, w))
-            into_cycle[len(new_edges) - 1] = (u, v)
-        else:
-            new_edges.append((u, v, w))
-            into_cycle[len(new_edges) - 1] = (u, v)
+    # -- unroll phase: translate each level's choices back down ---------
+    # For each (u_new, v_new) edge of the contracted answer pick the
+    # matching new_edges entry with minimal weight (that is the edge the
+    # contracted level effectively used).
+    for best_in, cycle, new_edges, into_cycle, super_node in reversed(levels):
+        sub = result
+        result = {}
+        entered_at: Node | None = None
+        chosen: dict[tuple[Node, Node], tuple[Node, Node, float]] = {}
+        for idx, (u_new, v_new, w) in enumerate(new_edges):
+            key = (u_new, v_new)
+            orig_u, orig_v = into_cycle[idx]
+            cur = chosen.get(key)
+            if cur is None or w < cur[2]:
+                chosen[key] = (orig_u, orig_v, w)
+        for v_new, u_new in sub.items():
+            orig_u, orig_v, _ = chosen[(u_new, v_new)]
+            result[orig_v] = orig_u
+            if v_new == super_node:
+                entered_at = orig_v
 
-    new_nodes = [x for x in nodes if x not in cyc_set] + [super_node]
-    sub = _edmonds(new_nodes, root, new_edges)
-
-    # Unroll: translate parent choices back to original endpoints.  For
-    # each (u_new, v_new) edge of the sub-answer pick the matching
-    # new_edges entry with minimal weight (that is the edge the recursion
-    # effectively used).
-    result: dict[Node, Node] = {}
-    entered_at: Node | None = None
-    chosen: dict[tuple[Node, Node], tuple[Node, Node, float]] = {}
-    for idx, (u_new, v_new, w) in enumerate(new_edges):
-        key = (u_new, v_new)
-        orig_u, orig_v = into_cycle[idx]
-        cur = chosen.get(key)
-        if cur is None or w < cur[2]:
-            chosen[key] = (orig_u, orig_v, w)
-    for v_new, u_new in sub.items():
-        orig_u, orig_v, _ = chosen[(u_new, v_new)]
-        result[orig_v] = orig_u
-        if v_new == super_node:
-            entered_at = orig_v
-
-    # cycle edges: keep all but the one displaced by the entering edge
-    for v in cycle:
-        if v != entered_at:
-            result[v] = best_in[v][0]
+        # cycle edges: keep all but the one displaced by the entering edge
+        for v in cycle:
+            if v != entered_at:
+                result[v] = best_in[v][0]
     return result
 
 

@@ -213,7 +213,12 @@ def dp_bmr(
                 best = val
                 best_u = u
         if best_u is None:
-            raise GraphError(f"no feasible partial solution at {v!r}")
+            # plain ValueError (not GraphError): this is budget
+            # infeasibility, not a structural problem with the input
+            raise ValueError(
+                f"retrieval budget infeasible: no feasible partial "
+                f"solution at {v!r}"
+            )
         OPT[v] = (best, best_u)
 
     # ------------------------------------------------------------------

@@ -40,7 +40,6 @@ storage/retrieval trade-off curve.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

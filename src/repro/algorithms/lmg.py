@@ -68,7 +68,13 @@ def lmg(
             f"storage budget {storage_budget} below minimum storage "
             f"{tree.total_storage}: MSR infeasible"
         )
-    candidates = {v for v in tree.parent if tree.parent[v] is not AUX}
+    # Candidates sorted once up front; materialized versions are pruned
+    # in place, so each round is a plain list scan instead of an
+    # O(V log V) re-sort (the scan order — string order — is unchanged,
+    # keeping plans identical to the re-sorting implementation).
+    candidates = sorted(
+        (v for v in tree.parent if tree.parent[v] is not AUX), key=str
+    )
     rounds = max_iterations if max_iterations is not None else len(tree.parent)
 
     for _ in range(rounds):
@@ -77,7 +83,7 @@ def lmg(
         best_rho = 0.0
         best_v: Node | None = None
         best_dr = 0.0
-        for v in sorted(candidates, key=str):
+        for v in candidates:
             if tree.parent[v] is AUX:
                 continue
             ds, dr = tree.swap_deltas(AUX, v)
@@ -96,5 +102,5 @@ def lmg(
         if best_v is None:
             break
         tree.apply_swap(AUX, best_v)
-        candidates.discard(best_v)
+        candidates.remove(best_v)  # drop materialized nodes from the scan
     return tree

@@ -24,7 +24,6 @@ dirty (rebuilt lazily in O(V)).
 
 from __future__ import annotations
 
-import math
 
 from ..core.graph import AUX, Node, VersionGraph
 from ..core.solution import PlanTree

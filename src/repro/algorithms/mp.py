@@ -80,8 +80,16 @@ def mp(graph: VersionGraph, retrieval_budget: float) -> PlanTree:
 
     assert len(attached) == len(versions), "materialization keeps MP feasible"
     tree = PlanTree(ext, attached)
-    if math.isfinite(retrieval_budget):
-        assert tree.max_retrieval() <= retrieval_budget * (1 + 1e-9) + 1e-6
+    if math.isfinite(retrieval_budget) and tree.max_retrieval() > (
+        retrieval_budget * (1 + 1e-9) + 1e-6
+    ):
+        # Only reachable for budgets below zero: materializing every
+        # version always yields max retrieval 0.  Raise like the MSR
+        # solvers so the CLI can report infeasibility (exit code 1).
+        raise ValueError(
+            f"retrieval budget {retrieval_budget} infeasible: MP plan has "
+            f"max retrieval {tree.max_retrieval()}"
+        )
     return tree
 
 

@@ -18,7 +18,6 @@ search terminates after O(log(range / gap)) probes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable
 

@@ -5,17 +5,36 @@ by name, so the mapping lives in one place.  Two families:
 
 * **MSR solvers** ``f(graph, storage_budget) -> StoragePlan | None``
   (None = budget below the minimum achievable storage);
-* **BMR solvers** ``f(graph, retrieval_budget) -> StoragePlan``.
+* **BMR solvers** ``f(graph, retrieval_budget) -> StoragePlan | None``
+  (None = retrieval budget infeasible, i.e. negative).
+
+Backends
+--------
+The greedy family (``lmg`` / ``lmg-all`` / ``mp``) exists twice: the
+dict-of-dicts reference implementation and the flat-array kernel from
+:mod:`repro.fastgraph`.  The plain names resolve to the **array**
+backend automatically (it is plan-identical and much faster); pass
+``backend="dict"`` to :func:`get_msr_solver` / :func:`get_bmr_solver`
+to keep the reference path, e.g. for cross-validation::
+
+    fast = get_msr_solver("lmg")                  # array kernel
+    ref = get_msr_solver("lmg", backend="dict")   # reference path
+
+Solvers without an array variant accept both backend names and resolve
+to their single implementation.
 
 The DP entries rebuild their tree index per call; sweep code that wants
 index reuse calls the solver classes directly (see
-:mod:`repro.bench.figures`).
+:mod:`repro.bench.figures`).  The array kernels reuse the compiled
+graph cached on the :class:`VersionGraph` itself (``graph.compile()``),
+so repeated calls on one graph compile once.
 """
 
 from __future__ import annotations
 
 from ..core.graph import VersionGraph
 from ..core.solution import StoragePlan
+from ..fastgraph import lmg_all_array, lmg_array, mp_array
 from .dp_bmr import dp_bmr_heuristic
 from .dp_msr import dp_msr
 from .ilp import bmr_ilp, msr_ilp
@@ -23,19 +42,39 @@ from .lmg import lmg
 from .lmg_all import lmg_all
 from .mp import mp
 
-__all__ = ["MSR_SOLVERS", "BMR_SOLVERS", "get_msr_solver", "get_bmr_solver"]
+__all__ = [
+    "MSR_SOLVERS",
+    "BMR_SOLVERS",
+    "BACKENDS",
+    "get_msr_solver",
+    "get_bmr_solver",
+]
 
 
-def _lmg(graph: VersionGraph, budget: float) -> StoragePlan | None:
+def _lmg_dict(graph: VersionGraph, budget: float) -> StoragePlan | None:
     try:
         return lmg(graph, budget).to_plan()
     except ValueError:
         return None
 
 
-def _lmg_all(graph: VersionGraph, budget: float) -> StoragePlan | None:
+def _lmg_array(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return lmg_array(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _lmg_all_dict(graph: VersionGraph, budget: float) -> StoragePlan | None:
     try:
         return lmg_all(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _lmg_all_array(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return lmg_all_array(graph, budget).to_plan()
     except ValueError:
         return None
 
@@ -53,41 +92,81 @@ def _msr_ilp(graph: VersionGraph, budget: float) -> StoragePlan | None:
     return msr_ilp(graph, budget).plan
 
 
-def _mp(graph: VersionGraph, budget: float) -> StoragePlan:
-    return mp(graph, budget).to_plan()
+def _mp_dict(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return mp(graph, budget).to_plan()
+    except ValueError:
+        return None
 
 
-def _dp_bmr(graph: VersionGraph, budget: float) -> StoragePlan:
-    return dp_bmr_heuristic(graph, budget).plan
+def _mp_array(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return mp_array(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _dp_bmr(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    from ..core.graph import GraphError
+
+    try:
+        return dp_bmr_heuristic(graph, budget).plan
+    except GraphError:
+        raise  # structural input problem, not a budget outcome
+    except ValueError:
+        return None
 
 
 def _bmr_ilp(graph: VersionGraph, budget: float) -> StoragePlan | None:
     return bmr_ilp(graph, budget).plan
 
 
+#: Plain-name mapping; greedy names resolve to the array kernels.
 MSR_SOLVERS = {
-    "lmg": _lmg,
-    "lmg-all": _lmg_all,
+    "lmg": _lmg_array,
+    "lmg-all": _lmg_all_array,
     "dp-msr": _dp_msr,
     "ilp": _msr_ilp,
 }
 
 BMR_SOLVERS = {
-    "mp": _mp,
+    "mp": _mp_array,
     "dp-bmr": _dp_bmr,
     "ilp": _bmr_ilp,
 }
 
+#: (family, name) -> backend -> callable, for explicit backend requests.
+BACKENDS = {
+    ("msr", "lmg"): {"array": _lmg_array, "dict": _lmg_dict},
+    ("msr", "lmg-all"): {"array": _lmg_all_array, "dict": _lmg_all_dict},
+    ("bmr", "mp"): {"array": _mp_array, "dict": _mp_dict},
+}
 
-def get_msr_solver(name: str):
+_BACKEND_NAMES = ("array", "dict")
+
+
+def _resolve(family: str, table: dict, name: str, backend: str | None):
     try:
-        return MSR_SOLVERS[name]
+        default = table[name]
     except KeyError:
-        raise KeyError(f"unknown MSR solver {name!r}; options: {sorted(MSR_SOLVERS)}") from None
+        raise KeyError(
+            f"unknown {family.upper()} solver {name!r}; options: {sorted(table)}"
+        ) from None
+    if backend is None:
+        return default
+    if backend not in _BACKEND_NAMES:
+        raise KeyError(
+            f"unknown backend {backend!r}; options: {sorted(_BACKEND_NAMES)}"
+        )
+    # solvers without an array variant resolve to their one implementation
+    return BACKENDS.get((family, name), {}).get(backend, default)
 
 
-def get_bmr_solver(name: str):
-    try:
-        return BMR_SOLVERS[name]
-    except KeyError:
-        raise KeyError(f"unknown BMR solver {name!r}; options: {sorted(BMR_SOLVERS)}") from None
+def get_msr_solver(name: str, backend: str | None = None):
+    """Look up an MSR solver; ``backend`` picks ``"array"`` or ``"dict"``."""
+    return _resolve("msr", MSR_SOLVERS, name, backend)
+
+
+def get_bmr_solver(name: str, backend: str | None = None):
+    """Look up a BMR solver; ``backend`` picks ``"array"`` or ``"dict"``."""
+    return _resolve("bmr", BMR_SOLVERS, name, backend)

@@ -18,7 +18,6 @@ solver in the package.
 
 from __future__ import annotations
 
-import math
 
 from ..core.graph import GraphError, VersionGraph
 from ..core.problems import PlanScore, evaluate_plan

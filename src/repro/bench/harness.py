@@ -192,6 +192,10 @@ def run_bmr_experiment(
             else:
                 plan = BMR_SOLVERS[solver_name](graph, b)
             dt = time.perf_counter() - t0
+            if plan is None:  # infeasible retrieval budget
+                obj.add(b, math.inf)
+                rt.add(b, dt)
+                continue
             score = evaluate_plan(graph, plan)
             assert score.max_retrieval <= b * (1 + 1e-9) + 1e-6
             obj.add(b, score.storage)

@@ -15,6 +15,20 @@ Optimize a version graph stored as JSON::
 Inspect a dataset preset::
 
     repro-versioning dataset styleguide --scale 0.5
+
+Notes
+-----
+* ``solve`` exits with code **1** and an ``infeasible:`` message on
+  stderr when the budget does not admit any plan (MSR storage budget
+  below the minimum storage configuration, or a negative BMR retrieval
+  budget), whether the solver signals that by returning ``None`` or by
+  raising ``ValueError``.  Exit code 2 is reserved for usage errors,
+  including structural :class:`~repro.core.graph.GraphError` problems
+  with the input graph (reported as ``error:`` on stderr).
+* ``solve --backend`` picks the greedy implementation: ``array`` (the
+  default — the flat-array kernels from :mod:`repro.fastgraph`) or
+  ``dict`` (the reference implementation).  Both produce identical
+  plans; solvers without an array variant ignore the flag.
 """
 
 from __future__ import annotations
@@ -24,7 +38,7 @@ import json
 import sys
 from pathlib import Path
 
-from .core.graph import VersionGraph
+from .core.graph import GraphError, VersionGraph
 from .core.problems import evaluate_plan
 
 __all__ = ["main"]
@@ -54,10 +68,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     graph = VersionGraph.from_json(Path(args.graph).read_text())
     if args.problem == "msr":
-        solver = get_msr_solver(args.solver)
+        solver = get_msr_solver(args.solver, backend=args.backend)
     else:
-        solver = get_bmr_solver(args.solver)
-    plan = solver(graph, args.budget)
+        solver = get_bmr_solver(args.solver, backend=args.backend)
+    try:
+        plan = solver(graph, args.budget)
+    except GraphError as err:
+        # structural/input problem (e.g. wrong graph shape for a DP
+        # solver) — a usage error, not a budget outcome
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        # infeasible budget signalled by raising instead of None
+        print(f"infeasible: {err}", file=sys.stderr)
+        return 1
     if plan is None:
         print("infeasible: budget below the minimum achievable", file=sys.stderr)
         return 1
@@ -109,6 +133,12 @@ def main(argv: list[str] | None = None) -> int:
     p_solve.add_argument("graph", help="path to VersionGraph JSON")
     p_solve.add_argument("--budget", type=float, required=True)
     p_solve.add_argument("--solver", default="lmg-all")
+    p_solve.add_argument(
+        "--backend",
+        choices=["array", "dict"],
+        default=None,
+        help="greedy solver backend (default: the fastgraph array kernels)",
+    )
     p_solve.set_defaults(func=_cmd_solve)
 
     p_data = sub.add_parser("dataset", help="build a dataset preset")

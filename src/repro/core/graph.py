@@ -115,13 +115,14 @@ class VersionGraph:
     rejected.
     """
 
-    __slots__ = ("_storage", "_edges", "_succ", "_pred", "name")
+    __slots__ = ("_storage", "_edges", "_succ", "_pred", "_compiled", "name")
 
     def __init__(self, name: str = "") -> None:
         self._storage: dict[Node, float] = {}
         self._edges: dict[tuple[Node, Node], Delta] = {}
         self._succ: dict[Node, dict[Node, Delta]] = {}
         self._pred: dict[Node, dict[Node, Delta]] = {}
+        self._compiled = None  # cached repro.fastgraph.CompiledGraph
         self.name = name
 
     # ------------------------------------------------------------------
@@ -140,6 +141,7 @@ class VersionGraph:
             self._succ[v] = {}
             self._pred[v] = {}
         self._storage[v] = storage
+        self._compiled = None
 
     def add_delta(
         self,
@@ -173,6 +175,7 @@ class VersionGraph:
         self._edges[key] = delta
         self._succ[u][v] = delta
         self._pred[v][u] = delta
+        self._compiled = None
 
     def add_bidirectional_delta(
         self,
@@ -199,6 +202,7 @@ class VersionGraph:
             raise GraphError(f"no delta {u!r}->{v!r}") from None
         del self._succ[u][v]
         del self._pred[v][u]
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # queries
@@ -311,6 +315,22 @@ class VersionGraph:
     def has_aux(self) -> bool:
         return AUX in self._storage
 
+    def compile(self):
+        """Compile into flat arrays for the fastgraph solver kernels.
+
+        Returns a :class:`repro.fastgraph.CompiledGraph` — node→int
+        interning plus CSR adjacency over the *extended* graph (the
+        extension happens internally when this graph lacks AUX).  The
+        result is cached until the next mutation, so budget sweeps and
+        repeated solver calls reuse one compiled snapshot instead of
+        re-extending and re-indexing per call.
+        """
+        if self._compiled is None:
+            from ..fastgraph.compiled import CompiledGraph
+
+            self._compiled = CompiledGraph(self)
+        return self._compiled
+
     # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------
@@ -354,16 +374,16 @@ class VersionGraph:
     def is_bidirectional_tree(self) -> bool:
         """True iff the underlying undirected graph is a tree and every
         undirected edge is present in both directions (Section 2.2)."""
-        und = self.undirected_edges()
         n = self.num_versions
+        if n == 0:
+            return True  # vacuously a tree; checked before the edge count
+        und = self.undirected_edges()
         if len(und) != n - 1:
             return False
         for u, v in und:
             if (u, v) not in self._edges or (v, u) not in self._edges:
                 return False
         # connectivity check over the undirected structure
-        if n == 0:
-            return True
         adj: dict[Node, list[Node]] = {v: [] for v in self._storage}
         for u, v in und:
             adj[u].append(v)

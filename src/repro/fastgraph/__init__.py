@@ -1,0 +1,47 @@
+"""fastgraph — index-compiled graphs and flat-array solver kernels.
+
+The dict-of-dicts :class:`~repro.core.graph.VersionGraph` is the right
+structure for construction and correctness work, but the greedy solver
+family (LMG, LMG-All, MP) evaluates millions of candidate moves per run
+and Python dict lookups keyed by arbitrary hashables dominate profiles
+long before algorithmic cost does.  This subsystem compiles a graph once
+into flat NumPy arrays and reruns the greedy hot loops on top of them:
+
+:class:`CompiledGraph`
+    Node→int interning plus CSR-style arrays: per-edge source /
+    destination / storage / retrieval vectors in deterministic edge
+    insertion order, and indptr/indices adjacency for both directions.
+    Obtained via :meth:`repro.core.graph.VersionGraph.compile`, which
+    caches the result until the graph is mutated (budget sweeps reuse
+    one compiled graph across every budget probe).
+
+:class:`ArrayPlanTree`
+    The flat-array counterpart of :class:`~repro.core.solution.PlanTree`
+    with the same O(1) swap-evaluation contract (cached retrieval costs
+    and subtree sizes), swap application by *edge id*, and exports back
+    to :class:`~repro.core.solution.StoragePlan` / ``PlanTree``.
+
+:func:`lmg_array` / :func:`lmg_all_array` / :func:`mp_array`
+    Greedy kernels that vectorize the per-round candidate scan.  They
+    are **plan-identical** to the dict reference implementations — same
+    iteration order, same IEEE arithmetic, same tie-breaking — which is
+    enforced by the equivalence suite in ``tests/test_fastgraph.py``
+    across every ``repro.gen.presets`` dataset.
+
+Backend selection is plumbed through the solver registry: the plain
+names (``solver="lmg"``) resolve to the array kernels automatically,
+while ``get_msr_solver("lmg", backend="dict")`` keeps the reference
+path (see :mod:`repro.algorithms.registry`).
+"""
+
+from .compiled import CompiledGraph
+from .plantree import ArrayPlanTree
+from .solvers import lmg_all_array, lmg_array, mp_array
+
+__all__ = [
+    "CompiledGraph",
+    "ArrayPlanTree",
+    "lmg_array",
+    "lmg_all_array",
+    "mp_array",
+]

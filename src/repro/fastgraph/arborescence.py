@@ -1,0 +1,224 @@
+"""Vectorized Chu-Liu/Edmonds over compiled graphs.
+
+The dict reference (:mod:`repro.algorithms.arborescence`) contracts one
+cycle per level with O(E) Python work per level; bidirectional version
+graphs produce O(V) two-cycles, so the reference costs O(V·E)
+interpreter operations and dominates every greedy MSR solve.  This
+module runs the identical algorithm on flat int/float arrays:
+
+* cheapest-incoming selection is two ``np.minimum.at`` scatters
+  (min weight, then first edge index among the minima — the reference's
+  "ties keep the earliest edge" rule);
+* "which cycle does the reference contract first?" is answered without
+  the per-level O(V) path walk: a node's best-incoming walk either ends
+  at the root or on a cycle, so pointer-doubling the best-parent map
+  (``log V`` gathers) classifies all nodes at once and the first
+  first-seen destination not reaching the root is exactly the start the
+  reference's scan would find a cycle from;
+* contraction and unrolling are masked array passes in edge order,
+  preserving the reference's tie-breaking (first minimal relabeled edge
+  per contracted choice).
+
+Output is the **same arborescence** the dict implementation returns —
+same parent per node, verified by the fastgraph equivalence suite — in
+O(levels · (E + V log V)) vectorized work instead of O(levels · E)
+interpreted work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import GraphError
+from .compiled import CompiledGraph
+
+__all__ = ["min_storage_parent_edges"]
+
+
+def min_storage_parent_edges(cg: CompiledGraph) -> list[tuple[int, int]]:
+    """Minimum-storage arborescence of the extended graph, as
+    ``(version index, parent edge id)`` pairs rooted at AUX.
+
+    Plan-identical to ``min_storage_arborescence`` on ``cg.graph``.
+    Raises :class:`GraphError` when some version is unreachable.
+    """
+    root = cg.aux
+    keep = cg.edge_dst != root  # edges into the root are never useful
+    u0 = cg.edge_src[keep]
+    v0 = cg.edge_dst[keep]
+    w0 = cg.edge_storage[keep]
+    eid0 = np.nonzero(keep)[0].astype(np.int64)
+
+    parent_eid = _edmonds_array(cg.n + 1, root, u0, v0, w0, eid0)
+    missing = [cg.nodes[v] for v in range(cg.n) if parent_eid[v] < 0]
+    if missing:
+        raise GraphError(f"nodes unreachable from root: {missing[:5]!r}")
+    return [(v, int(parent_eid[v])) for v in range(cg.n)]
+
+
+def _best_incoming(
+    num_ids: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-destination cheapest incoming edge, earliest edge on ties.
+
+    Returns ``(best_w, best_pos)`` arrays over node ids; ``best_pos`` is
+    the position in the current edge arrays (sentinel ``len(u)`` when a
+    node has no incoming edge).
+    """
+    m = len(u)
+    best_w = np.full(num_ids, np.inf)
+    np.minimum.at(best_w, v, w)
+    best_pos = np.full(num_ids, m, dtype=np.int64)
+    at_min = w == best_w[v]
+    np.minimum.at(best_pos, v[at_min], np.nonzero(at_min)[0].astype(np.int64))
+    return best_w, best_pos
+
+
+def _first_cycle(
+    num_ids: int,
+    root: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    best_pos: np.ndarray,
+) -> np.ndarray | None:
+    """The cycle the reference scan contracts at this level, or None.
+
+    The reference walks starts in first-seen destination order and
+    contracts the first cycle a walk closes on.  Every walk ends at the
+    root or on a cycle, and earlier starts cannot silently consume a
+    cycle (they would have contracted it), so the contracted cycle is
+    the one reachable from the first start that does not reach the root.
+    """
+    m = len(u)
+    # best-parent functional map; root (and incoming-free nodes) absorb
+    f = np.full(num_ids, root, dtype=np.int64)
+    has_in = best_pos < m
+    ids = np.nonzero(has_in)[0]
+    f[ids] = u[best_pos[ids]]
+    # pointer doubling until every walk of length >= num_ids is resolved
+    g = f
+    steps = 1
+    while steps < num_ids:
+        g = g[g]
+        steps *= 2
+    cyclic = g[v] != root  # per edge: does its destination reach a cycle?
+    if not cyclic.any():
+        return None
+    # first qualifying destination in edge order == first qualifying
+    # start in the reference's first-seen-destination scan order
+    rep = int(g[v[int(np.argmax(cyclic))]])
+    cycle = [rep]
+    x = int(f[rep])
+    while x != rep:
+        cycle.append(x)
+        x = int(f[x])
+    return np.array(cycle, dtype=np.int64)
+
+
+def _edmonds_array(
+    num_base_ids: int,
+    root: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    eid: np.ndarray,
+) -> np.ndarray:
+    """Iterative contraction/unroll; returns parent edge id per base id.
+
+    Mirrors ``repro.algorithms.arborescence._edmonds`` level by level;
+    ``eid`` threads the original compiled-graph edge id of every
+    relabeled edge so the final answer is expressed directly in parent
+    *edge* ids (-1 = no parent found / unreachable).
+    """
+    # each contraction removes a >=2-cycle and adds one super node, so
+    # the id space is bounded by twice the base ids
+    levels: list[tuple] = []
+    next_id = num_base_ids
+
+    while True:
+        num_ids = next_id
+        best_w, best_pos = _best_incoming(num_ids, u, v, w)
+        cycle = _first_cycle(num_ids, root, u, v, best_pos)
+        if cycle is None:
+            break
+        super_node = next_id
+        next_id += 1
+        in_cyc = np.zeros(num_ids + 1, dtype=bool)
+        in_cyc[cycle] = True
+        cu, cv = in_cyc[u], in_cyc[v]
+        keep = ~(cu & cv)
+        # displaced cycle edge weight is best_w[v] for edges into the cycle
+        w_new = np.where(cv, w - best_w[v], w)[keep]
+        u_cur, v_cur, eid_cur = u[keep], v[keep], eid[keep]
+        u_new = np.where(cu[keep], super_node, u_cur)
+        v_new = np.where(cv[keep], super_node, v_cur)
+        levels.append(
+            (
+                num_ids,
+                u,  # pre-contraction sources (for cycle-edge completion)
+                eid,  # pre-contraction edge ids
+                best_pos,
+                cycle,
+                super_node,
+                u_cur,
+                v_cur,
+                eid_cur,
+                u_new,
+                v_new,
+                w_new,
+            )
+        )
+        u, v, w, eid = u_new, v_new, w_new, eid_cur
+
+    # base answer over the innermost id space
+    parent = np.full(next_id, -1, dtype=np.int64)
+    parent_eid = np.full(next_id, -1, dtype=np.int64)
+    ids = np.nonzero(best_pos < len(u))[0]
+    parent[ids] = u[best_pos[ids]]
+    parent_eid[ids] = eid[best_pos[ids]]
+
+    for (
+        num_ids,
+        u_lvl,
+        eid_lvl,
+        best_pos,
+        cycle,
+        super_node,
+        u_cur,
+        v_cur,
+        eid_cur,
+        u_new,
+        v_new,
+        w_new,
+    ) in reversed(levels):
+        sub_parent = parent
+        # choose, per contracted (parent, child) pair, the first minimal
+        # relabeled edge — the edge the contracted level effectively used
+        sel = np.nonzero(sub_parent[v_new] == u_new)[0]
+        grp = v_new[sel]
+        choice_w = np.full(num_ids + 1, np.inf)
+        np.minimum.at(choice_w, grp, w_new[sel])
+        at_min = sel[w_new[sel] == choice_w[grp]]
+        choice_pos = np.full(num_ids + 1, len(u_new), dtype=np.int64)
+        np.minimum.at(choice_pos, v_new[at_min], at_min)
+
+        # translate the chosen edges back to this level's endpoints
+        # (includes the edge entering the contracted cycle)
+        parent = np.full(num_ids, -1, dtype=np.int64)
+        parent_eid = np.full(num_ids, -1, dtype=np.int64)
+        chosen = choice_pos[choice_pos < len(u_new)]
+        parent[v_cur[chosen]] = u_cur[chosen]
+        parent_eid[v_cur[chosen]] = eid_cur[chosen]
+        entered_at = -1
+        if choice_pos[super_node] < len(u_new):
+            entered_at = int(v_cur[choice_pos[super_node]])
+        # cycle edges: keep all but the one displaced by the entering edge
+        for x in cycle:
+            if x != entered_at:
+                pos = best_pos[x]
+                parent[x] = u_lvl[pos]
+                parent_eid[x] = eid_lvl[pos]
+    return parent_eid[:num_base_ids]

@@ -1,0 +1,157 @@
+"""Index-compiled version graphs (node interning + CSR arrays).
+
+A :class:`CompiledGraph` freezes one *extended* version graph into flat
+NumPy arrays.  Everything is keyed by small integers:
+
+* versions get indices ``0 .. n-1`` in insertion order, the auxiliary
+  root :data:`~repro.core.graph.AUX` gets index ``n`` (:attr:`aux`);
+* edges get ids ``0 .. m-1`` in the extended graph's edge *insertion*
+  order — original deltas first, then one ``(AUX, v)`` materialization
+  edge per version.  Edge-id order is load-bearing: the greedy kernels
+  break ties by scan order exactly like the dict reference solvers.
+
+The CSR adjacency (``out_indptr``/``out_edges`` and the ``in_`` pair)
+stores *edge ids* rather than neighbor indices, so every per-edge
+attribute lookup is one array load.  Within a source node the CSR slice
+preserves successor insertion order, matching
+``VersionGraph.successors(u)`` iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import AUX, Node, VersionGraph
+
+__all__ = ["CompiledGraph"]
+
+
+class CompiledGraph:
+    """Flat-array snapshot of an extended :class:`VersionGraph`.
+
+    Attributes
+    ----------
+    graph:
+        The extended :class:`VersionGraph` this was compiled from (kept
+        for interop: building dict ``PlanTree`` views, arborescences).
+    nodes:
+        Version objects by index (length ``n``; AUX is *not* listed).
+    index:
+        Mapping node → index, including ``AUX → n``.
+    aux:
+        Index of the auxiliary root (``== n``).
+    node_storage:
+        ``float64[n + 1]`` materialization costs (0.0 for AUX).
+    edge_src / edge_dst:
+        ``int64[m]`` endpoints per edge id.
+    edge_storage / edge_retrieval:
+        ``float64[m]`` delta costs per edge id.
+    aux_edge:
+        ``int64[n]`` — edge id of ``(AUX, v)`` per version index.
+    out_indptr / out_edges, in_indptr / in_edges:
+        CSR adjacency over edge ids, successor/predecessor order
+        preserved from the source graph.
+    """
+
+    __slots__ = (
+        "graph",
+        "nodes",
+        "index",
+        "n",
+        "aux",
+        "num_edges",
+        "node_storage",
+        "edge_src",
+        "edge_dst",
+        "edge_storage",
+        "edge_retrieval",
+        "aux_edge",
+        "out_indptr",
+        "out_edges",
+        "in_indptr",
+        "in_edges",
+        "_edge_index",
+        "name",
+    )
+
+    def __init__(self, graph: VersionGraph) -> None:
+        ext = graph if graph.has_aux else graph.extended()
+        self.graph = ext
+        self.name = ext.name
+        self.nodes: list[Node] = [v for v in ext.versions if v is not AUX]
+        n = len(self.nodes)
+        self.n = n
+        self.aux = n
+        self.index: dict[Node, int] = {v: i for i, v in enumerate(self.nodes)}
+        self.index[AUX] = n
+
+        storage = np.zeros(n + 1, dtype=np.float64)
+        for v, i in zip(self.nodes, range(n)):
+            storage[i] = ext.storage_cost(v)
+        self.node_storage = storage
+
+        m = ext.num_deltas
+        self.num_edges = m
+        src = np.empty(m, dtype=np.int64)
+        dst = np.empty(m, dtype=np.int64)
+        es = np.empty(m, dtype=np.float64)
+        er = np.empty(m, dtype=np.float64)
+        aux_edge = np.full(n, -1, dtype=np.int64)
+        out_lists: list[list[int]] = [[] for _ in range(n + 1)]
+        in_lists: list[list[int]] = [[] for _ in range(n + 1)]
+        edge_index: dict[tuple[int, int], int] = {}
+        for eid, (u, v, d) in enumerate(ext.deltas()):
+            ui = self.index[u]
+            vi = self.index[v]
+            src[eid] = ui
+            dst[eid] = vi
+            es[eid] = d.storage
+            er[eid] = d.retrieval
+            out_lists[ui].append(eid)
+            in_lists[vi].append(eid)
+            edge_index[(ui, vi)] = eid
+            if ui == n:
+                aux_edge[vi] = eid
+        self.edge_src = src
+        self.edge_dst = dst
+        self.edge_storage = es
+        self.edge_retrieval = er
+        self.aux_edge = aux_edge
+        self._edge_index = edge_index
+        self.out_indptr, self.out_edges = _csr(out_lists, m)
+        self.in_indptr, self.in_edges = _csr(in_lists, m)
+
+    # ------------------------------------------------------------------
+    def node_of(self, i: int) -> Node:
+        """Original node object for index ``i`` (AUX for :attr:`aux`)."""
+        return AUX if i == self.aux else self.nodes[i]
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Edge id of ``(u, v)`` by node indices; KeyError when absent."""
+        return self._edge_index[(u, v)]
+
+    def out_slice(self, u: int) -> np.ndarray:
+        """Edge ids leaving ``u``, in successor insertion order."""
+        return self.out_edges[self.out_indptr[u] : self.out_indptr[u + 1]]
+
+    def in_slice(self, v: int) -> np.ndarray:
+        """Edge ids entering ``v``, in predecessor insertion order."""
+        return self.in_edges[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        label = f" {self.name!r}" if self.name else ""
+        return f"<CompiledGraph{label}: {self.n} versions, {self.num_edges} edges>"
+
+
+def _csr(adj_lists: list[list[int]], m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pack per-node edge-id lists into (indptr, indices) arrays."""
+    indptr = np.zeros(len(adj_lists) + 1, dtype=np.int64)
+    for i, lst in enumerate(adj_lists):
+        indptr[i + 1] = indptr[i] + len(lst)
+    indices = np.empty(m, dtype=np.int64)
+    pos = 0
+    for lst in adj_lists:
+        for eid in lst:
+            indices[pos] = eid
+            pos += 1
+    return indptr, indices

@@ -1,0 +1,280 @@
+"""Flat-array plan trees with the PlanTree O(1) swap contract.
+
+:class:`ArrayPlanTree` mirrors :class:`~repro.core.solution.PlanTree`
+over a :class:`~repro.fastgraph.compiled.CompiledGraph`: per-node cached
+retrieval costs and subtree sizes make evaluating the move "re-route
+``v`` through edge ``e``" a constant number of array loads, and the
+cached vectors themselves are the inputs the vectorized greedy kernels
+scan with NumPy instead of per-candidate Python loops.
+
+Equivalence discipline
+----------------------
+The array kernels must produce *plan-identical* results to the dict
+reference solvers, whose tie-breaks compare floats for exact equality.
+Every cached quantity here is therefore computed with the same IEEE
+operations in the same order as ``PlanTree``:
+
+* construction consumes ``(version, parent-edge)`` pairs in the same
+  iteration order as ``PlanTree``'s ``parent.items()`` loop, so the
+  Python-float storage accumulator matches bit for bit;
+* retrieval costs are path sums ``ret[parent] + r_e`` assigned in the
+  identical root-first DFS order;
+* :meth:`apply_swap_edge` shifts the moved subtree with one addition
+  per node, exactly like ``PlanTree.apply_swap``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import AUX, GraphError, Node
+from ..core.solution import PlanTree, RetrievalSummary, StoragePlan
+from .compiled import CompiledGraph
+
+__all__ = ["ArrayPlanTree"]
+
+
+class ArrayPlanTree:
+    """A spanning arborescence of a compiled graph, rooted at AUX.
+
+    State is indexed by node index (AUX = ``cg.aux``):
+
+    * ``parent`` — parent node index (-1 for AUX);
+    * ``par_edge`` — edge id of ``(parent[v], v)`` (-1 for AUX);
+    * ``ret`` — retrieval cost ``R(v)`` along the unique AUX path;
+    * ``size`` — subtree sizes (the paper's "dependency number");
+    * ``children`` — per-node child lists (mutation bookkeeping);
+    * Euler intervals ``tin``/``tout`` for O(1) ancestor tests,
+      recomputed lazily after mutations.
+    """
+
+    __slots__ = (
+        "cg",
+        "parent",
+        "par_edge",
+        "ret",
+        "size",
+        "children",
+        "total_storage",
+        "total_retrieval",
+        "_tin",
+        "_tout",
+        "_order_dirty",
+    )
+
+    def __init__(self, cg: CompiledGraph, parent_edges: list[tuple[int, int]]):
+        """Build from ``(version index, parent edge id)`` pairs.
+
+        The pair order defines the children-list and storage-summation
+        order (see module docstring).  Every version must appear exactly
+        once; the referenced edge must end at it.
+        """
+        n = cg.n
+        self.cg = cg
+        self.parent = np.full(n + 1, -1, dtype=np.int64)
+        self.par_edge = np.full(n + 1, -1, dtype=np.int64)
+        self.ret = np.zeros(n + 1, dtype=np.float64)
+        self.size = np.ones(n + 1, dtype=np.int64)
+        self.children: list[list[int]] = [[] for _ in range(n + 1)]
+        self.total_storage = 0.0
+        self.total_retrieval = 0.0
+        self._tin = np.zeros(n + 1, dtype=np.int64)
+        self._tout = np.zeros(n + 1, dtype=np.int64)
+        self._order_dirty = True
+
+        seen = 0
+        for v, eid in parent_edges:
+            if cg.edge_dst[eid] != v or self.par_edge[v] != -1:
+                raise GraphError(f"bad parent edge {eid} for version index {v}")
+            p = int(cg.edge_src[eid])
+            self.parent[v] = p
+            self.par_edge[v] = eid
+            self.children[p].append(int(v))
+            self.total_storage += float(cg.edge_storage[eid])
+            seen += 1
+        if seen != n:
+            raise GraphError(f"parent map covers {seen} of {n} versions")
+        self._recompute_all()
+
+    @classmethod
+    def from_parent_map(cls, cg: CompiledGraph, parent: dict[Node, Node]) -> "ArrayPlanTree":
+        """Build from a node-keyed parent map (e.g. an arborescence)."""
+        pairs = [
+            (cg.index[v], cg.edge_id(cg.index[p], cg.index[v]))
+            for v, p in parent.items()
+            if v is not AUX
+        ]
+        return cls(cg, pairs)
+
+    # ------------------------------------------------------------------
+    def _recompute_all(self) -> None:
+        """Recompute R, subtree sizes and total retrieval in O(V)."""
+        aux = self.cg.aux
+        er = self.cg.edge_retrieval
+        # same stack DFS as PlanTree._topo_order (root-first)
+        order: list[int] = []
+        stack = [aux]
+        while stack:
+            x = stack.pop()
+            order.append(x)
+            stack.extend(self.children[x])
+        if len(order) != self.cg.n + 1:
+            raise GraphError("parent map contains a cycle")
+        self.total_retrieval = 0.0
+        self.ret[aux] = 0.0
+        for v in order[1:]:
+            self.ret[v] = self.ret[self.parent[v]] + er[self.par_edge[v]]
+            self.total_retrieval += float(self.ret[v])
+        self.size[:] = 1
+        for v in reversed(order[1:]):
+            self.size[self.parent[v]] += self.size[v]
+        self._order_dirty = True
+
+    def refresh_euler(self) -> None:
+        """Recompute Euler intervals used by :meth:`is_ancestor`."""
+        timer = 0
+        stack: list[tuple[int, bool]] = [(self.cg.aux, False)]
+        tin, tout = self._tin, self._tout
+        while stack:
+            x, done = stack.pop()
+            if done:
+                tout[x] = timer
+                timer += 1
+                continue
+            tin[x] = timer
+            timer += 1
+            stack.append((x, True))
+            for c in self.children[x]:
+                stack.append((c, False))
+        self._order_dirty = False
+
+    def is_ancestor(self, a: int, b: int) -> bool:
+        """True when node index ``a`` is an ancestor of ``b`` (or equal)."""
+        if self._order_dirty:
+            self.refresh_euler()
+        return bool(self._tin[a] <= self._tin[b] and self._tout[b] <= self._tout[a])
+
+    # ------------------------------------------------------------------
+    # moves (by edge id)
+    # ------------------------------------------------------------------
+    def swap_deltas_edge(self, eid: int) -> tuple[float, float]:
+        """Evaluate re-routing ``dst(eid)`` through edge ``eid``.
+
+        Returns ``(delta_storage, delta_total_retrieval)``; the caller
+        must ensure ``src(eid)`` is not inside ``dst(eid)``'s subtree.
+        """
+        cg = self.cg
+        u = cg.edge_src[eid]
+        v = cg.edge_dst[eid]
+        ds = float(cg.edge_storage[eid] - cg.edge_storage[self.par_edge[v]])
+        dr = float((self.ret[u] + cg.edge_retrieval[eid] - self.ret[v]) * self.size[v])
+        return ds, dr
+
+    def apply_swap_edge(self, eid: int) -> None:
+        """Apply the move evaluated by :meth:`swap_deltas_edge`."""
+        cg = self.cg
+        u = int(cg.edge_src[eid])
+        v = int(cg.edge_dst[eid])
+        aux = cg.aux
+        if u != aux and self.is_ancestor(v, u):
+            raise GraphError(f"swap would create a cycle: {u} is in subtree({v})")
+        p = int(self.parent[v])
+        ds, dr = self.swap_deltas_edge(eid)
+        shift = float(self.ret[u] + cg.edge_retrieval[eid] - self.ret[v])
+
+        self.children[p].remove(v)
+        self.children[u].append(v)
+        self.parent[v] = u
+        self.par_edge[v] = eid
+
+        sz = int(self.size[v])
+        x = p
+        while True:
+            self.size[x] -= sz
+            if x == aux:
+                break
+            x = int(self.parent[x])
+        x = u
+        while True:
+            self.size[x] += sz
+            if x == aux:
+                break
+            x = int(self.parent[x])
+
+        if shift != 0.0:
+            stack = [v]
+            while stack:
+                y = stack.pop()
+                self.ret[y] += shift
+                stack.extend(self.children[y])
+        self.total_storage += ds
+        self.total_retrieval += dr
+        self._order_dirty = True
+
+    def materialize(self, v: int) -> None:
+        """Shortcut: re-route version index ``v`` through its AUX edge."""
+        self.apply_swap_edge(int(self.cg.aux_edge[v]))
+
+    # ------------------------------------------------------------------
+    # conversions / inspection
+    # ------------------------------------------------------------------
+    def max_retrieval(self) -> float:
+        n = self.cg.n
+        return float(self.ret[:n].max()) if n else 0.0
+
+    def retrieval_summary(self) -> RetrievalSummary:
+        per = {self.cg.nodes[i]: float(self.ret[i]) for i in range(self.cg.n)}
+        return RetrievalSummary(
+            total=self.total_retrieval,
+            maximum=max(per.values(), default=0.0),
+            per_version=per,
+        )
+
+    def materialized_versions(self) -> list[Node]:
+        return [self.cg.nodes[i] for i in self.children[self.cg.aux]]
+
+    def parent_map(self) -> dict[Node, Node]:
+        """Node-keyed parent map (AUX parents for materialized nodes)."""
+        return {
+            self.cg.nodes[v]: self.cg.node_of(int(self.parent[v]))
+            for v in range(self.cg.n)
+        }
+
+    def to_plan(self) -> StoragePlan:
+        """Export as a :class:`StoragePlan` over the original nodes."""
+        aux = self.cg.aux
+        nodes = self.cg.nodes
+        mats = []
+        deltas = []
+        for v in range(self.cg.n):
+            p = int(self.parent[v])
+            if p == aux:
+                mats.append(nodes[v])
+            else:
+                deltas.append((nodes[p], nodes[v]))
+        return StoragePlan.of(mats, deltas)
+
+    def to_plan_tree(self) -> PlanTree:
+        """Materialize the equivalent dict :class:`PlanTree` view."""
+        return PlanTree(self.cg.graph, self.parent_map())
+
+    def check_invariants(self) -> None:
+        """Validate cached values against the dict implementation."""
+        fresh = self.to_plan_tree()
+        if abs(fresh.total_storage - self.total_storage) > 1e-6 + 1e-9 * abs(
+            fresh.total_storage
+        ):
+            raise GraphError(
+                f"storage cache drift: {self.total_storage} vs {fresh.total_storage}"
+            )
+        if abs(fresh.total_retrieval - self.total_retrieval) > 1e-6 + 1e-9 * abs(
+            fresh.total_retrieval
+        ):
+            raise GraphError(
+                f"retrieval cache drift: {self.total_retrieval} vs {fresh.total_retrieval}"
+            )
+        for i, node in enumerate(self.cg.nodes):
+            if abs(fresh.ret[node] - float(self.ret[i])) > 1e-6:
+                raise GraphError(f"retrieval cache drift at {node!r}")
+            if fresh.subtree_size[node] != int(self.size[i]):
+                raise GraphError(f"subtree size drift at {node!r}")

@@ -1,0 +1,238 @@
+"""Vectorized greedy kernels: LMG, LMG-All, MP on compiled graphs.
+
+Each kernel is a drop-in replacement for its dict reference
+(:func:`repro.algorithms.lmg.lmg`, :func:`repro.algorithms.lmg_all.
+lmg_all`, :func:`repro.algorithms.mp.mp`) with the per-round candidate
+scan turned into NumPy array arithmetic.  The *choices* are identical by
+construction:
+
+* candidates are laid out in the reference scan order (string-sorted
+  versions for LMG, edge insertion order for LMG-All, heap order for
+  MP), so ``np.argmax``'s first-maximum rule reproduces the reference
+  "strictly better" tie-breaking;
+* move deltas are computed with the same IEEE float operations on the
+  same cached quantities, so equal-ratio ties resolve the same way;
+* infeasibility is signalled identically (``ValueError`` when the MSR
+  storage budget is below the minimum storage configuration).
+
+All three accept either a :class:`~repro.core.graph.VersionGraph`
+(compiled on the fly through the cached ``.compile()`` hook) or a
+pre-built :class:`CompiledGraph`, which is how budget sweeps amortize
+compilation across probes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from ..core.graph import VersionGraph
+from .compiled import CompiledGraph
+from .plantree import ArrayPlanTree
+
+__all__ = ["lmg_array", "lmg_all_array", "mp_array"]
+
+_NEG_INF = -math.inf
+
+
+def _compiled(graph: VersionGraph | CompiledGraph) -> CompiledGraph:
+    if isinstance(graph, CompiledGraph):
+        return graph
+    return graph.compile()
+
+
+def _min_storage_array_tree(cg: CompiledGraph) -> ArrayPlanTree:
+    """Minimum-storage starting configuration as an :class:`ArrayPlanTree`.
+
+    Uses the vectorized Chu-Liu/Edmonds, which returns the identical
+    arborescence to the dict solvers' ``min_storage_plan_tree`` start.
+    """
+    from .arborescence import min_storage_parent_edges
+
+    return ArrayPlanTree(cg, min_storage_parent_edges(cg))
+
+
+def lmg_array(
+    graph: VersionGraph | CompiledGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Array kernel for LMG (Algorithm 1); plan-identical to dict LMG.
+
+    Each greedy round evaluates every remaining candidate's
+    materialization move with four vectorized array expressions instead
+    of a Python loop, then applies the best move exactly as the
+    reference does.  Raises ``ValueError`` when ``storage_budget`` is
+    below the minimum storage configuration (MSR infeasible).
+    """
+    cg = _compiled(graph)
+    tree = _min_storage_array_tree(cg)
+    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
+        raise ValueError(
+            f"storage budget {storage_budget} below minimum storage "
+            f"{tree.total_storage}: MSR infeasible"
+        )
+    aux = cg.aux
+    # reference scan order: versions sorted by str, non-materialized only
+    cand = np.array(
+        sorted(
+            (i for i in range(cg.n) if tree.parent[i] != aux),
+            key=lambda i: str(cg.nodes[i]),
+        ),
+        dtype=np.int64,
+    )
+    es = cg.edge_storage
+    rounds = max_iterations if max_iterations is not None else cg.n
+
+    for _ in range(rounds):
+        if tree.total_storage >= storage_budget or cand.size == 0:
+            break
+        live = cand[tree.parent[cand] != aux]
+        if live.size == 0:
+            break
+        # materialization move per candidate: (P(v), v) -> (AUX, v)
+        ds = es[cg.aux_edge[live]] - es[tree.par_edge[live]]
+        reduction = tree.ret[live] * tree.size[live]  # == -dr
+        valid = (
+            (tree.total_storage + ds <= storage_budget * (1 + 1e-12) + 1e-9)
+            & (reduction > 0.0)
+        )
+        if not valid.any():
+            break
+        inf_tier = valid & (ds <= 0.0)
+        if inf_tier.any():
+            # rho = inf tier: larger reduction wins, first in order on ties
+            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
+        else:
+            rho = np.full(live.shape, _NEG_INF)
+            np.divide(reduction, ds, out=rho, where=valid)
+            pick = int(np.argmax(rho))
+        best_v = int(live[pick])
+        tree.materialize(best_v)
+        cand = cand[cand != best_v]
+    return tree
+
+
+def lmg_all_array(
+    graph: VersionGraph | CompiledGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Array kernel for LMG-All (Algorithm 7); plan-identical to dict.
+
+    The per-round scan over every extended-graph edge becomes a masked
+    array computation; cycle tests use the vectorized Euler intervals.
+    Raises ``ValueError`` on MSR-infeasible budgets like the reference.
+    """
+    cg = _compiled(graph)
+    tree = _min_storage_array_tree(cg)
+    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
+        raise ValueError(
+            f"storage budget {storage_budget} below minimum storage "
+            f"{tree.total_storage}: MSR infeasible"
+        )
+    aux = cg.aux
+    src, dst = cg.edge_src, cg.edge_dst
+    es, er = cg.edge_storage, cg.edge_retrieval
+    rounds = max_iterations if max_iterations is not None else 4 * cg.n + 64
+
+    for _ in range(rounds):
+        if tree.total_storage >= storage_budget:
+            break
+        tree.refresh_euler()
+        tin, tout = tree._tin, tree._tout
+        # skip current tree edges and moves that would create a cycle
+        # (src inside dst's subtree; AUX sources can never be)
+        valid = tree.parent[dst] != src
+        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
+        ds = es - es[tree.par_edge[dst]]
+        dr = (tree.ret[src] + er - tree.ret[dst]) * tree.size[dst]
+        valid &= dr < 0.0  # Algorithm 7 line 9: retrieval must improve
+        valid &= tree.total_storage + ds <= storage_budget * (1 + 1e-12) + 1e-9
+        if not valid.any():
+            break
+        reduction = -dr
+        inf_tier = valid & (ds <= 0.0)
+        if inf_tier.any():
+            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
+        else:
+            rho = np.full(reduction.shape, _NEG_INF)
+            np.divide(reduction, ds, out=rho, where=valid)
+            pick = int(np.argmax(rho))
+        tree.apply_swap_edge(pick)
+    return tree
+
+
+def mp_array(
+    graph: VersionGraph | CompiledGraph,
+    retrieval_budget: float,
+) -> ArrayPlanTree:
+    """Array kernel for Modified Prim's (BMR); plan-identical to dict MP.
+
+    Prim growth is inherently sequential, so the win here is flat-array
+    edge attribute access instead of dict/`Delta` lookups during the
+    relaxation sweeps.  Raises ``ValueError`` when the finite retrieval
+    budget is infeasible (negative budgets: even materializing
+    everything has max retrieval 0).
+    """
+    cg = _compiled(graph)
+    n, aux = cg.n, cg.aux
+    es, er, dst = cg.edge_storage, cg.edge_retrieval, cg.edge_dst
+
+    # best known attachment per unattached version: (storage, retrieval, parent)
+    best_s = es[cg.aux_edge]  # fancy indexing copies; mutated below
+    best_r = np.zeros(n, dtype=np.float64)
+    best_p = np.full(n, aux, dtype=np.int64)
+    attached = np.full(n + 1, -1, dtype=np.int64)
+    # heap entries: (storage, retrieval, seq, v, parent) — lazy deletion,
+    # initial order sorted by str to match the reference
+    heap: list[tuple[float, float, int, int, int]] = []
+    seq = 0
+    for v in sorted(range(n), key=lambda i: str(cg.nodes[i])):
+        heap.append((float(best_s[v]), 0.0, seq, v, aux))
+        seq += 1
+    heapq.heapify(heap)
+    attach_order: list[tuple[int, int]] = []
+
+    while heap:
+        s, r, _, v, p = heapq.heappop(heap)
+        if (
+            attached[v] != -1
+            or float(best_s[v]) != s
+            or float(best_r[v]) != r
+            or int(best_p[v]) != p
+        ):
+            continue
+        attached[v] = p
+        attach_order.append((v, p))
+        for eid in cg.out_slice(v):
+            w = int(dst[eid])
+            if w == aux or attached[w] != -1:
+                continue
+            nr = r + float(er[eid])
+            if nr > retrieval_budget * (1 + 1e-12) + 1e-9:
+                continue
+            ws = float(es[eid])
+            if (ws, nr) < (float(best_s[w]), float(best_r[w])):
+                best_s[w] = ws
+                best_r[w] = nr
+                best_p[w] = v
+                heapq.heappush(heap, (ws, nr, seq, w, v))
+                seq += 1
+
+    assert len(attach_order) == n, "materialization keeps MP feasible"
+    tree = ArrayPlanTree(
+        cg, [(v, int(cg.edge_id(p, v))) for v, p in attach_order]
+    )
+    if math.isfinite(retrieval_budget) and tree.max_retrieval() > (
+        retrieval_budget * (1 + 1e-9) + 1e-6
+    ):
+        raise ValueError(
+            f"retrieval budget {retrieval_budget} infeasible: MP plan has "
+            f"max retrieval {tree.max_retrieval()}"
+        )
+    return tree

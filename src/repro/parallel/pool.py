@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")

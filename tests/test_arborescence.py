@@ -1,7 +1,6 @@
 """Tests for the Chu-Liu/Edmonds arborescence (vs networkx) and SPT."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.core import AUX, GraphError, PlanTree

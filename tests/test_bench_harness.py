@@ -76,6 +76,16 @@ class TestBMRExperiment:
         dp = res.objective["dp-bmr"].y
         assert all(a >= b - 1e-6 for a, b in zip(dp, dp[1:]))
 
+    def test_infeasible_budget_recorded_not_crashed(self, graph):
+        # mp returns None for a negative (infeasible) retrieval budget;
+        # the harness must record an inf point instead of raising.
+        import math
+
+        res = run_bmr_experiment(graph, name="t13-inf", solvers=["mp"], budgets=[-1.0, 10.0])
+        ys = res.objective["mp"].y
+        assert math.isinf(ys[0])
+        assert math.isfinite(ys[1])
+
 
 class TestRendering:
     def test_ascii_plot_contains_markers(self, graph):

@@ -27,6 +27,51 @@ class TestSolve:
     def test_msr_infeasible(self, graph_file, capsys):
         rc = main(["solve", "msr", graph_file, "--budget", "100", "--solver", "lmg"])
         assert rc == 1
+        captured = capsys.readouterr()
+        assert "infeasible" in captured.err
+        assert captured.out == ""
+
+    @pytest.mark.parametrize("solver", ["mp", "dp-bmr"])
+    def test_bmr_infeasible_exits_1_without_traceback(self, graph_file, capsys, solver):
+        # Negative retrieval budgets are infeasible (even materializing
+        # everything has max retrieval 0); the solver's ValueError must
+        # become an exit code, not a traceback.
+        rc = main(["solve", "bmr", graph_file, "--budget", "-5", "--solver", solver])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "infeasible" in captured.err
+        assert captured.out == ""
+
+    def test_structural_graph_error_exits_2(self, graph_file, capsys, monkeypatch):
+        # A GraphError is a problem with the input, not a budget
+        # outcome: it must exit 2 with an "error:" line, never be
+        # reported as "infeasible".
+        from repro.core import GraphError
+        from repro.algorithms import registry
+
+        def broken(graph, budget):
+            raise GraphError("dp_bmr requires a bidirectional tree input")
+
+        monkeypatch.setitem(registry.BMR_SOLVERS, "dp-bmr", broken)
+        rc = main(["solve", "bmr", graph_file, "--budget", "600", "--solver", "dp-bmr"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "infeasible" not in captured.err
+
+    @pytest.mark.parametrize("backend", ["array", "dict"])
+    def test_msr_backend_flag(self, graph_file, capsys, backend):
+        rc = main(
+            [
+                "solve", "msr", graph_file,
+                "--budget", "21000",
+                "--solver", "lmg-all",
+                "--backend", backend,
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sum_retrieval"] == 1350
 
     def test_bmr_dp(self, graph_file, capsys):
         rc = main(["solve", "bmr", graph_file, "--budget", "600", "--solver", "dp-bmr"])

@@ -209,6 +209,23 @@ class TestBidirectionalTree:
         g.add_bidirectional_delta(2, 3, 1, 1)
         assert not g.is_bidirectional_tree()
 
+    def test_empty_graph_is_a_tree(self):
+        # Regression: the n == 0 early return used to sit after the
+        # edge-count check, where len(und) != n - 1 (0 != -1) shadowed it.
+        assert VersionGraph().is_bidirectional_tree()
+
+    def test_single_node_is_a_tree(self):
+        g = VersionGraph()
+        g.add_version("only", 1)
+        assert g.is_bidirectional_tree()
+
+    def test_single_node_with_self_history_stays_tree(self):
+        g = VersionGraph()
+        g.add_version(0, 1)
+        g.add_version(1, 1)
+        g.add_delta(0, 1, 1, 1)  # one direction only: not bidirectional
+        assert not g.is_bidirectional_tree()
+
 
 class TestTriangleInequality:
     def test_figure1_satisfies_triangle(self):

@@ -1,6 +1,5 @@
 """Tests for DP-BMR (Algorithm 2): exactness, reconstruction, heuristic."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for DP-MSR: exact frontier, thinning, reconstruction, heuristic."""
 
-import math
 
 import numpy as np
 import pytest

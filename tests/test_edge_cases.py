@@ -6,11 +6,10 @@ disconnected delta graphs (always feasible through materialization),
 and budgets at exact boundaries.
 """
 
-import math
 
 import pytest
 
-from repro.core import MSR, GraphError, VersionGraph, evaluate_plan
+from repro.core import VersionGraph, evaluate_plan
 from repro.algorithms import (
     dp_bmr_heuristic,
     dp_msr,

@@ -1,0 +1,312 @@
+"""Tests for the fastgraph subsystem (compiled graphs + array kernels).
+
+The load-bearing guarantee: every array kernel produces a plan
+*identical* to its dict reference — same parent map, same storage, same
+retrieval — on random graphs, natural graphs, and every
+``repro.gen.presets`` dataset (the ISSUE-1 acceptance bar is
+cost-identity; we assert the stronger structural identity).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.graph import AUX, GraphError, VersionGraph
+from repro.core.solution import PlanTree
+from repro.algorithms import lmg, lmg_all, mp, min_storage_plan_tree
+from repro.algorithms.arborescence import min_storage_arborescence
+from repro.algorithms.registry import get_bmr_solver, get_msr_solver
+from repro.fastgraph import ArrayPlanTree, CompiledGraph, lmg_all_array, lmg_array, mp_array
+from repro.fastgraph.arborescence import min_storage_parent_edges
+from repro.gen import natural_graph, random_digraph
+from repro.gen.presets import PRESETS
+
+# Scales keep each preset at a size where the dict reference is fast
+# enough for CI while still exercising branches/merges/ER densification.
+PRESET_SCALES = {
+    "datasharing": 1.0,
+    "styleguide": 0.2,
+    "996.ICU": 0.05,
+    "freeCodeCamp": 0.008,
+    "LeetCodeAnimation": 0.5,
+    "LeetCode (0.05)": 0.35,
+    "LeetCode (0.2)": 0.35,
+    "LeetCode (1)": 0.1,
+}
+
+
+def preset_graph(name):
+    return PRESETS[name].build(scale=PRESET_SCALES[name])
+
+
+def assert_tree_equal(ref: PlanTree, arr: ArrayPlanTree):
+    assert ref.parent == arr.parent_map()
+    assert ref.total_storage == arr.total_storage
+    assert ref.total_retrieval == pytest.approx(arr.total_retrieval, rel=1e-12, abs=1e-9)
+
+
+class TestCompiledGraph:
+    def test_interning_and_arrays(self):
+        g = random_digraph(10, seed=1)
+        cg = g.compile()
+        assert cg.n == 10
+        assert cg.aux == 10
+        ext = cg.graph
+        assert cg.num_edges == ext.num_deltas
+        # every edge of the extended graph is represented, costs intact
+        for eid, (u, v, d) in enumerate(ext.deltas()):
+            assert cg.edge_src[eid] == cg.index[u]
+            assert cg.edge_dst[eid] == cg.index[v]
+            assert cg.edge_storage[eid] == d.storage
+            assert cg.edge_retrieval[eid] == d.retrieval
+        for i, v in enumerate(cg.nodes):
+            assert cg.node_storage[i] == g.storage_cost(v)
+        assert cg.node_storage[cg.aux] == 0.0
+
+    def test_aux_edges(self):
+        g = random_digraph(8, seed=2)
+        cg = g.compile()
+        for i, v in enumerate(cg.nodes):
+            eid = int(cg.aux_edge[i])
+            assert cg.edge_src[eid] == cg.aux
+            assert cg.edge_dst[eid] == i
+            assert cg.edge_storage[eid] == g.storage_cost(v)
+            assert cg.edge_retrieval[eid] == 0.0
+
+    def test_csr_matches_adjacency(self):
+        g = random_digraph(12, extra_edge_prob=0.3, seed=3)
+        cg = g.compile()
+        ext = cg.graph
+        for u in ext.versions:
+            ui = cg.index[u]
+            succ = [cg.nodes[cg.edge_dst[e]] if cg.edge_dst[e] != cg.aux else AUX
+                    for e in cg.out_slice(ui)]
+            assert succ == list(ext.successors(u))
+            pred = [cg.node_of(int(cg.edge_src[e])) for e in cg.in_slice(ui)]
+            assert pred == list(ext.predecessors(u))
+
+    def test_compile_is_cached_and_invalidated(self):
+        g = random_digraph(6, seed=4)
+        cg1 = g.compile()
+        assert g.compile() is cg1
+        g.add_version("fresh", 5.0)
+        cg2 = g.compile()
+        assert cg2 is not cg1
+        assert cg2.n == cg1.n + 1
+
+    def test_compiled_graph_pickles(self):
+        g = random_digraph(6, seed=5)
+        cg = g.compile()
+        g2 = pickle.loads(pickle.dumps(g))
+        cg2 = g2.compile()  # cache rides along through pickle
+        assert cg2.n == cg.n
+        assert np.array_equal(cg2.edge_storage, cg.edge_storage)
+
+    def test_accepts_extended_graph(self):
+        g = random_digraph(5, seed=6)
+        cg = CompiledGraph(g.extended())
+        assert cg.n == 5
+        assert int(cg.aux_edge.min()) >= 0
+
+
+class TestArrayPlanTree:
+    def make_pair(self, seed=7):
+        g = random_digraph(12, extra_edge_prob=0.3, seed=seed)
+        cg = g.compile()
+        parent = min_storage_arborescence(cg.graph)
+        return cg, PlanTree(cg.graph, parent), ArrayPlanTree.from_parent_map(cg, parent)
+
+    def test_construction_matches_plantree(self):
+        cg, ref, arr = self.make_pair()
+        assert_tree_equal(ref, arr)
+        for i, v in enumerate(cg.nodes):
+            assert ref.ret[v] == arr.ret[i]
+            assert ref.subtree_size[v] == arr.size[i]
+
+    def test_swap_contract_matches(self):
+        cg, ref, arr = self.make_pair(seed=8)
+        ref.refresh_euler()
+        for eid in range(cg.num_edges):
+            u = int(cg.edge_src[eid])
+            v = int(cg.edge_dst[eid])
+            nu = cg.node_of(u)
+            nv = cg.nodes[v]
+            if ref.parent[nv] is nu or ref.is_ancestor(nv, nu):
+                continue
+            ds_ref, dr_ref = ref.swap_deltas(nu, nv)
+            ds_arr, dr_arr = arr.swap_deltas_edge(eid)
+            assert ds_ref == ds_arr
+            assert dr_ref == dr_arr
+
+    def test_apply_swap_matches(self):
+        cg, ref, arr = self.make_pair(seed=9)
+        applied = 0
+        for eid in range(cg.num_edges):
+            u = int(cg.edge_src[eid])
+            v = int(cg.edge_dst[eid])
+            nu = cg.node_of(u)
+            nv = cg.nodes[v]
+            if ref.parent[nv] is nu or ref.is_ancestor(nv, nu):
+                continue
+            ref.apply_swap(nu, nv)
+            arr.apply_swap_edge(eid)
+            applied += 1
+            if applied >= 5:
+                break
+        assert applied > 0
+        assert_tree_equal(ref, arr)
+        arr.check_invariants()
+
+    def test_cycle_swap_rejected(self):
+        cg, ref, arr = self.make_pair(seed=10)
+        for eid in range(cg.num_edges):
+            u = int(cg.edge_src[eid])
+            v = int(cg.edge_dst[eid])
+            if u != cg.aux and arr.is_ancestor(v, u) and u != v:
+                with pytest.raises(GraphError):
+                    arr.apply_swap_edge(eid)
+                return
+        pytest.skip("no cycle-creating edge in this instance")
+
+    def test_exports(self):
+        cg, ref, arr = self.make_pair(seed=11)
+        assert ref.to_plan() == arr.to_plan()
+        assert sorted(map(str, ref.materialized_versions())) == sorted(
+            map(str, arr.materialized_versions())
+        )
+        assert arr.max_retrieval() == ref.max_retrieval()
+        back = arr.to_plan_tree()
+        assert back.parent == ref.parent
+
+
+class TestArrayArborescence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_dict_edmonds_random(self, seed):
+        g = random_digraph(14, extra_edge_prob=0.4, seed=seed)
+        cg = g.compile()
+        ref = min_storage_arborescence(cg.graph)
+        pairs = min_storage_parent_edges(cg)
+        arr = {cg.nodes[v]: cg.node_of(int(cg.edge_src[e])) for v, e in pairs}
+        assert ref == arr
+
+    def test_matches_dict_edmonds_natural(self):
+        g = natural_graph(60, seed=12)
+        cg = g.compile()
+        ref = min_storage_arborescence(cg.graph)
+        pairs = min_storage_parent_edges(cg)
+        arr = {cg.nodes[v]: cg.node_of(int(cg.edge_src[e])) for v, e in pairs}
+        assert ref == arr
+
+    def test_directed_chain_spans_via_aux(self):
+        g = VersionGraph()
+        g.add_version("a", 5)
+        g.add_version("b", 5)
+        g.add_delta("a", "b", 1, 1)
+        cg = g.compile()  # extends internally: reachable via AUX
+        assert len(min_storage_parent_edges(cg)) == 2
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = random_digraph(12, extra_edge_prob=0.3, seed=seed)
+        base = min_storage_plan_tree(g).total_storage
+        for frac in (1.0, 1.4, 2.5):
+            budget = base * frac + 1
+            assert_tree_equal(lmg(g, budget), lmg_array(g, budget))
+            assert_tree_equal(lmg_all(g, budget), lmg_all_array(g, budget))
+        rmax = g.max_retrieval_cost()
+        for rb in (0.0, rmax, 3 * rmax, float("inf")):
+            assert_tree_equal(mp(g, rb), mp_array(g, rb))
+
+    @pytest.mark.parametrize("name", sorted(PRESET_SCALES))
+    def test_presets(self, name):
+        g = preset_graph(name)
+        base = min_storage_plan_tree(g).total_storage
+        for frac in (1.02, 1.5, 3.0):
+            budget = base * frac
+            assert_tree_equal(lmg(g, budget), lmg_array(g, budget))
+            assert_tree_equal(lmg_all(g, budget), lmg_all_array(g, budget))
+        rb = g.max_retrieval_cost() * 2
+        assert_tree_equal(mp(g, rb), mp_array(g, rb))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_float_costs_bitwise_equivalent(self, seed):
+        # Non-integer costs exercise the float accumulation ordering:
+        # both backends must agree bitwise on storage totals so budget
+        # boundary decisions can never diverge by an ulp.
+        rng = np.random.default_rng(seed)
+        n = 12
+        g = VersionGraph()
+        for i in range(n):
+            g.add_version(i, float(rng.uniform(0.01, 5.0)))
+        for i in range(1, n):
+            j = int(rng.integers(0, i))
+            g.add_bidirectional_delta(
+                j, i, float(rng.uniform(0.01, 2.0)), float(rng.uniform(0.01, 2.0))
+            )
+        ref = min_storage_plan_tree(g)
+        arr = lmg_array(g, ref.total_storage)
+        assert ref.total_storage == arr.total_storage  # exact, not approx
+        base = ref.total_storage
+        for frac in (1.01, 1.7):
+            assert_tree_equal(lmg(g, base * frac), lmg_array(g, base * frac))
+            assert_tree_equal(lmg_all(g, base * frac), lmg_all_array(g, base * frac))
+
+    def test_infeasible_budget_raises_like_reference(self):
+        g = random_digraph(8, seed=20)
+        base = min_storage_plan_tree(g).total_storage
+        with pytest.raises(ValueError):
+            lmg_array(g, base - 1)
+        with pytest.raises(ValueError):
+            lmg_all_array(g, base - 1)
+        with pytest.raises(ValueError):
+            mp_array(g, -1.0)
+
+    def test_max_iterations_cap(self):
+        g = natural_graph(30, seed=4)
+        budget = g.total_version_storage()
+        ref = lmg(g, budget, max_iterations=2)
+        arr = lmg_array(g, budget, max_iterations=2)
+        assert_tree_equal(ref, arr)
+        ref = lmg_all(g, budget, max_iterations=3)
+        arr = lmg_all_array(g, budget, max_iterations=3)
+        assert_tree_equal(ref, arr)
+
+
+class TestRegistryBackends:
+    def test_default_is_array(self):
+        from repro.algorithms import registry
+
+        assert get_msr_solver("lmg") is registry.MSR_SOLVERS["lmg"]
+        assert get_msr_solver("lmg") is registry.BACKENDS[("msr", "lmg")]["array"]
+        assert get_bmr_solver("mp") is registry.BACKENDS[("bmr", "mp")]["array"]
+
+    def test_backends_agree_through_registry(self):
+        g = random_digraph(10, seed=30)
+        base = min_storage_plan_tree(g).total_storage
+        for name in ("lmg", "lmg-all"):
+            fast = get_msr_solver(name)
+            ref = get_msr_solver(name, backend="dict")
+            assert fast(g, base * 2) == ref(g, base * 2)
+            assert fast(g, base - 1) is None and ref(g, base - 1) is None
+        fast = get_bmr_solver("mp")
+        ref = get_bmr_solver("mp", backend="dict")
+        rb = g.max_retrieval_cost()
+        assert fast(g, rb) == ref(g, rb)
+
+    def test_backend_ignored_for_non_greedy(self):
+        assert get_msr_solver("dp-msr", backend="dict") is get_msr_solver("dp-msr")
+        assert get_msr_solver("dp-msr", backend="array") is get_msr_solver("dp-msr")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            get_msr_solver("lmg", backend="gpu")
+
+    def test_solvers_accept_compiled_graph(self):
+        g = random_digraph(9, seed=31)
+        cg = g.compile()
+        base = min_storage_plan_tree(g).total_storage
+        assert_tree_equal(lmg(g, base * 2), lmg_array(cg, base * 2))
+        assert_tree_equal(mp(g, 1e9), mp_array(cg, 1e9))

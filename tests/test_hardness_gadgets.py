@@ -16,7 +16,7 @@ import itertools
 
 import pytest
 
-from repro.core import BMR, BSR, MSR, evaluate_plan
+from repro.core import BMR, BSR, MSR
 from repro.core.instances import (
     SetCoverInstance,
     k_median_to_msr,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import BMR, BSR, MMR, MSR, evaluate_plan
+from repro.core import BMR, BSR, MMR, MSR
 from repro.core.instances import figure1_graph
 from repro.algorithms import (
     bmr_ilp,

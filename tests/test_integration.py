@@ -7,7 +7,6 @@ feasible and no better than exact; reductions agree with direct
 solvers; parallel equals serial).
 """
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import AUX, evaluate_plan
+from repro.core import evaluate_plan
 from repro.algorithms import (
     last_sweep,
     last_tree,

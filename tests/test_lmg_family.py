@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core import AUX, MSR, evaluate_plan
@@ -133,6 +132,71 @@ class TestTheorem1:
     def test_invalid_chain_parameters(self):
         with pytest.raises(ValueError):
             lmg_adversarial_chain(b=10, c=10)
+
+
+class TestDeterminism:
+    """Regression for the candidate-list rewrite.
+
+    LMG used to re-sort a candidate *set* with ``sorted(candidates,
+    key=str)`` on every greedy round; it now keeps one pre-sorted list
+    pruned in place.  The scan order is unchanged, so plans must be
+    identical to the old implementation (re-implemented inline here) and
+    across repeated runs.
+    """
+
+    @staticmethod
+    def _lmg_resorting_reference(graph, storage_budget):
+        # the pre-rewrite loop: set of candidates, re-sorted every round
+        tree = min_storage_plan_tree(graph)
+        candidates = {v for v in tree.parent if tree.parent[v] is not AUX}
+        for _ in range(len(tree.parent)):
+            if tree.total_storage >= storage_budget or not candidates:
+                break
+            best_rho = 0.0
+            best_v = None
+            best_dr = 0.0
+            for v in sorted(candidates, key=str):
+                if tree.parent[v] is AUX:
+                    continue
+                ds, dr = tree.swap_deltas(AUX, v)
+                if tree.total_storage + ds > storage_budget * (1 + 1e-12) + 1e-9:
+                    continue
+                reduction = -dr
+                if reduction <= 0:
+                    continue
+                rho = math.inf if ds <= 0 else reduction / ds
+                if rho > best_rho or (
+                    rho == best_rho == math.inf and reduction > -best_dr
+                ):
+                    best_rho = rho
+                    best_v = v
+                    best_dr = dr
+            if best_v is None:
+                break
+            tree.apply_swap(AUX, best_v)
+            candidates.discard(best_v)
+        return tree
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_plans_identical_to_resorting_implementation(self, seed):
+        g = random_digraph(11, extra_edge_prob=0.3, seed=seed)
+        base = min_storage_plan_tree(g).total_storage
+        for frac in (1.1, 1.6, 2.5):
+            budget = base * frac
+            old = self._lmg_resorting_reference(g, budget)
+            new = lmg(g, budget)
+            assert old.parent == new.parent
+            assert old.total_storage == new.total_storage
+            assert old.total_retrieval == new.total_retrieval
+
+    def test_repeated_runs_identical(self):
+        g = natural_graph(35, seed=9)
+        base = min_storage_plan_tree(g).total_storage
+        budget = base * 1.8
+        first = lmg(g, budget)
+        for _ in range(3):
+            again = lmg(g, budget)
+            assert again.parent == first.parent
 
 
 class TestMechanics:

@@ -1,7 +1,6 @@
 """Tests for the parallel substrate (pool, sweeps, parallel DP)."""
 
 import math
-import os
 
 import pytest
 
@@ -13,7 +12,6 @@ from repro.parallel import (
     sweep_bmr,
     sweep_msr,
 )
-from repro.parallel.pool import parallel_map as pm
 from repro.algorithms import dp_msr_frontier, min_storage_plan_tree
 
 

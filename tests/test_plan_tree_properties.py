@@ -10,7 +10,6 @@ rebuild, plus the O(1) move-evaluation contract.
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

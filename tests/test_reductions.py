@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import BMR, MMR, MSR, evaluate_plan
+from repro.core import BMR, MMR, MSR
 from repro.algorithms import (
     bmr_ilp,
     brute_force_solve,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core import BSR, MMR, evaluate_plan
+from repro.core import BSR, MMR
 from repro.algorithms import (
     brute_force_solve,
     min_storage_plan_tree,

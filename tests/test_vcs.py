@@ -1,6 +1,5 @@
 """Tests for the VCS substrate: Myers diff, deltas, repository, graph build."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
