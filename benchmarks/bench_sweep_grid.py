@@ -1,0 +1,154 @@
+"""Budget-grid sweep benchmark: trajectory replay vs independent solves.
+
+Times the LMG family over a geometric storage-budget grid twice on a
+natural-preset graph: once as ``B`` independent array-kernel solves
+(the pre-sweep harness behaviour) and once through the single-pass
+trajectory-replay engine (:func:`repro.fastgraph.sweep_greedy_msr`),
+verifying the two paths produce *identical* plans at every grid point.
+Results go to ``BENCH_sweep.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_grid.py
+    PYTHONPATH=src python benchmarks/bench_sweep_grid.py --smoke
+
+The acceptance bar tracked by CI: the sweep must never be slower than
+independent solves (``--smoke``), and the full run targets >= 5x at a
+16-point grid on the 2000-version natural graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import msr_budget_grid
+from repro.core.problems import evaluate_plan
+from repro.fastgraph import lmg_all_array, lmg_array, sweep_greedy_msr
+from repro.gen.presets import PRESETS
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_sweep.json"
+
+#: Natural preset used for scaling (bidirectional branch/merge history).
+PRESET = "996.ICU"
+
+FULL_NODES = 2000
+SMOKE_NODES = 250
+GRID_POINTS = 16
+
+SOLVERS = {"lmg": lmg_array, "lmg-all": lmg_all_array}
+
+
+def _build(nodes: int):
+    preset = PRESETS[PRESET]
+    return preset.build(scale=nodes / preset.n_commits)
+
+
+def bench_sweep(nodes: int, points: int) -> list[dict]:
+    """One grid comparison per solver: sweep vs independent probes."""
+    g = _build(nodes)
+    g.compile()  # compile outside the timed region, as both paths do
+    grid = msr_budget_grid(g, points=points, span=4.0)  # the shipped grid
+
+    rows = []
+    for name, solve in SOLVERS.items():
+        t0 = time.perf_counter()
+        entries = sweep_greedy_msr(g, name, grid)
+        sweep_s = time.perf_counter() - t0
+
+        # independent path does the same work the pre-sweep harness did
+        # per budget — solve, export, score — so the timing is symmetric
+        # with the sweep (whose entries carry plans and scores too)
+        t0 = time.perf_counter()
+        independent = []
+        for b in grid:
+            tree = solve(g, b)
+            plan = tree.to_plan()
+            independent.append((plan, evaluate_plan(g, plan)))
+        indep_s = time.perf_counter() - t0
+
+        identical = all(
+            e.plan == plan and e.score == score
+            for e, (plan, score) in zip(entries, independent)
+        )
+        replayed = sum(1 for e in entries if e.replayed)
+        rows.append(
+            {
+                "solver": name,
+                "preset": PRESET,
+                "nodes": g.num_versions,
+                "edges": g.num_deltas,
+                "grid_points": points,
+                "sweep_seconds": sweep_s,
+                "independent_seconds": indep_s,
+                "speedup": indep_s / sweep_s if sweep_s > 0 else float("inf"),
+                "replayed_points": replayed,
+                "diverged_points": points - replayed,
+                "plans_identical": identical,
+            }
+        )
+        status = "OK" if identical else "PLAN MISMATCH"
+        print(
+            f"{PRESET:>10} n={g.num_versions:<6} {name:<8} grid={points:<3} "
+            f"sweep={sweep_s:8.3f}s independent={indep_s:8.3f}s "
+            f"speedup={rows[-1]['speedup']:6.1f}x [{status}]",
+            flush=True,
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small size only (CI smoke run, < 60 s)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="explicit node count"
+    )
+    parser.add_argument(
+        "--points", type=int, default=GRID_POINTS, help="budget-grid size"
+    )
+    parser.add_argument("--out", default=str(DEFAULT_OUT), help="JSON output path")
+    args = parser.parse_args(argv)
+
+    nodes = args.nodes or (SMOKE_NODES if args.smoke else FULL_NODES)
+    rows = bench_sweep(nodes, args.points)
+
+    mismatches = [r for r in rows if not r["plans_identical"]]
+    slower = [r for r in rows if r["speedup"] < 1.0]
+    payload = {
+        "preset": PRESET,
+        "nodes": nodes,
+        "grid_points": args.points,
+        "rows": rows,
+        "all_plans_identical": not mismatches,
+        "sweep_never_slower": not slower,
+        "min_speedup": min(r["speedup"] for r in rows),
+        # headline metric (the ISSUE-2 acceptance bar tracks LMG, whose
+        # trajectory rarely diverges; LMG-All pays live continuations
+        # at diverged grid points to stay plan-identical)
+        "lmg_speedup": next(
+            (r["speedup"] for r in rows if r["solver"] == "lmg"), None
+        ),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=1))
+    print(f"wrote {args.out}")
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} sweep plan mismatches", file=sys.stderr)
+        return 1
+    if slower:
+        print(
+            f"FAIL: sweep slower than independent solves for "
+            f"{[r['solver'] for r in slower]}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass
 
 from ..core.graph import GraphError, Node, VersionGraph
+from ..core.tolerance import within_budget
 from ..core.solution import StoragePlan
 from .arborescence import extract_tree_parent_map
 
@@ -187,7 +188,7 @@ def dp_bmr(
         row: dict[Node, float] = {}
         pc_to_v = {u: index.path_cost[u][v] for u in index.nodes}
         for u, ruv in pc_to_v.items():
-            if ruv > budget * (1 + 1e-12) + 1e-9:
+            if not within_budget(ruv, budget):
                 continue
             if u == v:
                 base = g.storage_cost(v)

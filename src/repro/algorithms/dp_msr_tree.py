@@ -37,6 +37,7 @@ import math
 from dataclasses import dataclass
 
 from ..core.graph import GraphError, Node, VersionGraph
+from ..core.tolerance import within_budget
 from .dp_bmr import _orient
 
 __all__ = ["dp_msr_tree_reference", "TreeRefResult"]
@@ -261,7 +262,7 @@ def dp_msr_tree_reference(
                 # feasible after the §5.1.1 "invisible dependency"
                 # refund.
                 refundable = s_v if (v_materialized and not node.virtual) else 0.0
-                if sigma - refundable > storage_budget * (1 + 1e-12) + 1e-9:
+                if not within_budget(sigma - refundable, storage_budget):
                     ok = False
                 if not ok:
                     continue
@@ -279,10 +280,10 @@ def dp_msr_tree_reference(
     mat, ret = solve(tree)
     best = math.inf
     for (_, rho), sig in mat.items():
-        if sig <= storage_budget * (1 + 1e-12) + 1e-9:
+        if within_budget(sig, storage_budget):
             best = min(best, rho)
     for (_, rho), sig in ret.items():
-        if sig <= storage_budget * (1 + 1e-12) + 1e-9:
+        if within_budget(sig, storage_budget):
             best = min(best, rho)
     if math.isinf(best):
         raise GraphError(f"storage budget {storage_budget} infeasible")

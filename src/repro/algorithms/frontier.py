@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.tolerance import budget_cap
+
 __all__ = ["Frontier", "ThinningGrid", "merge_frontiers"]
 
 _EMPTY = np.empty(0, dtype=np.float64)
@@ -106,13 +108,13 @@ class Frontier:
 
     def best_retrieval_within(self, storage_budget: float) -> float:
         """Min retrieval among points with storage <= budget (inf if none)."""
-        i = int(np.searchsorted(self.sto, storage_budget * (1 + 1e-12) + 1e-9, side="right"))
+        i = int(np.searchsorted(self.sto, budget_cap(storage_budget), side="right"))
         if i == 0:
             return math.inf
         return float(self.ret[i - 1])
 
     def best_point_within(self, storage_budget: float) -> tuple[float, float] | None:
-        i = int(np.searchsorted(self.sto, storage_budget * (1 + 1e-12) + 1e-9, side="right"))
+        i = int(np.searchsorted(self.sto, budget_cap(storage_budget), side="right"))
         if i == 0:
             return None
         return float(self.sto[i - 1]), float(self.ret[i - 1])

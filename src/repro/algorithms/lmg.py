@@ -36,6 +36,7 @@ from __future__ import annotations
 import math
 
 from ..core.graph import AUX, Node, VersionGraph
+from ..core.tolerance import within_budget
 from ..core.solution import PlanTree
 from .arborescence import min_storage_plan_tree
 
@@ -63,7 +64,7 @@ def lmg(
         natural bound since each round removes one version from ``U``).
     """
     tree = min_storage_plan_tree(graph)
-    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
+    if not within_budget(tree.total_storage, storage_budget):
         raise ValueError(
             f"storage budget {storage_budget} below minimum storage "
             f"{tree.total_storage}: MSR infeasible"
@@ -87,7 +88,7 @@ def lmg(
             if tree.parent[v] is AUX:
                 continue
             ds, dr = tree.swap_deltas(AUX, v)
-            if tree.total_storage + ds > storage_budget * (1 + 1e-12) + 1e-9:
+            if not within_budget(tree.total_storage + ds, storage_budget):
                 continue
             reduction = -dr
             if reduction <= 0:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 
 from ..core.graph import AUX, Node, VersionGraph
+from ..core.tolerance import within_budget
 from ..core.solution import PlanTree
 from .arborescence import min_storage_plan_tree
 
@@ -46,7 +47,7 @@ def lmg_all(
     """
     tree = min_storage_plan_tree(graph)
     ext = tree.graph
-    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
+    if not within_budget(tree.total_storage, storage_budget):
         raise ValueError(
             f"storage budget {storage_budget} below minimum storage "
             f"{tree.total_storage}: MSR infeasible"
@@ -71,7 +72,7 @@ def lmg_all(
             ds, dr = tree.swap_deltas(u, v)
             if dr >= 0:
                 continue  # Algorithm 7 line 9: skip retrieval-non-improving
-            if tree.total_storage + ds > storage_budget * (1 + 1e-12) + 1e-9:
+            if not within_budget(tree.total_storage + ds, storage_budget):
                 continue
             reduction = -dr
             if ds <= 0:

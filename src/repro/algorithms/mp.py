@@ -31,6 +31,7 @@ import heapq
 import math
 
 from ..core.graph import AUX, Node, VersionGraph
+from ..core.tolerance import within_budget
 from ..core.solution import PlanTree
 
 __all__ = ["mp"]
@@ -70,7 +71,7 @@ def mp(graph: VersionGraph, retrieval_budget: float) -> PlanTree:
             if w is AUX or w in attached:
                 continue
             nr = r + delta.retrieval
-            if nr > retrieval_budget * (1 + 1e-12) + 1e-9:
+            if not within_budget(nr, retrieval_budget):
                 continue
             cand = (delta.storage, nr, v)
             if (cand[0], cand[1]) < best[w][:2]:
@@ -80,8 +81,8 @@ def mp(graph: VersionGraph, retrieval_budget: float) -> PlanTree:
 
     assert len(attached) == len(versions), "materialization keeps MP feasible"
     tree = PlanTree(ext, attached)
-    if math.isfinite(retrieval_budget) and tree.max_retrieval() > (
-        retrieval_budget * (1 + 1e-9) + 1e-6
+    if math.isfinite(retrieval_budget) and not within_budget(
+        tree.max_retrieval(), retrieval_budget
     ):
         # Only reachable for budgets below zero: materializing every
         # version always yields max retrieval 0.  Raise like the MSR

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.graph import VersionGraph
+from ..core.tolerance import within_budget
 from ..core.problems import PlanScore, evaluate_plan
 from ..core.solution import StoragePlan
 
@@ -98,7 +99,7 @@ def minimize_budget(
         return evaluate_plan(graph, plan), plan
 
     score, plan = probe(hi)
-    if score is None or outer_of(score) > outer_limit * (1 + 1e-12) + 1e-9:
+    if score is None or not within_budget(outer_of(score), outer_limit):
         raise ValueError(
             f"outer constraint {outer_limit} unreachable even at inner budget {hi}"
         )
@@ -108,7 +109,7 @@ def minimize_budget(
     while probes < max_probes and hi - lo > tol * max(1.0, abs(hi)):
         mid = (lo + hi) / 2
         score, plan = probe(mid)
-        if score is not None and outer_of(score) <= outer_limit * (1 + 1e-12) + 1e-9:
+        if score is not None and within_budget(outer_of(score), outer_limit):
             achieved = min(mid, inner_of(score))
             if achieved < best[0]:
                 best = (achieved, plan, score)

@@ -28,13 +28,19 @@ index reuse calls the solver classes directly (see
 :mod:`repro.bench.figures`).  The array kernels reuse the compiled
 graph cached on the :class:`VersionGraph` itself (``graph.compile()``),
 so repeated calls on one graph compile once.
+
+Budget-grid sweeps have a third addressing surface: :data:`MSR_SWEEPS`
+maps the LMG-family names to whole-grid trajectory-replay sweeps
+(``f(graph, budgets) -> list[SweepEntry]``, one solver run for the
+entire grid); :func:`get_msr_sweep` returns ``None`` for solvers that
+must be probed per budget.
 """
 
 from __future__ import annotations
 
 from ..core.graph import VersionGraph
 from ..core.solution import StoragePlan
-from ..fastgraph import lmg_all_array, lmg_array, mp_array
+from ..fastgraph import lmg_all_array, lmg_array, mp_array, sweep_greedy_msr
 from .dp_bmr import dp_bmr_heuristic
 from .dp_msr import dp_msr
 from .ilp import bmr_ilp, msr_ilp
@@ -45,9 +51,12 @@ from .mp import mp
 __all__ = [
     "MSR_SOLVERS",
     "BMR_SOLVERS",
+    "MSR_SWEEPS",
     "BACKENDS",
     "get_msr_solver",
     "get_bmr_solver",
+    "get_msr_sweep",
+    "msr_sweep_start_edges",
 ]
 
 
@@ -134,6 +143,42 @@ BMR_SOLVERS = {
     "dp-bmr": _dp_bmr,
     "ilp": _bmr_ilp,
 }
+
+
+def _sweep_lmg(graph, budgets, *, start_edges=None):
+    return sweep_greedy_msr(graph, "lmg", budgets, start_edges=start_edges)
+
+
+def _sweep_lmg_all(graph, budgets, *, start_edges=None):
+    return sweep_greedy_msr(graph, "lmg-all", budgets, start_edges=start_edges)
+
+
+#: Whole-grid sweep callables ``f(graph, budgets) -> list[SweepEntry]``
+#: for solvers whose greedy trajectory is budget-monotone (the LMG
+#: family).  MP is absent by design: its Prim growth depends on the
+#: retrieval budget at every relaxation, so runs at different budgets
+#: share no prefix (see :mod:`repro.fastgraph.trajectory`).
+MSR_SWEEPS = {
+    "lmg": _sweep_lmg,
+    "lmg-all": _sweep_lmg_all,
+}
+
+
+def get_msr_sweep(name: str):
+    """Whole-grid sweep for ``name``, or ``None`` when the solver has
+    no trajectory-replay sweep (callers fall back to per-budget runs)."""
+    return MSR_SWEEPS.get(name)
+
+
+def msr_sweep_start_edges(graph: VersionGraph, solvers) -> list | None:
+    """The Edmonds start tree shared by every trajectory-replay sweep,
+    or ``None`` when no requested solver supports one."""
+    if not any(get_msr_sweep(s) is not None for s in solvers):
+        return None
+    from ..fastgraph.arborescence import min_storage_parent_edges
+
+    return min_storage_parent_edges(graph.compile())
+
 
 #: (family, name) -> backend -> callable, for explicit backend requests.
 BACKENDS = {

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 
 from ..core.graph import GraphError, VersionGraph
+from ..core.tolerance import within_budget, within_budget_recomputed
 from ..core.problems import PlanScore, evaluate_plan
 from ..core.solution import StoragePlan
 from .dp_bmr import dp_bmr_heuristic, extract_index
@@ -50,21 +51,21 @@ def solve_bsr(
     # first fitting point.
     target = None
     for sto, ret in frontier.points():
-        if ret <= retrieval_budget * (1 + 1e-12) + 1e-9:
+        if within_budget(ret, retrieval_budget):
             target = sto
             break
     if target is None:
         # materialize everything always achieves zero retrieval
         mats = StoragePlan.of(graph.versions)
         score = evaluate_plan(graph, mats)
-        if score.sum_retrieval <= retrieval_budget + 1e-9:
+        if within_budget(score.sum_retrieval, retrieval_budget):
             return mats, score
         raise GraphError(f"retrieval budget {retrieval_budget} unreachable")
     plan = solver.plan_for_budget(target)
     score = evaluate_plan(graph, plan)
     # Dijkstra re-evaluation can only improve retrieval, so feasibility
-    # carries over from the frontier point.
-    assert score.sum_retrieval <= retrieval_budget * (1 + 1e-9) + 1e-6
+    # carries over from the frontier point up to re-summation drift.
+    assert within_budget_recomputed(score.sum_retrieval, retrieval_budget)
     return plan, score
 
 

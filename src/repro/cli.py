@@ -12,6 +12,12 @@ Optimize a version graph stored as JSON::
     repro-versioning solve msr graph.json --budget 21000 --solver lmg-all
     repro-versioning solve bmr graph.json --budget 600 --solver dp-bmr
 
+Sweep a whole budget grid in one pass (LMG-family solvers replay one
+recorded greedy trajectory instead of re-solving per budget)::
+
+    repro-versioning sweep msr graph.json --points 16 --format markdown
+    repro-versioning sweep msr --dataset styleguide --scale 0.2 --out panel.json
+
 Inspect a dataset preset::
 
     repro-versioning dataset styleguide --scale 0.5
@@ -63,10 +69,26 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_graph(
+    path: str | None, dataset: str | None = None, scale: float = 1.0
+) -> VersionGraph:
+    """Graph from a JSON file path, or a preset when ``dataset`` is
+    given; raises OSError/KeyError/GraphError/ValueError on bad input."""
+    if path is not None:
+        return VersionGraph.from_json(Path(path).read_text())
+    from .gen.presets import load_dataset
+
+    return load_dataset(dataset, scale=scale)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .algorithms.registry import get_bmr_solver, get_msr_solver
 
-    graph = VersionGraph.from_json(Path(args.graph).read_text())
+    try:
+        graph = _load_graph(args.graph)
+    except (OSError, GraphError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     if args.problem == "msr":
         solver = get_msr_solver(args.solver, backend=args.backend)
     else:
@@ -115,6 +137,77 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .bench.harness import (
+        ascii_plot,
+        bmr_budget_grid,
+        markdown_table,
+        msr_budget_grid,
+        run_bmr_experiment,
+        run_msr_experiment,
+    )
+
+    if (args.graph is None) == (args.dataset is None):
+        print("error: pass a graph JSON path or --dataset (not both)", file=sys.stderr)
+        return 2
+    try:
+        graph = _load_graph(args.graph, args.dataset, args.scale)
+    except (OSError, KeyError, GraphError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    default_solvers = "lmg,lmg-all,dp-msr" if args.problem == "msr" else "mp,dp-bmr"
+    solvers = [
+        s.strip() for s in (args.solvers or default_solvers).split(",") if s.strip()
+    ]
+    try:
+        if args.budgets:
+            budgets = [float(b) for b in args.budgets.split(",")]
+        elif args.problem == "msr":
+            span = args.span if args.span is not None else 4.0
+            budgets = msr_budget_grid(graph, points=args.points, span=span)
+        else:
+            span = args.span if args.span is not None else 6.0
+            budgets = bmr_budget_grid(graph, points=args.points, span=span)
+    except ValueError as err:
+        print(f"error: bad budget grid: {err}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.problem == "msr":
+            result = run_msr_experiment(graph, name="sweep", solvers=solvers, budgets=budgets)
+        else:
+            result = run_bmr_experiment(graph, name="sweep", solvers=solvers, budgets=budgets)
+    except KeyError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    payload = result.to_json_dict()  # strict JSON: inf points are null
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=1, allow_nan=False))
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format in ("markdown", "both"):
+
+        def panel_table(series_map, label):
+            headers = ["budget"] + [f"{s} ({label})" for s in solvers]
+            rows = [
+                [b] + [series_map[s].y[i] for s in solvers]
+                for i, b in enumerate(budgets)
+            ]
+            return markdown_table(headers, rows)
+
+        obj_label = "sum retrieval" if args.problem == "msr" else "storage"
+        print(f"## {args.problem.upper()} sweep — {graph.name or 'graph'}\n")
+        print(panel_table(result.objective, obj_label))
+        print()
+        print(panel_table(result.runtime, "s"))
+        print()
+        print(ascii_plot(result.objective, title=f"{args.problem.upper()} objective"))
+    if args.format in ("json", "both"):
+        print(json.dumps(payload, indent=1, allow_nan=False))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-versioning",
@@ -147,6 +240,52 @@ def main(argv: list[str] | None = None) -> int:
     p_data.add_argument("--compressed", action="store_true")
     p_data.add_argument("--out", default=None)
     p_data.set_defaults(func=_cmd_dataset)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="evaluate solvers over a whole budget grid in one pass",
+        description=(
+            "Evaluate solvers over a budget grid and emit the JSON/Markdown "
+            "panel.  Single-run amortization: DP-MSR reads one frontier at "
+            "every budget, and the LMG greedy family replays one recorded "
+            "move trajectory across the grid (plan-identical to independent "
+            "per-budget solves; see repro.fastgraph.trajectory).  MP and ILP "
+            "run once per budget."
+        ),
+    )
+    p_sweep.add_argument("problem", choices=["msr", "bmr"])
+    p_sweep.add_argument("graph", nargs="?", default=None, help="path to VersionGraph JSON")
+    p_sweep.add_argument("--dataset", default=None, help="preset name instead of a JSON file")
+    p_sweep.add_argument("--scale", type=float, default=1.0, help="preset scale (with --dataset)")
+    p_sweep.add_argument(
+        "--solvers",
+        default=None,
+        help="comma-separated solver names "
+        "(default: lmg,lmg-all,dp-msr for msr; mp,dp-bmr for bmr)",
+    )
+    p_sweep.add_argument(
+        "--budgets",
+        default=None,
+        help="comma-separated explicit budget grid (default: auto grid)",
+    )
+    p_sweep.add_argument(
+        "--points", type=int, default=16, help="auto-grid size (default 16)"
+    )
+    p_sweep.add_argument(
+        "--span",
+        type=float,
+        default=None,
+        help="auto-grid span factor (default: 4 for msr, 6 for bmr, "
+        "matching the harness grids)",
+    )
+    p_sweep.add_argument(
+        "--format",
+        choices=["json", "markdown", "both"],
+        default="json",
+        help="panel rendering (default json)",
+    )
+    p_sweep.add_argument("--out", default=None, help="also write the JSON panel here")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -3,6 +3,7 @@
 from .graph import AUX, AuxRoot, Delta, GraphError, VersionGraph, validate_graph
 from .problems import BMR, BSR, MMR, MSR, Objective, PlanScore, Problem, evaluate_plan
 from .solution import INFEASIBLE, PlanTree, RetrievalSummary, StoragePlan
+from .tolerance import budget_cap, within_budget
 
 __all__ = [
     "AUX",
@@ -23,4 +24,6 @@ __all__ = [
     "BSR",
     "BMR",
     "evaluate_plan",
+    "budget_cap",
+    "within_budget",
 ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from .graph import VersionGraph
 from .solution import StoragePlan
+from .tolerance import within_budget_recomputed
 
 __all__ = ["Objective", "Problem", "MSR", "MMR", "BSR", "BMR", "evaluate_plan", "PlanScore"]
 
@@ -79,19 +80,25 @@ class Problem:
     constrained: Objective
     budget: float
 
-    def is_feasible(self, score: PlanScore, tol: float = 1e-9) -> bool:
-        """Constraint + reconstructability check."""
+    def is_feasible(self, score: PlanScore) -> bool:
+        """Constraint + reconstructability check.
+
+        Scores come from :func:`evaluate_plan` re-summation, so the
+        comparison uses the shared recomputation-slack tolerance.
+        """
         if not score.feasible_reconstruction:
             return False
-        return score.objective(self.constrained) <= self.budget * (1 + tol) + tol
+        return within_budget_recomputed(
+            score.objective(self.constrained), self.budget
+        )
 
     def objective_value(self, score: PlanScore) -> float:
         return score.objective(self.objective)
 
-    def check(self, graph: VersionGraph, plan: StoragePlan, tol: float = 1e-9) -> PlanScore:
+    def check(self, graph: VersionGraph, plan: StoragePlan) -> PlanScore:
         """Evaluate and assert feasibility; returns the score."""
         score = evaluate_plan(graph, plan)
-        if not self.is_feasible(score, tol=tol):
+        if not self.is_feasible(score):
             raise ValueError(
                 f"{self.name}: infeasible plan "
                 f"({self.constrained.value}={score.objective(self.constrained)!r} "

@@ -1,0 +1,73 @@
+"""The one budget-feasibility tolerance used across every solver.
+
+Budget constraints are compared against float-accumulated costs, so
+every feasibility check needs a tolerance: a relative term (accumulated
+rounding scales with the budget magnitude) plus an absolute term (for
+budgets near zero).  The expression used to be copy-pasted at every
+call site, which let backends drift on boundary budgets — a plan
+accepted by one solver could be rejected by another for the same
+budget.  It now lives here, and **only** here:
+
+* :func:`budget_cap` — the largest cost accepted for a budget (use it
+  when a raw threshold is needed, e.g. ``np.searchsorted``);
+* :func:`within_budget` — the comparison itself; works elementwise on
+  NumPy arrays, so vectorized kernels share the scalar solvers' exact
+  semantics.
+
+``tests/test_sweep_trajectory.py`` greps the source tree to enforce
+that no inline copy of the expression reappears.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FEAS_REL",
+    "FEAS_ABS",
+    "RECOMP_REL",
+    "RECOMP_ABS",
+    "budget_cap",
+    "within_budget",
+    "within_budget_recomputed",
+]
+
+#: Relative feasibility slack (scales with the budget magnitude).
+FEAS_REL = 1e-12
+
+#: Absolute feasibility slack (covers budgets near zero).
+FEAS_ABS = 1e-9
+
+#: Extra slack for validating *re-accumulated* costs: summing the same
+#: plan's costs in a different association order than the solver's own
+#: accumulator drifts by more than the tight admission slack.
+RECOMP_REL = 1e-9
+RECOMP_ABS = 1e-6
+
+
+def budget_cap(budget: float) -> float:
+    """Largest value still considered within ``budget``."""
+    return budget * (1 + FEAS_REL) + FEAS_ABS
+
+
+def within_budget(value, budget: float):
+    """``value <= budget`` up to the shared tolerance.
+
+    ``value`` may be a scalar or a NumPy array (the comparison
+    broadcasts); the returned type mirrors the input.  Use this for
+    *admission* decisions — comparing the solver's own accumulator
+    against the budget.
+    """
+    return value <= budget_cap(budget)
+
+
+def within_budget_recomputed(value, budget: float):
+    """``value <= budget`` allowing for cost re-accumulation drift.
+
+    For *validation* checks on costs that were re-derived in a
+    different summation order than the accumulator that made the
+    admission decision (e.g. ``evaluate_plan`` re-scoring a solver's
+    plan, or DP plan reconstruction matching frontier points within its
+    own tolerance): the re-sum can legitimately land past the tight
+    :func:`within_budget` cap, so validation adds the looser
+    recomputation slack instead of spuriously rejecting the plan.
+    """
+    return value <= budget_cap(budget) + RECOMP_ABS + RECOMP_REL * abs(budget)

@@ -28,6 +28,13 @@ into flat NumPy arrays and reruns the greedy hot loops on top of them:
     enforced by the equivalence suite in ``tests/test_fastgraph.py``
     across every ``repro.gen.presets`` dataset.
 
+:func:`sweep_greedy_msr`
+    Single-pass budget-grid sweeps for the LMG family via trajectory
+    replay (:mod:`repro.fastgraph.trajectory`): one recorded solver run
+    at the loosest budget emits plan-identical results for the entire
+    grid, falling back to a live continuation on a cloned tree at the
+    rare divergence point.
+
 Backend selection is plumbed through the solver registry: the plain
 names (``solver="lmg"``) resolve to the array kernels automatically,
 while ``get_msr_solver("lmg", backend="dict")`` keeps the reference
@@ -37,6 +44,7 @@ path (see :mod:`repro.algorithms.registry`).
 from .compiled import CompiledGraph
 from .plantree import ArrayPlanTree
 from .solvers import lmg_all_array, lmg_array, mp_array
+from .trajectory import GREEDY_SWEEP_SOLVERS, SweepEntry, sweep_greedy_msr
 
 __all__ = [
     "CompiledGraph",
@@ -44,4 +52,7 @@ __all__ = [
     "lmg_array",
     "lmg_all_array",
     "mp_array",
+    "SweepEntry",
+    "sweep_greedy_msr",
+    "GREEDY_SWEEP_SOLVERS",
 ]

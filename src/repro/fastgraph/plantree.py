@@ -171,10 +171,19 @@ class ArrayPlanTree:
         return ds, dr
 
     def apply_swap_edge(self, eid: int) -> None:
-        """Apply the move evaluated by :meth:`swap_deltas_edge`."""
+        """Apply the move evaluated by :meth:`swap_deltas_edge`.
+
+        Identity swaps (``eid`` already is ``v``'s parent edge, e.g.
+        :meth:`materialize` on an already-materialized version) return
+        immediately: the full remove/append plus size/retrieval walks
+        would be a semantic no-op but accumulate float churn in
+        ``total_storage`` / ``total_retrieval``.
+        """
         cg = self.cg
         u = int(cg.edge_src[eid])
         v = int(cg.edge_dst[eid])
+        if eid == int(self.par_edge[v]):
+            return
         aux = cg.aux
         if u != aux and self.is_ancestor(v, u):
             raise GraphError(f"swap would create a cycle: {u} is in subtree({v})")
@@ -214,6 +223,30 @@ class ArrayPlanTree:
     def materialize(self, v: int) -> None:
         """Shortcut: re-route version index ``v`` through its AUX edge."""
         self.apply_swap_edge(int(self.cg.aux_edge[v]))
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def clone(self) -> "ArrayPlanTree":
+        """O(V) snapshot sharing the compiled graph.
+
+        Cached floats are copied bit-for-bit, so a clone continues any
+        greedy run exactly where the original stood — the trajectory
+        sweep forks one at each budget divergence point.
+        """
+        new = object.__new__(ArrayPlanTree)
+        new.cg = self.cg
+        new.parent = self.parent.copy()
+        new.par_edge = self.par_edge.copy()
+        new.ret = self.ret.copy()
+        new.size = self.size.copy()
+        new.children = [list(c) for c in self.children]
+        new.total_storage = self.total_storage
+        new.total_retrieval = self.total_retrieval
+        new._tin = self._tin.copy()
+        new._tout = self._tout.copy()
+        new._order_dirty = self._order_dirty
+        return new
 
     # ------------------------------------------------------------------
     # conversions / inspection

@@ -19,6 +19,14 @@ All three accept either a :class:`~repro.core.graph.VersionGraph`
 (compiled on the fly through the cached ``.compile()`` hook) or a
 pre-built :class:`CompiledGraph`, which is how budget sweeps amortize
 compilation across probes.
+
+The LMG / LMG-All greedy loops are factored into *resumable* round
+runners (:func:`_lmg_run`, :func:`_lmg_all_run`) that start from any
+existing :class:`ArrayPlanTree` state and optionally record the applied
+move sequence.  :mod:`repro.fastgraph.trajectory` builds the single-pass
+budget-grid sweep on top of them: record the trajectory once at the
+loosest budget, replay prefixes for every tighter budget, and resume the
+live greedy from a cloned tree on the rare divergence.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import math
 import numpy as np
 
 from ..core.graph import VersionGraph
+from ..core.tolerance import within_budget
 from .compiled import CompiledGraph
 from .plantree import ArrayPlanTree
 
@@ -54,6 +63,87 @@ def _min_storage_array_tree(cg: CompiledGraph) -> ArrayPlanTree:
     return ArrayPlanTree(cg, min_storage_parent_edges(cg))
 
 
+def _check_msr_feasible(tree: ArrayPlanTree, storage_budget: float) -> None:
+    if not within_budget(tree.total_storage, storage_budget):
+        raise ValueError(
+            f"storage budget {storage_budget} below minimum storage "
+            f"{tree.total_storage}: MSR infeasible"
+        )
+
+
+def _lmg_default_rounds(cg: CompiledGraph) -> int:
+    """Default LMG round cap: each round materializes one version."""
+    return cg.n
+
+
+def _lmg_all_default_rounds(cg: CompiledGraph) -> int:
+    """Default LMG-All round cap: every applied move strictly reduces
+    retrieval, so the loop stops far earlier in practice."""
+    return 4 * cg.n + 64
+
+
+def _lmg_candidates(cg: CompiledGraph, tree: ArrayPlanTree) -> np.ndarray:
+    """LMG's remaining-candidate array in the reference scan order
+    (versions sorted by str, non-materialized only)."""
+    aux = cg.aux
+    return np.array(
+        sorted(
+            (i for i in range(cg.n) if tree.parent[i] != aux),
+            key=lambda i: str(cg.nodes[i]),
+        ),
+        dtype=np.int64,
+    )
+
+
+def _lmg_run(
+    cg: CompiledGraph,
+    tree: ArrayPlanTree,
+    cand: np.ndarray,
+    storage_budget: float,
+    rounds: int,
+    record: list[tuple[int, float, float]] | None = None,
+) -> np.ndarray:
+    """Run LMG greedy rounds from the current ``tree`` / ``cand`` state.
+
+    Mutates ``tree`` in place and returns the surviving candidate array.
+    When ``record`` is given, each applied move appends
+    ``(edge id, total_storage after, total_retrieval after)``.
+    """
+    aux = cg.aux
+    es = cg.edge_storage
+
+    for _ in range(rounds):
+        if tree.total_storage >= storage_budget or cand.size == 0:
+            break
+        live = cand[tree.parent[cand] != aux]
+        if live.size == 0:
+            break
+        # materialization move per candidate: (P(v), v) -> (AUX, v)
+        ds = es[cg.aux_edge[live]] - es[tree.par_edge[live]]
+        reduction = tree.ret[live] * tree.size[live]  # == -dr
+        valid = within_budget(tree.total_storage + ds, storage_budget) & (
+            reduction > 0.0
+        )
+        if not valid.any():
+            break
+        inf_tier = valid & (ds <= 0.0)
+        if inf_tier.any():
+            # rho = inf tier: larger reduction wins, first in order on ties
+            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
+        else:
+            rho = np.full(live.shape, _NEG_INF)
+            np.divide(reduction, ds, out=rho, where=valid)
+            pick = int(np.argmax(rho))
+        best_v = int(live[pick])
+        tree.materialize(best_v)
+        cand = cand[cand != best_v]
+        if record is not None:
+            record.append(
+                (int(cg.aux_edge[best_v]), tree.total_storage, tree.total_retrieval)
+            )
+    return cand
+
+
 def lmg_array(
     graph: VersionGraph | CompiledGraph,
     storage_budget: float,
@@ -70,50 +160,55 @@ def lmg_array(
     """
     cg = _compiled(graph)
     tree = _min_storage_array_tree(cg)
-    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
-        raise ValueError(
-            f"storage budget {storage_budget} below minimum storage "
-            f"{tree.total_storage}: MSR infeasible"
-        )
+    _check_msr_feasible(tree, storage_budget)
+    cand = _lmg_candidates(cg, tree)
+    rounds = max_iterations if max_iterations is not None else _lmg_default_rounds(cg)
+    _lmg_run(cg, tree, cand, storage_budget, rounds)
+    return tree
+
+
+def _lmg_all_run(
+    cg: CompiledGraph,
+    tree: ArrayPlanTree,
+    storage_budget: float,
+    rounds: int,
+    record: list[tuple[int, float, float]] | None = None,
+) -> None:
+    """Run LMG-All greedy rounds from the current ``tree`` state.
+
+    Mutates ``tree`` in place; ``record`` collects applied moves as in
+    :func:`_lmg_run`.
+    """
     aux = cg.aux
-    # reference scan order: versions sorted by str, non-materialized only
-    cand = np.array(
-        sorted(
-            (i for i in range(cg.n) if tree.parent[i] != aux),
-            key=lambda i: str(cg.nodes[i]),
-        ),
-        dtype=np.int64,
-    )
-    es = cg.edge_storage
-    rounds = max_iterations if max_iterations is not None else cg.n
+    src, dst = cg.edge_src, cg.edge_dst
+    es, er = cg.edge_storage, cg.edge_retrieval
 
     for _ in range(rounds):
-        if tree.total_storage >= storage_budget or cand.size == 0:
+        if tree.total_storage >= storage_budget:
             break
-        live = cand[tree.parent[cand] != aux]
-        if live.size == 0:
-            break
-        # materialization move per candidate: (P(v), v) -> (AUX, v)
-        ds = es[cg.aux_edge[live]] - es[tree.par_edge[live]]
-        reduction = tree.ret[live] * tree.size[live]  # == -dr
-        valid = (
-            (tree.total_storage + ds <= storage_budget * (1 + 1e-12) + 1e-9)
-            & (reduction > 0.0)
-        )
+        tree.refresh_euler()
+        tin, tout = tree._tin, tree._tout
+        # skip current tree edges and moves that would create a cycle
+        # (src inside dst's subtree; AUX sources can never be)
+        valid = tree.parent[dst] != src
+        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
+        ds = es - es[tree.par_edge[dst]]
+        dr = (tree.ret[src] + er - tree.ret[dst]) * tree.size[dst]
+        valid &= dr < 0.0  # Algorithm 7 line 9: retrieval must improve
+        valid &= within_budget(tree.total_storage + ds, storage_budget)
         if not valid.any():
             break
+        reduction = -dr
         inf_tier = valid & (ds <= 0.0)
         if inf_tier.any():
-            # rho = inf tier: larger reduction wins, first in order on ties
             pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
         else:
-            rho = np.full(live.shape, _NEG_INF)
+            rho = np.full(reduction.shape, _NEG_INF)
             np.divide(reduction, ds, out=rho, where=valid)
             pick = int(np.argmax(rho))
-        best_v = int(live[pick])
-        tree.materialize(best_v)
-        cand = cand[cand != best_v]
-    return tree
+        tree.apply_swap_edge(pick)
+        if record is not None:
+            record.append((pick, tree.total_storage, tree.total_retrieval))
 
 
 def lmg_all_array(
@@ -130,40 +225,11 @@ def lmg_all_array(
     """
     cg = _compiled(graph)
     tree = _min_storage_array_tree(cg)
-    if tree.total_storage > storage_budget * (1 + 1e-12) + 1e-9:
-        raise ValueError(
-            f"storage budget {storage_budget} below minimum storage "
-            f"{tree.total_storage}: MSR infeasible"
-        )
-    aux = cg.aux
-    src, dst = cg.edge_src, cg.edge_dst
-    es, er = cg.edge_storage, cg.edge_retrieval
-    rounds = max_iterations if max_iterations is not None else 4 * cg.n + 64
-
-    for _ in range(rounds):
-        if tree.total_storage >= storage_budget:
-            break
-        tree.refresh_euler()
-        tin, tout = tree._tin, tree._tout
-        # skip current tree edges and moves that would create a cycle
-        # (src inside dst's subtree; AUX sources can never be)
-        valid = tree.parent[dst] != src
-        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
-        ds = es - es[tree.par_edge[dst]]
-        dr = (tree.ret[src] + er - tree.ret[dst]) * tree.size[dst]
-        valid &= dr < 0.0  # Algorithm 7 line 9: retrieval must improve
-        valid &= tree.total_storage + ds <= storage_budget * (1 + 1e-12) + 1e-9
-        if not valid.any():
-            break
-        reduction = -dr
-        inf_tier = valid & (ds <= 0.0)
-        if inf_tier.any():
-            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
-        else:
-            rho = np.full(reduction.shape, _NEG_INF)
-            np.divide(reduction, ds, out=rho, where=valid)
-            pick = int(np.argmax(rho))
-        tree.apply_swap_edge(pick)
+    _check_msr_feasible(tree, storage_budget)
+    rounds = (
+        max_iterations if max_iterations is not None else _lmg_all_default_rounds(cg)
+    )
+    _lmg_all_run(cg, tree, storage_budget, rounds)
     return tree
 
 
@@ -173,11 +239,16 @@ def mp_array(
 ) -> ArrayPlanTree:
     """Array kernel for Modified Prim's (BMR); plan-identical to dict MP.
 
-    Prim growth is inherently sequential, so the win here is flat-array
-    edge attribute access instead of dict/`Delta` lookups during the
-    relaxation sweeps.  Raises ``ValueError`` when the finite retrieval
-    budget is infeasible (negative budgets: even materializing
-    everything has max retrieval 0).
+    Prim growth is inherently sequential, but each attachment's
+    relaxation sweep over the out-edges is one masked NumPy pass:
+    feasibility filter, lexicographic "(storage, retrieval) strictly
+    better" test and the ``best_*`` updates all happen on candidate
+    arrays, with only the surviving (improving) edges pushed onto the
+    heap one by one in CSR order — the same order the dict reference
+    pushes them, so heap ties resolve identically.  Raises
+    ``ValueError`` when the finite retrieval budget is infeasible
+    (negative budgets: even materializing everything has max
+    retrieval 0).
     """
     cg = _compiled(graph)
     n, aux = cg.n, cg.aux
@@ -209,27 +280,38 @@ def mp_array(
             continue
         attached[v] = p
         attach_order.append((v, p))
-        for eid in cg.out_slice(v):
-            w = int(dst[eid])
-            if w == aux or attached[w] != -1:
-                continue
-            nr = r + float(er[eid])
-            if nr > retrieval_budget * (1 + 1e-12) + 1e-9:
-                continue
-            ws = float(es[eid])
-            if (ws, nr) < (float(best_s[w]), float(best_r[w])):
-                best_s[w] = ws
-                best_r[w] = nr
-                best_p[w] = v
-                heapq.heappush(heap, (ws, nr, seq, w, v))
-                seq += 1
+        eids = cg.out_slice(v)
+        if eids.size == 0:
+            continue
+        w = dst[eids]
+        ws = es[eids]
+        nr = r + er[eids]
+        # same float ops and comparisons as the scalar loop; successors
+        # are unique per source, so the masked update cannot self-clash
+        mask = (w != aux) & (attached[w] == -1)
+        mask &= within_budget(nr, retrieval_budget)
+        mask &= (ws < best_s[w]) | ((ws == best_s[w]) & (nr < best_r[w]))
+        if not mask.any():
+            continue
+        idx = np.nonzero(mask)[0]
+        sel_w = w[idx]
+        sel_s = ws[idx]
+        sel_r = nr[idx]
+        best_s[sel_w] = sel_s
+        best_r[sel_w] = sel_r
+        best_p[sel_w] = v
+        for j in range(idx.size):
+            heapq.heappush(
+                heap, (float(sel_s[j]), float(sel_r[j]), seq, int(sel_w[j]), v)
+            )
+            seq += 1
 
     assert len(attach_order) == n, "materialization keeps MP feasible"
     tree = ArrayPlanTree(
         cg, [(v, int(cg.edge_id(p, v))) for v, p in attach_order]
     )
-    if math.isfinite(retrieval_budget) and tree.max_retrieval() > (
-        retrieval_budget * (1 + 1e-9) + 1e-6
+    if math.isfinite(retrieval_budget) and not within_budget(
+        tree.max_retrieval(), retrieval_budget
     ):
         raise ValueError(
             f"retrieval budget {retrieval_budget} infeasible: MP plan has "

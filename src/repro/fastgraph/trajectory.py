@@ -1,0 +1,206 @@
+"""Single-pass greedy budget sweeps via trajectory replay.
+
+A Figure-10-style panel evaluates LMG / LMG-All on a whole grid of
+storage budgets.  Re-running the solver per budget re-derives the same
+Edmonds start tree and replays the same greedy prefix ``O(B)`` times.
+This module turns that ``O(B · solve)`` sweep into ``O(solve + B)``:
+
+1. **Record** — run the solver once at the loosest grid budget,
+   logging every applied move as ``(edge id, total_storage after,
+   total_retrieval after)``.
+2. **Replay** — walk the grid in ascending budget order, applying
+   recorded moves onto one shared tree while they stay feasible; each
+   grid point's plan is emitted straight from the shared tree.
+3. **Diverge** — when the next recorded move overshoots the current
+   budget, fork an O(V) :meth:`ArrayPlanTree.clone` and resume the
+   *live* greedy on the clone at that budget.
+
+Why replay is valid
+-------------------
+The greedy move sequence is budget-monotone.  At any state, the set of
+feasible moves under a tighter budget is a subset of the set under a
+looser one, and both solvers pick the scan-order-first maximum of the
+same ranking key.  Hence while the loose run's chosen move remains
+feasible under the tighter budget, it is *also* the tighter run's
+first maximum — the tighter run's plan is a prefix of the loose run's
+trajectory.  The first recorded move that exceeds the tighter budget is
+where the runs may diverge (the tighter run may settle for a cheaper,
+lower-ranked move); from there the sweep resumes the ordinary kernel on
+a cloned tree, so the emitted plan is *identical by construction* to an
+independent solve at that budget, divergence or not.  Feasibility
+checks during replay compare the recorded post-move storage against
+:func:`repro.core.tolerance.within_budget` — bit-equal to the fresh
+run's check because replaying identical moves accumulates identical
+IEEE floats.
+
+MP is excluded: Modified Prim's grows a tree from scratch whose
+*structure* depends on the retrieval budget at every relaxation, so its
+runs at different budgets share no prefix trajectory.  MP sweeps
+amortize the compiled graph instead (see :mod:`repro.parallel.sweep`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.graph import VersionGraph
+from ..core.problems import PlanScore, evaluate_plan
+from ..core.solution import StoragePlan
+from ..core.tolerance import within_budget
+from .compiled import CompiledGraph
+from .plantree import ArrayPlanTree
+from .solvers import (
+    _compiled,
+    _lmg_all_default_rounds,
+    _lmg_all_run,
+    _lmg_candidates,
+    _lmg_default_rounds,
+    _lmg_run,
+)
+
+__all__ = ["SweepEntry", "sweep_greedy_msr", "GREEDY_SWEEP_SOLVERS"]
+
+#: MSR solver names the trajectory sweep supports.
+GREEDY_SWEEP_SOLVERS = ("lmg", "lmg-all")
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One grid point of a greedy budget sweep.
+
+    ``plan``/``score`` are ``None`` when the budget is below the
+    minimum storage configuration (matching the registry solvers'
+    ``None``-on-infeasible contract).  ``replayed`` is True when the
+    plan came straight from the recorded trajectory; False means the
+    live greedy had to resume past a divergence point.
+    """
+
+    budget: float
+    plan: StoragePlan | None
+    score: PlanScore | None
+    replayed: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.plan is not None
+
+
+def _record_trajectory(
+    cg: CompiledGraph, solver: str, tree: ArrayPlanTree, budget: float
+) -> list[tuple[int, float, float]]:
+    steps: list[tuple[int, float, float]] = []
+    if solver == "lmg":
+        rounds = _lmg_default_rounds(cg)
+        _lmg_run(cg, tree, _lmg_candidates(cg, tree), budget, rounds, steps)
+    else:
+        _lmg_all_run(cg, tree, budget, _lmg_all_default_rounds(cg), steps)
+    return steps
+
+
+def _continue_live(
+    cg: CompiledGraph,
+    solver: str,
+    tree: ArrayPlanTree,
+    budget: float,
+    used_rounds: int,
+) -> int:
+    """Resume the ordinary greedy kernel from ``tree``; returns the
+    number of moves it applied."""
+    applied: list[tuple[int, float, float]] = []
+    if solver == "lmg":
+        rounds = max(0, _lmg_default_rounds(cg) - used_rounds)
+        _lmg_run(cg, tree, _lmg_candidates(cg, tree), budget, rounds, applied)
+    else:
+        rounds = max(0, _lmg_all_default_rounds(cg) - used_rounds)
+        _lmg_all_run(cg, tree, budget, rounds, applied)
+    return len(applied)
+
+
+def sweep_greedy_msr(
+    graph: VersionGraph | CompiledGraph,
+    solver: str,
+    budgets: list[float],
+    *,
+    start_edges: list[tuple[int, int]] | None = None,
+) -> list[SweepEntry]:
+    """Evaluate ``solver`` at every storage budget with one solver run.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`VersionGraph` (compiled through the cached hook) or a
+        pre-built :class:`CompiledGraph`.
+    solver:
+        ``"lmg"`` or ``"lmg-all"`` (see :data:`GREEDY_SWEEP_SOLVERS`).
+    budgets:
+        Storage budgets, any order, duplicates allowed.  Results come
+        back in the same order.
+    start_edges:
+        Optional pre-computed minimum-storage arborescence as
+        ``(version index, parent edge id)`` pairs — lets parallel
+        workers reuse one Edmonds run instead of re-deriving it.
+
+    Every entry's plan is identical (parent map, storage, retrieval) to
+    an independent ``lmg_array`` / ``lmg_all_array`` run at that budget.
+    """
+    if solver not in GREEDY_SWEEP_SOLVERS:
+        raise KeyError(
+            f"unknown sweep solver {solver!r}; options: {list(GREEDY_SWEEP_SOLVERS)}"
+        )
+    cg = _compiled(graph)
+    score_graph = graph if isinstance(graph, VersionGraph) else cg.graph
+    if start_edges is None:
+        from .arborescence import min_storage_parent_edges
+
+        start_edges = min_storage_parent_edges(cg)
+    base = ArrayPlanTree(cg, start_edges)
+    min_storage = base.total_storage
+
+    results: list[SweepEntry | None] = [None] * len(budgets)
+    feasible_ix = []
+    for i, b in enumerate(budgets):
+        if within_budget(min_storage, b):
+            feasible_ix.append(i)
+        else:
+            results[i] = SweepEntry(
+                budget=float(b), plan=None, score=None, replayed=False
+            )
+    if not feasible_ix:
+        return [e for e in results if e is not None]
+
+    # one full solver run at the loosest budget, recording every move
+    loosest = max(budgets[i] for i in feasible_ix)
+    rec_tree = base.clone()
+    steps = _record_trajectory(cg, solver, rec_tree, loosest)
+
+    def emit(i: int, tree: ArrayPlanTree, replayed: bool) -> None:
+        plan = tree.to_plan()
+        results[i] = SweepEntry(
+            budget=float(budgets[i]),
+            plan=plan,
+            score=evaluate_plan(score_graph, plan),
+            replayed=replayed,
+        )
+
+    # ascending replay over one shared tree; ``pos`` counts applied steps
+    pos = 0
+    for i in sorted(feasible_ix, key=lambda i: budgets[i]):
+        b = budgets[i]
+        exact = True
+        while pos < len(steps):
+            if base.total_storage >= b:
+                break  # fresh run stops before scanning: prefix is exact
+            eid, storage_after, _ = steps[pos]
+            if not within_budget(storage_after, b):
+                exact = False  # fresh run may settle for a cheaper move
+                break
+            base.apply_swap_edge(eid)
+            pos += 1
+        if exact:
+            emit(i, base, replayed=True)
+        else:
+            fork = base.clone()
+            applied = _continue_live(cg, solver, fork, b, used_rounds=pos)
+            emit(i, fork, replayed=applied == 0)
+
+    return [e for e in results if e is not None]

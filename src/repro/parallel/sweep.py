@@ -1,19 +1,38 @@
 """Scatter/gather budget sweeps.
 
-A Figure-10-style experiment evaluates one solver at many budgets on a
-fixed graph — an embarrassingly parallel workload.  The graph is
-shipped to workers **once** through a fork-time initializer (copy-on-
-write, no per-task pickling); each task is just ``(solver, budget)``.
+A Figure-10-style experiment evaluates solvers at many budgets on a
+fixed graph.  The parallel axis is **solvers/graph-tasks, not budget
+probes**: the LMG family produces its entire budget series from one
+recorded greedy run (trajectory replay,
+:func:`repro.fastgraph.sweep_greedy_msr`), so splitting its grid into
+per-budget tasks would re-pay the solve ``B`` times and erase the
+single-pass win.  Each sweep-capable solver therefore becomes ONE task
+covering the whole grid, while solvers without a replayable trajectory
+(DP, ILP, MP — MP's Prim growth is budget-dependent at every
+relaxation, so its runs share no prefix) still fan out one task per
+budget.
 
-The graph is **compiled once** (``graph.compile()``) before the pool
-starts: the flat-array greedy kernels then reuse the cached
-:class:`~repro.fastgraph.CompiledGraph` for every budget probe instead
-of re-extending and re-indexing the graph per call, and the compiled
-arrays ride along to the workers through the same fork/initializer
-path.
+Shared read-only state is shipped to workers **once** through the
+initializer (copy-on-write under fork, pickled once under spawn):
+
+* the graph, with its **compiled** :class:`~repro.fastgraph.
+  CompiledGraph` cache warmed (``graph.compile()``) so the flat-array
+  kernels never re-extend or re-index per probe;
+* the **minimum-storage start tree** (Edmonds ``(version, parent-edge)``
+  pairs), computed once in the parent: every greedy sweep task replays
+  from it instead of re-deriving the identical arborescence.
+
+Trajectory-replay contract: each grid point's plan is identical to an
+independent per-budget solve — while the recorded move stays feasible
+under a tighter budget it is also the tighter run's first-maximum
+choice, and past the first infeasible recorded move the sweep resumes
+the live kernel on a cloned tree (see
+:mod:`repro.fastgraph.trajectory`).
 
 Measured wall-clock times per probe are collected alongside objective
-values so the harness can reproduce the paper's run-time panels.
+values so the harness can reproduce the paper's run-time panels; a
+whole-grid sweep task records its one shared run time flat across its
+grid points, like the paper's DP panels.
 """
 
 from __future__ import annotations
@@ -23,20 +42,30 @@ from dataclasses import dataclass
 
 from ..core.graph import VersionGraph
 from ..core.problems import PlanScore, evaluate_plan
-from ..algorithms.registry import BMR_SOLVERS, MSR_SOLVERS
+from ..algorithms.registry import (
+    BMR_SOLVERS,
+    MSR_SOLVERS,
+    get_msr_sweep,
+    msr_sweep_start_edges,
+)
 from .pool import parallel_map
 
 __all__ = ["SweepPoint", "sweep_msr", "sweep_bmr"]
 
-# worker-global state, set by the fork-time initializer
+# worker-global state, set by the initializer (fork or spawn)
 _WORKER_GRAPH: VersionGraph | None = None
+_WORKER_START: list[tuple[int, int]] | None = None
 
 
-def _init_worker(graph: VersionGraph) -> None:
-    global _WORKER_GRAPH
+def _init_worker(
+    graph: VersionGraph, start_edges: list[tuple[int, int]] | None = None
+) -> None:
+    global _WORKER_GRAPH, _WORKER_START
     _WORKER_GRAPH = graph
+    _WORKER_START = start_edges
     # Warm the compiled-graph cache once per worker; forked workers
-    # inherit the parent's cache and this is a no-op.
+    # inherit the parent's cache (and spawned workers the pickled one),
+    # making this a no-op.
     graph.compile()
 
 
@@ -54,26 +83,42 @@ class SweepPoint:
         return self.score is not None
 
 
-def _run_msr_task(task: tuple[str, float]) -> SweepPoint:
-    name, budget = task
+def _run_msr_task(task: tuple[str, list[float]]) -> list[SweepPoint]:
+    """One MSR task: a solver plus the grid slice it covers."""
+    name, budgets = task
     graph = _WORKER_GRAPH
     assert graph is not None, "worker initializer did not run"
-    t0 = time.perf_counter()
-    plan = MSR_SOLVERS[name](graph, budget)
-    dt = time.perf_counter() - t0
-    score = None if plan is None else evaluate_plan(graph, plan)
-    return SweepPoint(solver=name, budget=budget, score=score, seconds=dt)
+    sweep = get_msr_sweep(name)
+    if sweep is not None:
+        t0 = time.perf_counter()
+        entries = sweep(graph, budgets, start_edges=_WORKER_START)
+        dt = time.perf_counter() - t0
+        return [
+            SweepPoint(solver=name, budget=e.budget, score=e.score, seconds=dt)
+            for e in entries
+        ]
+    out = []
+    for budget in budgets:
+        t0 = time.perf_counter()
+        plan = MSR_SOLVERS[name](graph, budget)
+        dt = time.perf_counter() - t0
+        score = None if plan is None else evaluate_plan(graph, plan)
+        out.append(SweepPoint(solver=name, budget=budget, score=score, seconds=dt))
+    return out
 
 
-def _run_bmr_task(task: tuple[str, float]) -> SweepPoint:
-    name, budget = task
+def _run_bmr_task(task: tuple[str, list[float]]) -> list[SweepPoint]:
+    name, budgets = task
     graph = _WORKER_GRAPH
     assert graph is not None, "worker initializer did not run"
-    t0 = time.perf_counter()
-    plan = BMR_SOLVERS[name](graph, budget)
-    dt = time.perf_counter() - t0
-    score = None if plan is None else evaluate_plan(graph, plan)
-    return SweepPoint(solver=name, budget=budget, score=score, seconds=dt)
+    out = []
+    for budget in budgets:
+        t0 = time.perf_counter()
+        plan = BMR_SOLVERS[name](graph, budget)
+        dt = time.perf_counter() - t0
+        score = None if plan is None else evaluate_plan(graph, plan)
+        out.append(SweepPoint(solver=name, budget=budget, score=score, seconds=dt))
+    return out
 
 
 def sweep_msr(
@@ -83,12 +128,31 @@ def sweep_msr(
     *,
     processes: int | None = None,
 ) -> list[SweepPoint]:
-    """Evaluate each MSR solver at each storage budget (order preserved)."""
-    graph.compile()  # one compiled graph shared by all budget probes
-    tasks = [(s, float(b)) for s in solvers for b in budgets]
-    return parallel_map(
-        _run_msr_task, tasks, processes=processes, initializer=_init_worker, initargs=(graph,)
+    """Evaluate each MSR solver at each storage budget (order preserved).
+
+    Sweep-capable solvers (the LMG family) cover their whole grid in a
+    single trajectory-replay task; the rest fan out per budget.
+    """
+    graph.compile()  # one compiled graph shared by all tasks
+    start_edges = msr_sweep_start_edges(graph, solvers)
+    grid = [float(b) for b in budgets]
+    tasks: list[tuple[str, list[float]]] = []
+    for name in solvers:
+        if get_msr_sweep(name) is not None:
+            tasks.append((name, grid))
+        else:
+            tasks.extend((name, [b]) for b in grid)
+    chunks = parallel_map(
+        _run_msr_task,
+        tasks,
+        processes=processes,
+        # whole-grid tasks are few but heavy: let 2 tasks use 2 workers
+        # instead of tripping the small-input serial fallback
+        min_items_per_worker=1,
+        initializer=_init_worker,
+        initargs=(graph, start_edges),
     )
+    return [pt for chunk in chunks for pt in chunk]
 
 
 def sweep_bmr(
@@ -98,9 +162,19 @@ def sweep_bmr(
     *,
     processes: int | None = None,
 ) -> list[SweepPoint]:
-    """Evaluate each BMR solver at each retrieval budget."""
+    """Evaluate each BMR solver at each retrieval budget.
+
+    No BMR solver has a replayable trajectory (see the module
+    docstring on MP), so every (solver, budget) pair stays its own
+    task, all sharing the one compiled graph.
+    """
     graph.compile()  # one compiled graph shared by all budget probes
-    tasks = [(s, float(b)) for s in solvers for b in budgets]
-    return parallel_map(
-        _run_bmr_task, tasks, processes=processes, initializer=_init_worker, initargs=(graph,)
+    tasks = [(s, [float(b)]) for s in solvers for b in budgets]
+    chunks = parallel_map(
+        _run_bmr_task,
+        tasks,
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(graph,),
     )
+    return [pt for chunk in chunks for pt in chunk]

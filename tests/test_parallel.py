@@ -1,6 +1,7 @@
 """Tests for the parallel substrate (pool, sweeps, parallel DP)."""
 
 import math
+import multiprocessing
 
 import pytest
 
@@ -73,6 +74,42 @@ class TestSweeps:
             assert p.feasible
             assert p.score.max_retrieval <= p.budget + 1e-6
         assert all(p.seconds >= 0 for p in pts)
+
+    def test_msr_sweep_matches_independent_solver_runs(self, graph):
+        # the trajectory-replay task must be plan-identical to fresh
+        # per-budget solves through the registry
+        from repro.core.problems import evaluate_plan
+        from repro.algorithms.registry import MSR_SOLVERS
+
+        base = min_storage_plan_tree(graph).total_storage
+        budgets = [base * f for f in (1.05, 1.4, 2.2)]
+        pts = sweep_msr(graph, ["lmg", "lmg-all"], budgets, processes=1)
+        for p in pts:
+            plan = MSR_SOLVERS[p.solver](graph, p.budget)
+            assert p.score == evaluate_plan(graph, plan)
+
+    def test_worker_initializer_under_spawn(self, graph):
+        # The initializer ships the graph plus the shared Edmonds start
+        # tree; under spawn both are pickled instead of inherited, so
+        # exercise that path explicitly (fork-only coverage otherwise).
+        from repro.fastgraph.arborescence import min_storage_parent_edges
+        from repro.parallel.sweep import _init_worker, _run_msr_task
+
+        base = min_storage_plan_tree(graph).total_storage
+        budgets = [base * 1.1, base * 2.0]
+        start_edges = min_storage_parent_edges(graph.compile())
+        tasks = [("lmg", budgets), ("lmg-all", budgets)]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(
+            processes=2, initializer=_init_worker, initargs=(graph, start_edges)
+        ) as pool:
+            chunks = pool.map(_run_msr_task, tasks)
+        flat = [p for chunk in chunks for p in chunk]
+        serial = sweep_msr(graph, ["lmg", "lmg-all"], budgets, processes=1)
+        assert len(flat) == len(serial) == 4
+        for a, b in zip(flat, serial):
+            assert a.solver == b.solver and a.budget == b.budget
+            assert a.score == b.score
 
 
 class TestParallelDP:
