@@ -28,8 +28,12 @@ Subpackages
     used to derive "natural" version graphs.
 ``repro.gen``
     Synthetic workload generators emulating the paper's datasets.
+``repro.engine``
+    The online ingest engine: incremental graph compilation + live
+    plan repair with staleness-bounded re-solves.
 ``repro.parallel``
-    Process-based scatter/gather helpers for sweeps and the tree DP.
+    Process-based scatter/gather helpers for sweeps and the tree DP,
+    plus the background re-solve runner the engine uses.
 ``repro.bench``
     The experiment harness regenerating every table/figure of Section 7.
 """

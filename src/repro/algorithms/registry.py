@@ -52,10 +52,12 @@ __all__ = [
     "MSR_SOLVERS",
     "BMR_SOLVERS",
     "MSR_SWEEPS",
+    "ENGINE_SOLVERS",
     "BACKENDS",
     "get_msr_solver",
     "get_bmr_solver",
     "get_msr_sweep",
+    "get_engine_solver",
     "msr_sweep_start_edges",
 ]
 
@@ -168,6 +170,34 @@ def get_msr_sweep(name: str):
     """Whole-grid sweep for ``name``, or ``None`` when the solver has
     no trajectory-replay sweep (callers fall back to per-budget runs)."""
     return MSR_SWEEPS.get(name)
+
+
+#: Engine-aware MSR solvers ``f(compiled_graph, budget) -> ArrayPlanTree``.
+#: The ingest engine (:mod:`repro.engine`) needs the *tree*, not the
+#: exported :class:`StoragePlan`: between full re-solves it keeps
+#: attaching arriving versions onto the live ``ArrayPlanTree``, and the
+#: incremental attach / staleness bookkeeping work on the flat arrays.
+#: Only kernels that run directly on a :class:`~repro.fastgraph.
+#: CompiledGraph` qualify (the LMG greedy family); DP/ILP solvers have
+#: no array-tree form and are deliberately absent.
+ENGINE_SOLVERS = {
+    "lmg": lmg_array,
+    "lmg-all": lmg_all_array,
+}
+
+
+def get_engine_solver(name: str):
+    """Tree-level solver for the ingest engine.
+
+    Raises ``KeyError`` with the valid options for unknown or
+    non-engine-capable solver names.
+    """
+    try:
+        return ENGINE_SOLVERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine solver {name!r}; options: {sorted(ENGINE_SOLVERS)}"
+        ) from None
 
 
 def msr_sweep_start_edges(graph: VersionGraph, solvers) -> list | None:

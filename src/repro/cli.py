@@ -18,6 +18,13 @@ recorded greedy trajectory instead of re-solving per budget)::
     repro-versioning sweep msr graph.json --points 16 --format markdown
     repro-versioning sweep msr --dataset styleguide --scale 0.2 --out panel.json
 
+Stream a repository through the online ingest engine (per-arrival plan
+repair + staleness-bounded re-solves)::
+
+    repro-versioning ingest --commits 500 --seed 7 --budget-factor 4
+    repro-versioning ingest --commits 200 --budget 50000 --solver lmg-all \
+        --staleness 0.05 --format markdown
+
 Inspect a dataset preset::
 
     repro-versioning dataset styleguide --scale 0.5
@@ -40,6 +47,7 @@ Notes
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -208,6 +216,114 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .engine import IngestEngine
+    from .vcs import random_repository
+
+    if args.budget is not None and args.budget_factor is not None:
+        print("error: pass --budget or --budget-factor, not both", file=sys.stderr)
+        return 2
+    budget = args.budget
+    budget_factor = args.budget_factor if budget is None else None
+    if budget is None and budget_factor is None:
+        budget_factor = 4.0  # the harness' default MSR grid span
+
+    repo = random_repository(
+        args.commits,
+        branch_prob=args.branch_prob,
+        merge_prob=args.merge_prob,
+        seed=args.seed,
+    )
+    try:
+        engine = IngestEngine(
+            solver=args.solver,
+            budget=budget,
+            budget_factor=budget_factor,
+            staleness_threshold=args.staleness,
+            background=args.background,
+            name=f"ingest-{args.seed}",
+        )
+    except KeyError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    every = max(1, args.every)
+    entries = []
+    total_seconds = 0.0
+    try:
+        for stats in engine.ingest_repository(repo):
+            total_seconds += stats.seconds
+            if stats.index % every == 0 or stats.index == repo.num_commits - 1:
+                entries.append(dataclasses.asdict(stats))
+        engine.wait()  # integrate any in-flight background re-solve
+    except GraphError as err:
+        # GraphError subclasses ValueError: structural problems must be
+        # caught first to keep the exit-code contract (2, not 1)
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"infeasible: {err}", file=sys.stderr)
+        return 1
+
+    g = engine.graph
+    tree = engine.tree
+    payload = {
+        "problem": "msr-online",
+        "solver": args.solver,
+        "commits": repo.num_commits,
+        "seed": args.seed,
+        "budget": budget,
+        "budget_factor": budget_factor,
+        "staleness_threshold": (
+            None if args.staleness == float("inf") else args.staleness
+        ),
+        "background": args.background,
+        "entries": entries,
+        "summary": {
+            "versions": g.num_versions,
+            "deltas": g.num_deltas,
+            "resolves": engine.resolves,
+            "final_budget": engine.current_budget(),
+            "final_storage": tree.total_storage,
+            "final_retrieval": tree.total_retrieval,
+            "final_staleness": engine.staleness_bound,
+            "total_seconds": total_seconds,
+            "mean_arrival_seconds": total_seconds / max(1, repo.num_commits),
+        },
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=1, allow_nan=False))
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format in ("markdown", "both"):
+        from .bench.harness import markdown_table
+
+        headers = [
+            "index",
+            "budget",
+            "storage",
+            "retrieval",
+            "staleness",
+            "resolved",
+        ]
+        rows = [
+            [e["index"], e["budget"], e["storage"], e["retrieval"],
+             round(e["staleness"], 6), e["resolved"]]
+            for e in entries
+        ]
+        s = payload["summary"]
+        print(f"## MSR online ingest — {g.name or 'repo'}\n")
+        print(markdown_table(headers, rows))
+        print()
+        print(
+            f"{s['versions']} versions, {s['deltas']} deltas, "
+            f"{s['resolves']} re-solves, "
+            f"{s['mean_arrival_seconds'] * 1e3:.3f} ms/arrival"
+        )
+    if args.format in ("json", "both"):
+        print(json.dumps(payload, indent=1, allow_nan=False))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-versioning",
@@ -286,6 +402,67 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sweep.add_argument("--out", default=None, help="also write the JSON panel here")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="stream commits through the online ingest engine",
+        description=(
+            "Generate a simulated repository and stream its commits through "
+            "repro.engine.IngestEngine: each arrival is diffed against its "
+            "parents only, appended to the incrementally compiled graph, and "
+            "greedily attached to the live plan; a staleness bound triggers "
+            "full re-solves.  Emits per-arrival plan stats as a strict-JSON "
+            "panel (like `sweep`) or a Markdown table."
+        ),
+    )
+    p_ing.add_argument(
+        "--commits", type=int, default=200, help="repository size (default 200)"
+    )
+    p_ing.add_argument("--seed", type=int, default=0, help="repository seed")
+    p_ing.add_argument(
+        "--branch-prob", type=float, default=0.12, help="branching probability"
+    )
+    p_ing.add_argument(
+        "--merge-prob", type=float, default=0.06, help="merge probability"
+    )
+    p_ing.add_argument(
+        "--budget", type=float, default=None, help="fixed MSR storage budget"
+    )
+    p_ing.add_argument(
+        "--budget-factor",
+        type=float,
+        default=None,
+        help="dynamic budget = factor x online min-storage lower bound "
+        "(default 4.0 when --budget is not given)",
+    )
+    p_ing.add_argument(
+        "--solver", default="lmg", help="engine solver (lmg | lmg-all)"
+    )
+    p_ing.add_argument(
+        "--staleness",
+        type=float,
+        default=0.1,
+        help="staleness-bound re-solve threshold (default 0.1; inf disables)",
+    )
+    p_ing.add_argument(
+        "--background",
+        action="store_true",
+        help="run threshold re-solves on a background thread",
+    )
+    p_ing.add_argument(
+        "--every",
+        type=int,
+        default=1,
+        help="emit every K-th arrival in the panel (default 1 = all)",
+    )
+    p_ing.add_argument(
+        "--format",
+        choices=["json", "markdown", "both"],
+        default="json",
+        help="panel rendering (default json)",
+    )
+    p_ing.add_argument("--out", default=None, help="also write the JSON panel here")
+    p_ing.set_defaults(func=_cmd_ingest)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -32,6 +32,7 @@ __all__ = [
     "AUX",
     "AuxRoot",
     "Delta",
+    "GraphMutation",
     "VersionGraph",
     "GraphError",
 ]
@@ -101,6 +102,44 @@ class Delta:
         return Delta(self.storage * storage_factor, self.retrieval * retrieval_factor)
 
 
+@dataclass(frozen=True)
+class GraphMutation:
+    """One structural change to a :class:`VersionGraph`.
+
+    The mutation-event stream is how online consumers stay coherent with
+    a graph that keeps growing: the cached
+    :class:`~repro.fastgraph.compiled.CompiledGraph` extends itself in
+    place on pure *append* events instead of being thrown away, and
+    engine-level listeners (see :mod:`repro.engine`) track per-node
+    quantities (e.g. cheapest incoming delta) without rescanning.
+
+    Attributes
+    ----------
+    kind:
+        ``"add_version"`` (a brand-new version), ``"update_version"``
+        (storage cost of an existing version changed), ``"add_delta"``
+        (a brand-new edge), ``"update_delta"`` (an existing edge's costs
+        changed, e.g. ``keep_cheapest`` merges) or ``"remove_delta"``.
+    u:
+        Edge source for delta events; ``None`` for version events.
+    v:
+        The version added/updated, or the edge destination.
+    storage / retrieval:
+        The costs now in effect (``retrieval`` is 0.0 for version
+        events; both are 0.0 for ``remove_delta``).
+    """
+
+    kind: str
+    u: Node | None
+    v: Node
+    storage: float = 0.0
+    retrieval: float = 0.0
+
+    #: Event kinds that only ever *append* state (never touch existing
+    #: nodes/edges) — the kinds an incremental compile can absorb.
+    APPEND_KINDS = frozenset({"add_version", "add_delta"})
+
+
 class VersionGraph:
     """A directed version graph with storage/retrieval edge weights.
 
@@ -113,9 +152,19 @@ class VersionGraph:
     Nodes may be any hashable value.  Parallel edges are not supported
     (the cheaper delta should be kept by the caller); self-loops are
     rejected.
+
+    Mutation events
+    ---------------
+    Every mutation emits a :class:`GraphMutation` to subscribed
+    listeners (:meth:`subscribe`).  The compiled-array cache is the
+    built-in consumer: pure append events (new versions, new deltas) are
+    applied to the cached :class:`~repro.fastgraph.compiled.
+    CompiledGraph` *in place*, so online ingest keeps one compiled
+    snapshot alive across thousands of arrivals; any other mutation
+    (cost updates, removals) still invalidates the cache.
     """
 
-    __slots__ = ("_storage", "_edges", "_succ", "_pred", "_compiled", "name")
+    __slots__ = ("_storage", "_edges", "_succ", "_pred", "_compiled", "_listeners", "name")
 
     def __init__(self, name: str = "") -> None:
         self._storage: dict[Node, float] = {}
@@ -123,7 +172,41 @@ class VersionGraph:
         self._succ: dict[Node, dict[Node, Delta]] = {}
         self._pred: dict[Node, dict[Node, Delta]] = {}
         self._compiled = None  # cached repro.fastgraph.CompiledGraph
+        self._listeners: list = []
         self.name = name
+
+    # ------------------------------------------------------------------
+    # mutation events
+    # ------------------------------------------------------------------
+    def subscribe(self, listener) -> None:
+        """Register ``listener(event: GraphMutation)`` for every mutation.
+
+        Listeners are *not* pickled with the graph (worker processes get
+        a listener-free copy) and are invoked after the mutation has
+        been applied to the adjacency structure and the compiled cache.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        self._listeners.remove(listener)
+
+    def _mutated(self, event: GraphMutation) -> None:
+        compiled = self._compiled
+        if compiled is not None and not compiled.apply_mutation(event):
+            self._compiled = None
+        for fn in tuple(self._listeners):
+            fn(event)
+
+    def __getstate__(self):
+        # bound-method listeners (e.g. an IngestEngine) are unpicklable
+        # and meaningless in another process; everything else round-trips
+        state = {s: getattr(self, s) for s in self.__slots__}
+        state["_listeners"] = []
+        return state
+
+    def __setstate__(self, state):
+        for s in self.__slots__:
+            object.__setattr__(self, s, state[s])
 
     # ------------------------------------------------------------------
     # construction
@@ -137,11 +220,14 @@ class VersionGraph:
             raise GraphError("AUX is reserved for the extended graph root")
         if storage < 0:
             raise GraphError(f"storage cost must be non-negative, got {storage!r}")
-        if v not in self._storage:
+        new = v not in self._storage
+        if new:
             self._succ[v] = {}
             self._pred[v] = {}
         self._storage[v] = storage
-        self._compiled = None
+        self._mutated(
+            GraphMutation("add_version" if new else "update_version", None, v, storage)
+        )
 
     def add_delta(
         self,
@@ -167,7 +253,8 @@ class VersionGraph:
                 raise GraphError(f"unknown version {x!r}; add_version first")
         delta = Delta(storage, retrieval)
         key = (u, v)
-        if key in self._edges:
+        new = key not in self._edges
+        if not new:
             if not keep_cheapest:
                 raise GraphError(f"duplicate delta {u!r}->{v!r}")
             old = self._edges[key]
@@ -175,7 +262,15 @@ class VersionGraph:
         self._edges[key] = delta
         self._succ[u][v] = delta
         self._pred[v][u] = delta
-        self._compiled = None
+        self._mutated(
+            GraphMutation(
+                "add_delta" if new else "update_delta",
+                u,
+                v,
+                delta.storage,
+                delta.retrieval,
+            )
+        )
 
     def add_bidirectional_delta(
         self,
@@ -202,7 +297,7 @@ class VersionGraph:
             raise GraphError(f"no delta {u!r}->{v!r}") from None
         del self._succ[u][v]
         del self._pred[v][u]
-        self._compiled = None
+        self._mutated(GraphMutation("remove_delta", u, v))
 
     # ------------------------------------------------------------------
     # queries
@@ -324,11 +419,20 @@ class VersionGraph:
         result is cached until the next mutation, so budget sweeps and
         repeated solver calls reuse one compiled snapshot instead of
         re-extending and re-indexing per call.
+
+        Append mutations (new versions / new deltas) do **not** discard
+        the cache: the compiled graph absorbs them and this call folds
+        any pending appends into the flat arrays
+        (:meth:`~repro.fastgraph.compiled.CompiledGraph.refresh`) before
+        returning, so online ingest pays an amortized array extension
+        instead of a from-scratch recompile per arrival.
         """
         if self._compiled is None:
             from ..fastgraph.compiled import CompiledGraph
 
             self._compiled = CompiledGraph(self)
+        else:
+            self._compiled.refresh()
         return self._compiled
 
     # ------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Online ingest engine: incremental graph compilation + plan repair.
+
+The paper solves MSR on a *fixed* version graph; real deployments
+(collaborative dataset hubs, bolt-on versioning systems) receive
+versions one commit at a time and must keep a near-optimal storage plan
+standing while data arrives.  This package turns the batch pipeline
+into a staged online one:
+
+:class:`IngestEngine`
+    ``engine.ingest_commit(repo, commit)`` diffs the arriving commit
+    against its parents only (single-trace bidirectional Myers costs
+    from :mod:`repro.vcs.build`), appends to the
+    :class:`~repro.core.graph.VersionGraph` through the mutation-event
+    API, lets the cached :class:`~repro.fastgraph.compiled.
+    CompiledGraph` extend itself in place, greedily repairs the live
+    :class:`~repro.fastgraph.plantree.ArrayPlanTree` by attaching the
+    new version via its cheapest feasible edge, and tracks a staleness
+    bound that triggers full re-solves (LMG family via the solver
+    registry) — synchronously or on a background thread
+    (:class:`repro.parallel.BackgroundResolver`).
+
+The equivalence contract: after any ingest sequence followed by
+:meth:`IngestEngine.resolve`, the plan is identical to a from-scratch
+solve on the final graph, and the incrementally extended compiled graph
+equals a fresh ``compile()`` elementwise (``tests/test_engine.py``).
+"""
+
+from .ingest import ArrivalStats, IngestEngine
+
+__all__ = ["ArrivalStats", "IngestEngine"]

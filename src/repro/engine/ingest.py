@@ -1,0 +1,499 @@
+"""The ingest engine: one near-optimal storage plan, kept standing.
+
+Per-arrival work is deliberately tiny — O(parents + tree depth) plus an
+amortized O(V) array extension — because everything expensive is either
+event-driven bookkeeping or deferred:
+
+1. **Append** — the new version and its parent deltas go into the
+   :class:`~repro.core.graph.VersionGraph`; the mutation-event stream
+   extends the cached compiled arrays in place (no recompilation) and
+   updates the engine's cheapest-incoming-edge budget proxy.
+2. **Repair** — the arriving version is attached to the live
+   :class:`~repro.fastgraph.plantree.ArrayPlanTree` through its
+   cheapest feasible edge (lexicographic ``(edge storage, resulting
+   retrieval)``, parents in arrival order, materialization last), an
+   O(depth) incremental attach.
+3. **Re-solve** — a *staleness bound* (retrieval added by greedy
+   attaches since the last full solve, relative to that solve's
+   objective) accumulates; past :attr:`IngestEngine.staleness_threshold`
+   the engine re-solves the whole instance with the registered LMG
+   kernel, either synchronously or on a background thread while ingest
+   keeps serving arrivals.
+
+The staleness quantity is an upper-bound *estimate* of relative
+objective drift: a full re-solve can recover at most what the greedy
+attaches added (it may also exploit new edges for old versions, which
+the bound does not see — hence "bound against the last full solve",
+not against the true optimum).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+from ..algorithms.registry import get_engine_solver
+from ..core.graph import GraphError, GraphMutation, Node, VersionGraph
+from ..core.solution import StoragePlan
+from ..core.tolerance import within_budget
+from ..parallel.background import BackgroundResolver
+
+__all__ = ["ArrivalStats", "IngestEngine"]
+
+
+@dataclass(frozen=True)
+class ArrivalStats:
+    """Plan statistics emitted for one ingested version."""
+
+    index: int  # compiled node index of the arrival (== arrival order)
+    version: Node
+    budget: float  # storage budget in force for this arrival
+    storage: float  # plan total storage after the arrival
+    retrieval: float  # plan total retrieval (the MSR objective)
+    max_retrieval: float
+    staleness: float  # staleness bound after the arrival
+    resolved: bool  # True when a full re-solve landed on this arrival
+    seconds: float  # wall-clock ingest cost (append + repair [+ solve])
+
+
+class IngestEngine:
+    """Keeps a near-optimal MSR storage plan over a growing graph.
+
+    Parameters
+    ----------
+    graph:
+        Optional existing :class:`VersionGraph` to take ownership of
+        (bootstrap re-solve happens on the first arrival); default is a
+        fresh empty graph.
+    solver:
+        Engine-capable solver name (see
+        :data:`repro.algorithms.registry.ENGINE_SOLVERS`).
+    budget:
+        Fixed MSR storage budget.  Exactly one of ``budget`` /
+        ``budget_factor`` must be given.
+    budget_factor:
+        Dynamic budget = ``budget_factor * LB`` where ``LB =
+        sum_v min_in(v) + min_v (s_v - min_in(v))`` and ``min_in(v)``
+        is the cheapest incoming edge storage of ``v``
+        (materialization included).  ``LB`` is an online lower bound on
+        the minimum-storage arborescence — every node pays at least its
+        cheapest in-edge, and at least one node must materialize —
+        maintained incrementally from the mutation-event stream.
+        Factors well above 1 keep the instance comfortably feasible
+        (the bound is not tight on cyclic graphs).
+    staleness_threshold:
+        Re-solve once :attr:`staleness_bound` exceeds this (default
+        0.1 = re-solve when greedy attaches added 10% of the last
+        solve's total retrieval).  ``float("inf")`` disables automatic
+        re-solves (pure repair mode; call :meth:`resolve` yourself).
+    background:
+        When True, threshold re-solves run on a
+        :class:`~repro.parallel.BackgroundResolver` thread against a
+        compiled-graph snapshot; arrivals during the solve are replayed
+        onto the new tree at integration.  Synchronous (deterministic)
+        re-solves otherwise.
+    retrieval_ratio:
+        Retrieval = ``ratio * storage`` for commit deltas ingested via
+        :meth:`ingest_commit` (the single-weight-function regime).
+    """
+
+    def __init__(
+        self,
+        graph: VersionGraph | None = None,
+        *,
+        solver: str = "lmg",
+        budget: float | None = None,
+        budget_factor: float | None = None,
+        staleness_threshold: float = 0.1,
+        background: bool = False,
+        retrieval_ratio: float = 1.0,
+        name: str = "ingest",
+    ) -> None:
+        if (budget is None) == (budget_factor is None):
+            raise ValueError("pass exactly one of budget / budget_factor")
+        self.graph = graph if graph is not None else VersionGraph(name=name)
+        self.solver_name = solver
+        self._solver = get_engine_solver(solver)
+        self._budget = None if budget is None else float(budget)
+        self._budget_factor = None if budget_factor is None else float(budget_factor)
+        self.staleness_threshold = float(staleness_threshold)
+        self.retrieval_ratio = float(retrieval_ratio)
+
+        self._tree = None  # live ArrayPlanTree (None until first solve)
+        self._index: dict[Node, int] = {}
+        self._nodes: list[Node] = []
+        self._num_real_edges = 0
+        self._min_in: dict[Node, float] = {}
+        self._min_in_sum = 0.0
+        # materialization-gap term of the storage lower bound:
+        # min_v (s_v - min_in(v)), kept as an authoritative dict plus a
+        # lazy-deletion heap (gaps only grow as cheaper deltas arrive,
+        # so the first heap top matching the dict is the true minimum)
+        self._gap: dict[Node, float] = {}
+        self._gap_heap: list[tuple[float, int, Node]] = []
+        self._gap_seq = 0
+        self._solve_retrieval = 0.0
+        self._pending_retrieval = 0.0
+        self._max_ret = 0.0
+        self._resolves = 0
+        self._dirty = self.graph.num_versions > 0  # bookkeeping needs rebuild
+        self._bg = BackgroundResolver() if background else None
+        self._bg_gen = 0  # generation token: sync resolves obsolete bg results
+        self._bg_sub_gen = 0  # generation the in-flight bg solve was submitted at
+        self._log: list[tuple[int, list[tuple[int, int, float, float]]]] = []
+        self.graph.subscribe(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    # event-driven bookkeeping
+    # ------------------------------------------------------------------
+    def _on_mutation(self, event: GraphMutation) -> None:
+        if event.kind == "add_version":
+            self._index[event.v] = len(self._index)
+            self._nodes.append(event.v)
+            self._min_in[event.v] = event.storage
+            self._min_in_sum += event.storage
+            self._push_gap(event.v, 0.0)  # min_in == s_v on arrival
+        elif event.kind == "add_delta":
+            self._num_real_edges += 1
+            cur = self._min_in.get(event.v)
+            if cur is not None and event.storage < cur:
+                self._min_in_sum += event.storage - cur
+                self._min_in[event.v] = event.storage
+                self._push_gap(
+                    event.v, self.graph.storage_cost(event.v) - event.storage
+                )
+        else:
+            # cost updates / removals shift edge ids and the proxy —
+            # rebuild from the graph before the next decision
+            self._dirty = True
+
+    def _rebuild_bookkeeping(self) -> None:
+        g = self.graph
+        self._nodes = g.versions
+        self._index = {v: i for i, v in enumerate(self._nodes)}
+        self._num_real_edges = g.num_deltas
+        self._min_in = {
+            v: min(
+                (d.storage for d in g.predecessors(v).values()),
+                default=float("inf"),
+            )
+            for v in g.versions
+        }
+        for v in self._nodes:  # materialization is always available
+            self._min_in[v] = min(self._min_in[v], g.storage_cost(v))
+        self._min_in_sum = sum(self._min_in.values())
+        self._gap = {}
+        self._gap_heap = []
+        self._gap_seq = 0
+        for v in self._nodes:
+            self._push_gap(v, g.storage_cost(v) - self._min_in[v])
+        self._dirty = False
+
+    def _push_gap(self, v: Node, gap: float) -> None:
+        self._gap[v] = gap
+        heapq.heappush(self._gap_heap, (gap, self._gap_seq, v))
+        self._gap_seq += 1
+
+    def _gap_term(self) -> float:
+        """Current ``min_v (s_v - min_in(v))`` via lazy heap deletion."""
+        heap = self._gap_heap
+        gaps = self._gap
+        while heap:
+            g, _, v = heap[0]
+            if gaps.get(v) == g:
+                return g
+            heapq.heappop(heap)  # stale: this node's gap has grown since
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # budget / staleness
+    # ------------------------------------------------------------------
+    def current_budget(self) -> float:
+        """The storage budget in force right now."""
+        if self._budget is not None:
+            return self._budget
+        if self._dirty:
+            self._rebuild_bookkeeping()
+        return self._budget_factor * (self._min_in_sum + self._gap_term())
+
+    @property
+    def staleness_bound(self) -> float:
+        """Retrieval added by greedy attaches since the last full solve,
+        relative to that solve's total retrieval."""
+        return self._pending_retrieval / max(self._solve_retrieval, 1.0)
+
+    @property
+    def resolves(self) -> int:
+        """Number of full re-solves performed so far."""
+        return self._resolves
+
+    @property
+    def tree(self):
+        """The live :class:`ArrayPlanTree` (None before the first arrival)."""
+        return self._tree
+
+    def plan(self) -> StoragePlan:
+        if self._tree is None:
+            raise GraphError("no plan yet: ingest at least one version")
+        return self._tree.to_plan()
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest_version(
+        self,
+        v: Node,
+        storage: float,
+        deltas: tuple | list = (),
+    ) -> ArrivalStats:
+        """Ingest one version with its incident deltas and repair the plan.
+
+        ``deltas`` holds ``(src, dst, storage, retrieval)`` edges, each
+        incident to ``v``, added in the given order (edge insertion
+        order is the kernels' tie-breaking order, so a stream that
+        mirrors :func:`~repro.vcs.build.build_graph_from_repo` produces
+        a byte-identical compiled graph).  Incoming edges
+        (``dst == v``) are the attach candidates; outgoing ones are
+        kept for future re-solves — they can only help older versions.
+        Raises ``ValueError`` when the storage budget cannot accommodate
+        the new version even after a full re-solve.
+        """
+        t0 = time.perf_counter()
+        g = self.graph
+        # validate the WHOLE arrival before mutating anything: a bad
+        # delta halfway through would leave graph and plan bookkeeping
+        # permanently out of sync (atomic-or-raise)
+        if v in g:
+            raise GraphError(f"version {v!r} already ingested")
+        if storage < 0:
+            raise GraphError(f"storage cost must be non-negative, got {storage!r}")
+        deltas = [(u, w, float(s), float(r)) for u, w, s, r in deltas]
+        seen_edges = set()
+        for u, w, s, r in deltas:
+            if v not in (u, w):
+                raise GraphError(f"delta {u!r}->{w!r} is not incident to {v!r}")
+            if u == w:
+                raise GraphError(f"self-delta {u!r}->{w!r} not allowed")
+            other = w if u == v else u
+            if other not in g:
+                raise GraphError(f"unknown version {other!r}; ingest it first")
+            if (u, w) in seen_edges:
+                raise GraphError(f"duplicate delta {u!r}->{w!r}")
+            seen_edges.add((u, w))
+            if s < 0 or r < 0:
+                raise GraphError(
+                    f"delta costs must be non-negative, got {s!r}/{r!r}"
+                )
+        # out-of-band mutations (cost updates, removals) invalidate the
+        # index/eid bookkeeping AND the live tree: rebuild, then re-solve
+        force_resolve = self._dirty or self._tree is None
+        if self._dirty:
+            self._rebuild_bookkeeping()
+        candidates: list[tuple[int, int, float, float]] = []
+        try:
+            g.add_version(v, float(storage))
+            for u, w, s, r in deltas:
+                g.add_delta(u, w, s, r)
+                if w == v:
+                    candidates.append(
+                        (self._index[u], self._num_real_edges - 1, s, r)
+                    )
+        except Exception:
+            # defense in depth: anything that still slipped through the
+            # pre-validation leaves the graph half-mutated — force a
+            # bookkeeping rebuild + full re-solve on the next ingest
+            self._dirty = True
+            self._tree = None
+            raise
+
+        resolved = False
+        if force_resolve:
+            self._resolve_sync()
+            resolved = True
+        else:
+            if self._bg is not None:
+                self._poll_background()
+            if not self._attach(self._index[v], candidates):
+                self._resolve_sync()  # repair infeasible under the budget
+                resolved = True
+            elif self.staleness_bound > self.staleness_threshold:
+                resolved = self._trigger_resolve()
+
+        tree = self._tree
+        return ArrivalStats(
+            index=self._index[v],
+            version=v,
+            budget=self.current_budget(),
+            storage=tree.total_storage,
+            retrieval=tree.total_retrieval,
+            max_retrieval=self._max_ret,
+            staleness=self.staleness_bound,
+            resolved=resolved,
+            seconds=time.perf_counter() - t0,
+        )
+
+    def ingest_commit(self, repo, commit) -> ArrivalStats:
+        """Ingest one :class:`~repro.vcs.repo.RepoCommit` from ``repo``.
+
+        Diffs the commit against its parents **only** (both directions
+        from a single Myers trace per file —
+        :func:`repro.vcs.build.snapshot_delta_bytes_pair`), matching the
+        batch :func:`~repro.vcs.build.build_graph_from_repo` costs.
+        """
+        from ..vcs.build import snapshot_delta_bytes_pair
+
+        ratio = self.retrieval_ratio
+        c = commit.id
+        deltas = []
+        for p in commit.parents:
+            fwd, bwd = snapshot_delta_bytes_pair(
+                repo.commits[p].snapshot, commit.snapshot
+            )
+            # (p -> c) then (c -> p), per parent — the exact insertion
+            # order of the batch builder, keeping compiled graphs (and
+            # hence solver tie-breaking) byte-identical
+            deltas.append((p, c, float(fwd), float(fwd) * ratio))
+            deltas.append((c, p, float(bwd), float(bwd) * ratio))
+        return self.ingest_version(c, float(commit.total_bytes()), deltas)
+
+    def ingest_repository(self, repo):
+        """Stream every commit of ``repo`` in order; yields per-arrival stats."""
+        for commit in repo.commits:
+            yield self.ingest_commit(repo, commit)
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def _attach(
+        self,
+        vi: int,
+        candidates: list[tuple[int, int, float, float]],
+        tree=None,
+        budget: float | None = None,
+    ) -> bool:
+        """Greedy-attach version index ``vi`` onto the live tree.
+
+        Scans the incoming deltas in arrival order plus the
+        materialization edge last, keeps the budget-feasible candidate
+        minimizing ``(edge storage, resulting retrieval)`` with
+        first-wins ties, and applies the O(depth) incremental attach.
+        Returns False when no candidate fits the budget (caller falls
+        back to a full re-solve).
+        """
+        tree = self._tree if tree is None else tree
+        if budget is None:
+            budget = self.current_budget()
+        # the tree's AUX index *after* this append (background replay
+        # attaches onto a tree that is still behind the graph, so the
+        # graph-level AUX index would be out of range here)
+        aux = tree.num_versions + 1
+        node_storage = float(self.graph.storage_cost(self._nodes[vi]))
+        options = list(candidates)
+        options.append((aux, self._num_real_edges + vi, node_storage, 0.0))
+        best = None
+        best_key = None
+        for p_idx, eid, s, r in options:
+            if not within_budget(tree.total_storage + s, budget):
+                continue
+            key = (s, 0.0 if p_idx == aux else float(tree.ret[p_idx]) + r)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (p_idx, eid, s, r)
+        if best is None:
+            return False
+        p_idx, eid, s, r = best
+        new_v = tree.append_version(p_idx, eid, s, r)
+        assert new_v == vi, "arrival order drifted from compiled interning"
+        ret_v = float(tree.ret[vi])
+        self._pending_retrieval += ret_v
+        if ret_v > self._max_ret:
+            self._max_ret = ret_v
+        if self._bg is not None and self._bg.busy:
+            self._log.append((vi, candidates))
+        return True
+
+    # ------------------------------------------------------------------
+    # re-solves
+    # ------------------------------------------------------------------
+    def _resolve_sync(self):
+        if self._dirty:
+            self._rebuild_bookkeeping()
+        self._bg_gen += 1  # any in-flight background result is now stale
+        cg = self.graph.compile()
+        try:
+            tree = self._solver(cg, self.current_budget())
+        except ValueError:
+            self._tree = None  # next ingest retries with a full solve
+            raise
+        self._tree = tree
+        self._solve_retrieval = tree.total_retrieval
+        self._pending_retrieval = 0.0
+        self._max_ret = tree.max_retrieval()
+        self._resolves += 1
+        self._log.clear()
+        return tree
+
+    def resolve(self):
+        """Force a synchronous full re-solve; returns the fresh tree.
+
+        The result is *identical* to a from-scratch solve on the final
+        graph: the solver runs on the (refreshed) incremental compiled
+        graph, which equals a fresh compile elementwise.
+        """
+        return self._resolve_sync()
+
+    def _trigger_resolve(self) -> bool:
+        """Threshold hit: re-solve now (sync) or kick off a background one."""
+        if self._bg is None:
+            self._resolve_sync()
+            return True
+        if not self._bg.busy:
+            snapshot = self.graph.compile().snapshot()
+            budget = self.current_budget()
+            self._log.clear()  # the snapshot covers every current version
+            self._bg_sub_gen = self._bg_gen
+            self._bg.submit(self._solver, snapshot, budget)
+        return False
+
+    def _poll_background(self) -> None:
+        outcome = self._bg.poll()
+        if outcome is None:
+            return
+        if self._bg_sub_gen != self._bg_gen:
+            # a sync resolve superseded this solve while it ran: its
+            # result — and in particular its *failure* against a budget
+            # that no longer applies — is obsolete either way
+            return
+        ok, value = outcome
+        if not ok:
+            # mirror _resolve_sync's failure contract: null the tree so
+            # a caller that catches the error (and the arrival already
+            # appended to the graph this cycle) leaves the engine in a
+            # retry-with-full-solve state, not one version out of sync
+            self._tree = None
+            raise value  # e.g. the budget went infeasible mid-stream
+        tree = value
+        solve_retrieval = tree.total_retrieval
+        # replay arrivals that landed while the solve was running
+        pending = self._log
+        self._log = []
+        tree.cg = self.graph.compile()  # rebind to the live compiled graph
+        self._tree, old_tree = tree, self._tree
+        self._pending_retrieval = 0.0
+        self._solve_retrieval = solve_retrieval
+        self._max_ret = tree.max_retrieval()
+        self._resolves += 1
+        for vi, candidates in pending:
+            if not self._attach(vi, candidates):
+                # replay cannot fit the budget: fall back to the old tree
+                # state and a synchronous solve over everything
+                self._tree = old_tree
+                self._resolve_sync()
+                return
+
+    def wait(self) -> None:
+        """Block until any in-flight background re-solve is integrated."""
+        if self._bg is not None and self._bg.busy:
+            self._bg.wait()
+            self._poll_background()

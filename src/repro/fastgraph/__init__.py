@@ -12,8 +12,11 @@ into flat NumPy arrays and reruns the greedy hot loops on top of them:
     destination / storage / retrieval vectors in deterministic edge
     insertion order, and indptr/indices adjacency for both directions.
     Obtained via :meth:`repro.core.graph.VersionGraph.compile`, which
-    caches the result until the graph is mutated (budget sweeps reuse
-    one compiled graph across every budget probe).
+    caches the result (budget sweeps reuse one compiled graph across
+    every budget probe).  Append mutations — new versions, new deltas —
+    *extend* the cached arrays in place through the mutation-event API
+    (elementwise-equal to a fresh compile; the online ingest engine
+    rides on this), while cost updates and removals still invalidate.
 
 :class:`ArrayPlanTree`
     The flat-array counterpart of :class:`~repro.core.solution.PlanTree`

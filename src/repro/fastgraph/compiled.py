@@ -15,13 +15,37 @@ stores *edge ids* rather than neighbor indices, so every per-edge
 attribute lookup is one array load.  Within a source node the CSR slice
 preserves successor insertion order, matching
 ``VersionGraph.successors(u)`` iteration.
+
+Incremental appends
+-------------------
+Online ingest grows a graph one version at a time, and recompiling the
+whole thing per arrival is O(V + E) *interpreter* work.  A compiled
+graph therefore absorbs pure append mutations in place
+(:meth:`apply_mutation`, driven by the :class:`~repro.core.graph.
+GraphMutation` event stream): new versions and new deltas land in cheap
+pending buffers, the integer-keyed lookups (``index``, :meth:`edge_id`,
+``n``/``aux``/``num_edges``) stay current eagerly, and the flat arrays
+are rebuilt lazily by :meth:`refresh` with vectorized NumPy passes
+(concatenate + stable argsort CSR) — identical, elementwise, to a
+from-scratch compile of the final graph.
+
+Two id-stability rules follow from the canonical edge layout (real
+deltas first, AUX edges after):
+
+* **real** edge ids never change once assigned;
+* **AUX** edge ids shift by one for every real delta appended later
+  (they sit after the real block).  Between refreshes
+  ``edge_id(aux, v)`` always answers with the id that the *next*
+  refresh will assign, so callers that hold AUX edge ids across appends
+  must re-query them (the ingest engine re-solves from scratch instead
+  of holding them).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.graph import AUX, Node, VersionGraph
+from ..core.graph import AUX, GraphMutation, Node, VersionGraph
 
 __all__ = ["CompiledGraph"]
 
@@ -51,6 +75,13 @@ class CompiledGraph:
     out_indptr / out_edges, in_indptr / in_edges:
         CSR adjacency over edge ids, successor/predecessor order
         preserved from the source graph.
+
+    The array attributes are valid only while no appends are pending;
+    :meth:`refresh` (called automatically by
+    :meth:`~repro.core.graph.VersionGraph.compile`) folds pending
+    appends in.  The scalar/lookup attributes (``n``, ``aux``,
+    ``num_edges``, ``index``, ``nodes``, :meth:`edge_id`) are always
+    current.
     """
 
     __slots__ = (
@@ -72,12 +103,26 @@ class CompiledGraph:
         "in_edges",
         "_edge_index",
         "name",
+        "_r_src",
+        "_r_dst",
+        "_r_es",
+        "_r_er",
+        "_m_real",
+        "_node_store",
+        "_pend_nodes",
+        "_pend_edges",
+        "_owns_graph",
+        "_stale",
     )
 
     def __init__(self, graph: VersionGraph) -> None:
         ext = graph if graph.has_aux else graph.extended()
         self.graph = ext
         self.name = ext.name
+        # appends can only be routed here by the *source* graph's event
+        # stream; a compile of an already-extended graph would see its
+        # own mutations twice, so it opts out of incremental absorption
+        self._owns_graph = ext is not graph
         self.nodes: list[Node] = [v for v in ext.versions if v is not AUX]
         n = len(self.nodes)
         self.n = n
@@ -85,41 +130,176 @@ class CompiledGraph:
         self.index: dict[Node, int] = {v: i for i, v in enumerate(self.nodes)}
         self.index[AUX] = n
 
-        storage = np.zeros(n + 1, dtype=np.float64)
-        for v, i in zip(self.nodes, range(n)):
-            storage[i] = ext.storage_cost(v)
-        self.node_storage = storage
+        self._node_store = np.array(
+            [ext.storage_cost(v) for v in self.nodes], dtype=np.float64
+        )
 
-        m = ext.num_deltas
-        self.num_edges = m
+        # real deltas in insertion order; ``extended()`` appends the AUX
+        # edges after them, so this is the canonical edge-id layout
+        real = [(u, v, d) for u, v, d in ext.deltas() if u is not AUX]
+        m = len(real)
+        self._m_real = m
         src = np.empty(m, dtype=np.int64)
         dst = np.empty(m, dtype=np.int64)
         es = np.empty(m, dtype=np.float64)
         er = np.empty(m, dtype=np.float64)
-        aux_edge = np.full(n, -1, dtype=np.int64)
-        out_lists: list[list[int]] = [[] for _ in range(n + 1)]
-        in_lists: list[list[int]] = [[] for _ in range(n + 1)]
         edge_index: dict[tuple[int, int], int] = {}
-        for eid, (u, v, d) in enumerate(ext.deltas()):
+        for eid, (u, v, d) in enumerate(real):
             ui = self.index[u]
             vi = self.index[v]
             src[eid] = ui
             dst[eid] = vi
             es[eid] = d.storage
             er[eid] = d.retrieval
-            out_lists[ui].append(eid)
-            in_lists[vi].append(eid)
             edge_index[(ui, vi)] = eid
-            if ui == n:
-                aux_edge[vi] = eid
-        self.edge_src = src
-        self.edge_dst = dst
-        self.edge_storage = es
-        self.edge_retrieval = er
-        self.aux_edge = aux_edge
+        self._r_src = src
+        self._r_dst = dst
+        self._r_es = es
+        self._r_er = er
         self._edge_index = edge_index
-        self.out_indptr, self.out_edges = _csr(out_lists, m)
-        self.in_indptr, self.in_edges = _csr(in_lists, m)
+
+        self._pend_nodes: list[float] = []
+        self._pend_edges: list[tuple[int, int, float, float]] = []
+        self.num_edges = m + n
+        self._stale = True
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # incremental appends
+    # ------------------------------------------------------------------
+    def apply_mutation(self, event: GraphMutation) -> bool:
+        """Absorb a pure append mutation; False = cache must be dropped.
+
+        ``add_version`` interns the new node (taking over the old AUX
+        index, AUX moves to ``n + 1``) and schedules its storage cost and
+        materialization edge; ``add_delta`` assigns the next real edge id
+        eagerly and buffers the costs.  Every other mutation kind — cost
+        updates, removals — returns False so the owning graph falls back
+        to full invalidation.
+        """
+        if not self._owns_graph or event.kind not in GraphMutation.APPEND_KINDS:
+            return False
+        ext = self.graph
+        if event.kind == "add_version":
+            v = event.v
+            i = self.n
+            self.nodes.append(v)
+            self.index[v] = i
+            self.n = i + 1
+            self.aux = self.n
+            self.index[AUX] = self.n
+            self._pend_nodes.append(float(event.storage))
+            self.num_edges += 1  # the (AUX, v) materialization edge
+            ext.add_version(v, event.storage)
+            ext.add_delta(AUX, v, event.storage, 0.0)
+        else:  # add_delta
+            ui = self.index[event.u]
+            vi = self.index[event.v]
+            self._edge_index[(ui, vi)] = self._m_real
+            self._m_real += 1
+            self.num_edges += 1
+            self._pend_edges.append(
+                (ui, vi, float(event.storage), float(event.retrieval))
+            )
+            ext.add_delta(event.u, event.v, event.storage, event.retrieval)
+        self._stale = True
+        return True
+
+    def refresh(self) -> "CompiledGraph":
+        """Fold pending appends into the flat arrays.
+
+        Amortized O(V + E) *vectorized* work (array concatenation plus a
+        stable argsort per CSR direction), against the O(V + E)
+        interpreter loops of a from-scratch compile.  No-op when nothing
+        is pending.  The rebuilt arrays are fresh objects — previously
+        returned arrays (e.g. held by a :meth:`snapshot`) are never
+        mutated in place.
+        """
+        if not self._stale:
+            return self
+        if self._pend_nodes:
+            self._node_store = np.concatenate(
+                [self._node_store, np.array(self._pend_nodes, dtype=np.float64)]
+            )
+            self._pend_nodes = []
+        if self._pend_edges:
+            pend = self._pend_edges
+            self._r_src = np.concatenate(
+                [self._r_src, np.array([e[0] for e in pend], dtype=np.int64)]
+            )
+            self._r_dst = np.concatenate(
+                [self._r_dst, np.array([e[1] for e in pend], dtype=np.int64)]
+            )
+            self._r_es = np.concatenate(
+                [self._r_es, np.array([e[2] for e in pend], dtype=np.float64)]
+            )
+            self._r_er = np.concatenate(
+                [self._r_er, np.array([e[3] for e in pend], dtype=np.float64)]
+            )
+            self._pend_edges = []
+        n = self.n
+        m = self._m_real
+        arange_n = np.arange(n, dtype=np.int64)
+        self.node_storage = np.append(self._node_store, 0.0)
+        self.edge_src = np.concatenate(
+            [self._r_src, np.full(n, self.aux, dtype=np.int64)]
+        )
+        self.edge_dst = np.concatenate([self._r_dst, arange_n])
+        self.edge_storage = np.concatenate([self._r_es, self._node_store])
+        self.edge_retrieval = np.concatenate(
+            [self._r_er, np.zeros(n, dtype=np.float64)]
+        )
+        self.aux_edge = m + arange_n
+        self.out_indptr, self.out_edges = _csr_from_keys(self.edge_src, n + 1)
+        self.in_indptr, self.in_edges = _csr_from_keys(self.edge_dst, n + 1)
+        self._stale = False
+        return self
+
+    def snapshot(self) -> "CompiledGraph":
+        """Frozen shallow copy for off-thread solves.
+
+        Shares the flat arrays (which are replaced wholesale, never
+        mutated, by :meth:`refresh`) and copies the small Python-side
+        indexes, so subsequent appends to the live graph leave the
+        snapshot untouched.  The ``graph`` attribute still references
+        the live extended graph — array-only consumers (the solver
+        kernels, ``ArrayPlanTree.to_plan``) are safe; dict-graph
+        consumers must not race an ingesting writer.
+        """
+        self.refresh()
+        new = object.__new__(CompiledGraph)
+        new.graph = self.graph
+        new.name = self.name
+        new.nodes = list(self.nodes)
+        new.index = dict(self.index)
+        new.n = self.n
+        new.aux = self.aux
+        new.num_edges = self.num_edges
+        for attr in (
+            "node_storage",
+            "edge_src",
+            "edge_dst",
+            "edge_storage",
+            "edge_retrieval",
+            "aux_edge",
+            "out_indptr",
+            "out_edges",
+            "in_indptr",
+            "in_edges",
+            "_r_src",
+            "_r_dst",
+            "_r_es",
+            "_r_er",
+            "_node_store",
+        ):
+            setattr(new, attr, getattr(self, attr))
+        new._edge_index = dict(self._edge_index)
+        new._m_real = self._m_real
+        new._pend_nodes = []
+        new._pend_edges = []
+        new._owns_graph = False
+        new._stale = False
+        return new
 
     # ------------------------------------------------------------------
     def node_of(self, i: int) -> Node:
@@ -127,7 +307,16 @@ class CompiledGraph:
         return AUX if i == self.aux else self.nodes[i]
 
     def edge_id(self, u: int, v: int) -> int:
-        """Edge id of ``(u, v)`` by node indices; KeyError when absent."""
+        """Edge id of ``(u, v)`` by node indices; KeyError when absent.
+
+        Always current: AUX edges answer ``m_real + v`` (the id the next
+        :meth:`refresh` materializes), real edges their eagerly assigned
+        id.
+        """
+        if u == self.aux:
+            if 0 <= v < self.n:
+                return self._m_real + v
+            raise KeyError((u, v))
         return self._edge_index[(u, v)]
 
     def out_slice(self, u: int) -> np.ndarray:
@@ -143,15 +332,13 @@ class CompiledGraph:
         return f"<CompiledGraph{label}: {self.n} versions, {self.num_edges} edges>"
 
 
-def _csr(adj_lists: list[list[int]], m: int) -> tuple[np.ndarray, np.ndarray]:
-    """Pack per-node edge-id lists into (indptr, indices) arrays."""
-    indptr = np.zeros(len(adj_lists) + 1, dtype=np.int64)
-    for i, lst in enumerate(adj_lists):
-        indptr[i + 1] = indptr[i] + len(lst)
-    indices = np.empty(m, dtype=np.int64)
-    pos = 0
-    for lst in adj_lists:
-        for eid in lst:
-            indices[pos] = eid
-            pos += 1
+def _csr_from_keys(keys: np.ndarray, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR (indptr, edge ids) grouping edge ids by ``keys``.
+
+    A stable argsort preserves edge-id order within each node — exactly
+    the per-node insertion order the dict adjacency iterates in.
+    """
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(keys, minlength=num_nodes), out=indptr[1:])
+    indices = np.argsort(keys, kind="stable").astype(np.int64, copy=False)
     return indptr, indices

@@ -211,11 +211,24 @@ class ArrayPlanTree:
             x = int(self.parent[x])
 
         if shift != 0.0:
-            stack = [v]
-            while stack:
-                y = stack.pop()
-                self.ret[y] += shift
-                stack.extend(self.children[y])
+            if not self._order_dirty:
+                # Batch subtree shift: with fresh Euler intervals the
+                # subtree of ``v`` is exactly the nodes whose entry time
+                # falls inside ``v``'s interval, so the whole shift is
+                # one masked array add instead of a per-node Python walk
+                # (LMG-All refreshes the intervals every round for its
+                # cycle tests, so its moves always take this path; each
+                # element still receives the identical single IEEE
+                # addition, keeping plans bit-identical).
+                tin = self._tin
+                mask = (tin >= tin[v]) & (tin <= self._tout[v])
+                self.ret[mask] += shift
+            else:
+                stack = [v]
+                while stack:
+                    y = stack.pop()
+                    self.ret[y] += shift
+                    stack.extend(self.children[y])
         self.total_storage += ds
         self.total_retrieval += dr
         self._order_dirty = True
@@ -223,6 +236,79 @@ class ArrayPlanTree:
     def materialize(self, v: int) -> None:
         """Shortcut: re-route version index ``v`` through its AUX edge."""
         self.apply_swap_edge(int(self.cg.aux_edge[v]))
+
+    # ------------------------------------------------------------------
+    # incremental growth (online ingest)
+    # ------------------------------------------------------------------
+    @property
+    def num_versions(self) -> int:
+        """Versions covered by this tree (its own count — during online
+        ingest the compiled graph may already be ahead by one)."""
+        return len(self.parent) - 1
+
+    def append_version(
+        self,
+        parent_index: int,
+        par_eid: int,
+        edge_storage: float,
+        edge_retrieval: float,
+    ) -> int:
+        """Grow the tree by one version attached through the given edge.
+
+        The new version takes the next index (``num_versions`` before
+        the call — matching the compiled graph's interning order) and
+        the AUX root moves up by one slot, exactly like
+        :class:`~repro.fastgraph.compiled.CompiledGraph` renumbers AUX
+        on appends.  Edge costs are passed explicitly so the tree never
+        reads the (possibly snapshotted or mid-append) compiled arrays;
+        ``par_eid`` is recorded for bookkeeping only.
+
+        O(V) for the AUX renumber + array growth, O(depth) for subtree
+        sizes — no full recompute.  Returns the new version's index.
+        """
+        old_len = len(self.parent)
+        old_aux = old_len - 1  # AUX slot == old version count
+        new_v = old_aux  # the new version takes over the old AUX index
+        new_aux = old_len
+        if parent_index == old_aux:
+            parent_index = new_aux  # caller said "materialize" pre-renumber
+        if not (0 <= parent_index <= new_aux) or parent_index == new_v:
+            raise GraphError(f"bad attach parent index {parent_index}")
+
+        parent = np.append(self.parent, np.int64(-1))
+        parent[parent == old_aux] = new_aux
+        parent[new_aux] = -1
+        self.parent = parent
+        par_edge = np.append(self.par_edge, np.int64(-1))
+        par_edge[new_aux] = -1
+        self.par_edge = par_edge
+        ret = np.append(self.ret, 0.0)
+        ret[new_aux] = 0.0
+        self.ret = ret
+        size = np.append(self.size, np.int64(1))
+        size[new_aux] = size[old_aux]
+        size[new_v] = 1
+        self.size = size
+        self.children.append(self.children[old_aux])  # AUX child list moves up
+        self.children[old_aux] = []
+        self._tin = np.append(self._tin, np.int64(0))
+        self._tout = np.append(self._tout, np.int64(0))
+
+        p = int(parent_index)
+        self.parent[new_v] = p
+        self.par_edge[new_v] = par_eid
+        self.children[p].append(new_v)
+        self.ret[new_v] = self.ret[p] + edge_retrieval
+        self.total_storage += float(edge_storage)
+        self.total_retrieval += float(self.ret[new_v])
+        x = p
+        while True:
+            self.size[x] += 1
+            if x == new_aux:
+                break
+            x = int(self.parent[x])
+        self._order_dirty = True
+        return new_v
 
     # ------------------------------------------------------------------
     # snapshots

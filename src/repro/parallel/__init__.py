@@ -1,5 +1,7 @@
-"""Process-based scatter/gather substrate for sweeps and tree DPs."""
+"""Process-based scatter/gather substrate for sweeps and tree DPs,
+plus the single-slot background runner the ingest engine re-solves on."""
 
+from .background import BackgroundResolver
 from .dp_parallel import dp_msr_frontier_parallel
 from .pool import default_workers, parallel_map
 from .sweep import SweepPoint, sweep_bmr, sweep_msr
@@ -7,6 +9,7 @@ from .sweep import SweepPoint, sweep_bmr, sweep_msr
 __all__ = [
     "parallel_map",
     "default_workers",
+    "BackgroundResolver",
     "SweepPoint",
     "sweep_msr",
     "sweep_bmr",

@@ -1,0 +1,93 @@
+"""Single-slot background task runner (re-solves off the ingest path).
+
+The online ingest engine must answer every arrival in microseconds, but
+its periodic full re-solves cost a whole greedy run.  This module moves
+that work off the ingest path: a :class:`BackgroundResolver` runs one
+task at a time on a daemon thread, the caller polls for the result on
+its own schedule and keeps serving arrivals meanwhile.
+
+A *thread*, not a process pool, is deliberate here: the array kernels
+spend their time in NumPy (which releases the GIL for the heavy array
+passes), the solved tree comes back without pickling, and the solve
+runs against a zero-copy :meth:`~repro.fastgraph.compiled.
+CompiledGraph.snapshot` instead of shipping the whole graph to a
+worker.  Scatter/gather across *independent* tasks (budget sweeps,
+dataset builds) stays with :func:`repro.parallel.pool.parallel_map`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["BackgroundResolver"]
+
+
+class BackgroundResolver:
+    """Run one function at a time on a background daemon thread.
+
+    Usage::
+
+        bg = BackgroundResolver()
+        bg.submit(solver, snapshot, budget)
+        ...                      # keep ingesting
+        outcome = bg.poll()      # None while running
+        if outcome is not None:
+            ok, value = outcome  # value is the result or the exception
+
+    Exceptions raised by the task are captured and returned through
+    :meth:`poll` as ``(False, exception)`` — the ingest loop decides
+    whether to re-raise (infeasible budgets) or retry later.
+    """
+
+    def __init__(self) -> None:
+        self._thread: threading.Thread | None = None
+        self._outcome: tuple[bool, Any] | None = None
+
+    @property
+    def busy(self) -> bool:
+        """True while a submitted task has not been collected yet."""
+        return self._thread is not None
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Start ``fn(*args)`` in the background; one task at a time."""
+        if self._thread is not None:
+            raise RuntimeError("a background task is already in flight")
+        self._outcome = None
+
+        def run() -> None:
+            try:
+                result = fn(*args)
+            except Exception as err:  # noqa: BLE001 - handed back via poll()
+                self._outcome = (False, err)
+            else:
+                self._outcome = (True, result)
+
+        self._thread = threading.Thread(
+            target=run, name="repro-bg-resolve", daemon=True
+        )
+        self._thread.start()
+
+    def poll(self) -> tuple[bool, Any] | None:
+        """``(ok, result_or_exception)`` once finished, else ``None``."""
+        t = self._thread
+        if t is None:
+            return None
+        if t.is_alive():
+            return None
+        t.join()
+        self._thread = None
+        outcome = self._outcome
+        self._outcome = None
+        return outcome
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until the in-flight task finishes.
+
+        Does **not** collect the outcome — call :meth:`poll` afterwards,
+        so callers with their own integration path (the ingest engine)
+        can route the result through it.
+        """
+        t = self._thread
+        if t is not None:
+            t.join(timeout)

@@ -1,6 +1,10 @@
 """Miniature version-control substrate: Myers diff, deltas, repositories."""
 
-from .build import build_graph_from_repo, snapshot_delta_bytes
+from .build import (
+    build_graph_from_repo,
+    snapshot_delta_bytes,
+    snapshot_delta_bytes_pair,
+)
 from .delta import DeltaOp, DeltaScript, compute_delta
 from .myers import diff_stats, myers_diff
 from .repo import RandomEditor, RepoCommit, Repository, random_repository
@@ -17,4 +21,5 @@ __all__ = [
     "random_repository",
     "build_graph_from_repo",
     "snapshot_delta_bytes",
+    "snapshot_delta_bytes_pair",
 ]

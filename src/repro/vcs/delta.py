@@ -14,9 +14,24 @@ from dataclasses import dataclass
 
 from .myers import myers_diff
 
-__all__ = ["DeltaOp", "DeltaScript", "compute_delta"]
+__all__ = [
+    "DeltaOp",
+    "DeltaScript",
+    "compute_delta",
+    "OP_HEADER_BYTES",
+    "insert_payload_bytes",
+]
 
-_HEADER_BYTES = 4  # opcode byte + 3-byte run length
+#: Per-run header size: opcode byte + 3-byte run length.  The single
+#: source of truth for the binary encoding — derived costs elsewhere
+#: (e.g. the single-trace reverse sizes in :mod:`repro.vcs.build`)
+#: import it rather than restating the number.
+OP_HEADER_BYTES = 4
+
+
+def insert_payload_bytes(lines) -> int:
+    """Byte size of an insert run's literal payload (newline per line)."""
+    return sum(len(line.encode()) + 1 for line in lines)
 
 
 @dataclass(frozen=True)
@@ -32,8 +47,8 @@ class DeltaOp:
 
     def byte_size(self) -> int:
         if self.kind == "insert":
-            return _HEADER_BYTES + sum(len(line.encode()) + 1 for line in self.lines)
-        return _HEADER_BYTES
+            return OP_HEADER_BYTES + insert_payload_bytes(self.lines)
+        return OP_HEADER_BYTES
 
 
 @dataclass(frozen=True)

@@ -102,6 +102,77 @@ class TestDataset:
         assert g.num_versions == 29
 
 
+class TestIngest:
+    def test_json_panel_strict(self, capsys):
+        rc = main(["ingest", "--commits", "40", "--seed", "3", "--every", "5"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "msr-online"
+        assert payload["summary"]["versions"] == 40
+        assert payload["summary"]["resolves"] >= 1
+        for entry in payload["entries"]:
+            assert entry["storage"] <= entry["budget"] * (1 + 1e-9) + 1e-6
+            assert entry["staleness"] >= 0.0
+        # strict JSON: re-serializable with allow_nan=False
+        json.dumps(payload, allow_nan=False)
+
+    def test_fixed_budget_and_solver(self, capsys):
+        rc = main(
+            [
+                "ingest",
+                "--commits", "30",
+                "--seed", "1",
+                "--budget", "1000000",
+                "--solver", "lmg-all",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["budget"] == 1000000
+        assert payload["budget_factor"] is None
+
+    def test_markdown_panel(self, capsys):
+        rc = main(
+            ["ingest", "--commits", "25", "--seed", "2", "--every", "5",
+             "--format", "markdown"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MSR online ingest" in out
+        assert "| index |" in out
+        assert "re-solves" in out
+
+    def test_infeasible_budget_exits_1(self, capsys):
+        rc = main(["ingest", "--commits", "10", "--seed", "0", "--budget", "1"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "infeasible" in captured.err
+        assert captured.out == ""
+
+    def test_conflicting_budget_flags_exit_2(self, capsys):
+        rc = main(
+            ["ingest", "--commits", "10", "--budget", "5", "--budget-factor", "2"]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_solver_exits_2(self, capsys):
+        rc = main(["ingest", "--commits", "10", "--solver", "nope"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_out_file(self, tmp_path, capsys):
+        out = tmp_path / "panel.json"
+        rc = main(
+            ["ingest", "--commits", "20", "--seed", "4", "--out", str(out),
+             "--format", "markdown", "--background"]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["background"] is True
+        assert payload["summary"]["versions"] == 20
+
+
 class TestFigure:
     def test_unknown_figure(self, capsys):
         rc = main(["figure", "fig99"])

@@ -86,14 +86,29 @@ class TestCompiledGraph:
             pred = [cg.node_of(int(cg.edge_src[e])) for e in cg.in_slice(ui)]
             assert pred == list(ext.predecessors(u))
 
-    def test_compile_is_cached_and_invalidated(self):
+    def test_compile_is_cached_and_extended_on_append(self):
         g = random_digraph(6, seed=4)
         cg1 = g.compile()
         assert g.compile() is cg1
+        # pure appends extend the cached compiled graph in place ...
         g.add_version("fresh", 5.0)
         cg2 = g.compile()
+        assert cg2 is cg1
+        assert cg2.n == 7
+        assert np.array_equal(cg2.node_storage, CompiledGraph(g).node_storage)
+
+    def test_compile_invalidated_on_non_append_mutation(self):
+        g = random_digraph(6, seed=4)
+        cg1 = g.compile()
+        u, v, _ = next(g.deltas())
+        g.remove_delta(u, v)  # not an append: cache must be dropped
+        cg2 = g.compile()
         assert cg2 is not cg1
-        assert cg2.n == cg1.n + 1
+        assert cg2.num_edges == cg1.num_edges - 1
+        g.add_version(g.versions[0], 123.0)  # storage update, same node
+        cg3 = g.compile()
+        assert cg3 is not cg2
+        assert cg3.node_storage[0] == 123.0
 
     def test_compiled_graph_pickles(self):
         g = random_digraph(6, seed=5)

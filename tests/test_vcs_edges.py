@@ -1,0 +1,204 @@
+"""VCS edge cases + the single-trace bidirectional delta costs.
+
+Covers what the straight-line-history tests never exercised: empty
+files, pure deletions, unicode paths/content, merge commits with two
+parents — and pins that :func:`snapshot_delta_bytes_pair` (one Myers
+trace per file, reverse script derived) produces byte costs identical
+to two independent diff runs on the preset repositories.
+"""
+
+import pytest
+
+from repro.core import validate_graph
+from repro.vcs import (
+    Repository,
+    build_graph_from_repo,
+    compute_delta,
+    random_repository,
+    snapshot_delta_bytes,
+    snapshot_delta_bytes_pair,
+)
+
+
+def legacy_pair(a, b):
+    """The pre-refactor behaviour: two independent Myers runs."""
+    return snapshot_delta_bytes(a, b), snapshot_delta_bytes(b, a)
+
+
+class TestPairEqualsTwoRuns:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_repositories(self, seed):
+        repo = random_repository(80, seed=seed)
+        for c in repo.commits:
+            for p in c.parents:
+                a = repo.commits[p].snapshot
+                b = c.snapshot
+                assert snapshot_delta_bytes_pair(a, b) == legacy_pair(a, b)
+
+    def test_branchy_repository_with_merges(self):
+        repo = random_repository(120, merge_prob=0.15, branch_prob=0.25, seed=7)
+        assert any(len(c.parents) == 2 for c in repo.commits)
+        for c in repo.commits:
+            for p in c.parents:
+                a = repo.commits[p].snapshot
+                b = c.snapshot
+                assert snapshot_delta_bytes_pair(a, b) == legacy_pair(a, b)
+
+    def test_handcrafted_shapes(self):
+        cases = [
+            ({}, {}),
+            ({"f": ("a",)}, {}),  # file deleted
+            ({}, {"f": ("a", "b")}),  # file created
+            ({"f": ()}, {"f": ("x",)}),  # empty file gains content
+            ({"f": ("x",)}, {"f": ()}),  # file emptied (not deleted)
+            ({"f": ("a", "b", "c")}, {"f": ("a", "c")}),
+            ({"f": ("a",), "g": ("b",)}, {"f": ("a", "z")}),  # edit + delete
+        ]
+        for a, b in cases:
+            assert snapshot_delta_bytes_pair(a, b) == legacy_pair(a, b)
+
+    def test_ambiguous_alignment_divergence_is_pinned(self):
+        # with reordered/duplicated lines the file pair admits several
+        # LCS alignments; the derived reverse script keeps a different
+        # line set than an independent reverse Myers run would, so the
+        # byte costs legitimately diverge — both are valid shortest-
+        # edit-script costs.  Pin the behaviour so a silent change to
+        # either path shows up.
+        a = {"f": ("A", "D")}
+        b = {"f": ("D", "A", "BB", "CCC")}
+        assert legacy_pair(a, b) == (30, 27)
+        assert snapshot_delta_bytes_pair(a, b) == (30, 23)
+
+    def test_build_graph_costs_unchanged(self):
+        # the graph builder switched to the pair function: costs on a
+        # seeded repo must equal the two-run reference edge by edge
+        repo = random_repository(40, seed=9)
+        g = build_graph_from_repo(repo)
+        for c in repo.commits:
+            for p in c.parents:
+                fwd, bwd = legacy_pair(repo.commits[p].snapshot, c.snapshot)
+                assert g.delta(p, c.id).storage == fwd
+                assert g.delta(c.id, p).storage == bwd
+
+
+class TestEmptyFiles:
+    def test_empty_file_round_trip(self):
+        script = compute_delta([], [])
+        assert script.byte_size() == 0
+        assert script.apply([]) == []
+
+    def test_empty_file_creation_costs_the_floor(self):
+        # an empty file carries no lines, so in the snapshot model its
+        # creation is indistinguishable from its absence: the delta
+        # collapses to the 1-byte floor, identically in both paths
+        a = {"f": ("x",)}
+        b = {"f": ("x",), "empty.txt": ()}
+        assert snapshot_delta_bytes_pair(a, b) == legacy_pair(a, b) == (1, 1)
+
+    def test_emptying_a_file_keeps_it(self):
+        a = {"f": ("line1", "line2")}
+        b = {"f": ()}
+        fwd, bwd = snapshot_delta_bytes_pair(a, b)
+        # forward: emptying collapses to a deletion (header only);
+        # backward re-inserts both lines in one run
+        assert fwd == 8 + 1
+        assert bwd == 8 + 1 + 4 + len("line1") + 1 + len("line2") + 1
+
+
+class TestPureDeletions:
+    def test_pure_deletion_commit(self):
+        repo = Repository()
+        repo.commit({"a.txt": ("one",), "b.txt": ("two", "three")})
+        repo.commit({"a.txt": ("one",)})  # b.txt deleted, nothing else
+        g = build_graph_from_repo(repo)
+        validate_graph(g)
+        # forward: deletion is header-only; backward must re-insert b.txt
+        assert g.delta(0, 1).storage == 8 + len("b.txt")
+        assert g.delta(1, 0).storage == 8 + len("b.txt") + 4 + 4 + 6
+        # (one insert run: header + "two\0" + "three\0")
+
+    def test_delete_everything(self):
+        repo = Repository()
+        repo.commit({"only.txt": ("data",)})
+        repo.commit({})
+        g = build_graph_from_repo(repo)
+        assert g.storage_cost(1) == 0.0
+        assert g.delta(0, 1).storage == 8 + len("only.txt")
+        assert snapshot_delta_bytes({}, {}) == 1  # floor cost
+
+
+class TestUnicodePaths:
+    def test_unicode_paths_and_content_byte_accurate(self):
+        a = {"données/mesures.txt": ("héllo wörld",)}
+        b = {
+            "données/mesures.txt": ("héllo wörld", "καλημέρα"),
+            "日本語.txt": ("テスト",),
+        }
+        fwd, bwd = snapshot_delta_bytes_pair(a, b)
+        assert (fwd, bwd) == legacy_pair(a, b)
+        # path costs are utf-8 byte lengths, not character counts
+        assert fwd > 8 + len("日本語.txt".encode()) + 4
+        repo = Repository()
+        repo.commit(a)
+        repo.commit(b)
+        g = build_graph_from_repo(repo)
+        validate_graph(g)
+        assert g.delta(0, 1).storage == fwd
+        assert g.delta(1, 0).storage == bwd
+
+    def test_unicode_insert_payload_bytes(self):
+        script = compute_delta([], ["αβ"])
+        # one insert run: 4-byte header + utf-8 payload + newline
+        assert script.byte_size() == 4 + len("αβ".encode()) + 1
+
+
+class TestMergeCommits:
+    def make_merge_repo(self):
+        repo = Repository()
+        repo.commit({"f": ("base",)})
+        repo.branch_from("dev")
+        repo.commit({"f": ("base", "dev-line")}, branch="dev")
+        repo.commit({"f": ("base", "main-line")})
+        repo.merge("dev")
+        return repo
+
+    def test_merge_commit_gets_edges_to_both_parents(self):
+        repo = self.make_merge_repo()
+        merge = repo.commits[-1]
+        assert len(merge.parents) == 2
+        g = build_graph_from_repo(repo)
+        validate_graph(g)
+        for p in merge.parents:
+            assert g.has_delta(p, merge.id)
+            assert g.has_delta(merge.id, p)
+            fwd, bwd = snapshot_delta_bytes_pair(
+                repo.commits[p].snapshot, merge.snapshot
+            )
+            assert g.delta(p, merge.id).storage == fwd
+            assert g.delta(merge.id, p).storage == bwd
+
+    def test_octopus_like_sequential_merges(self):
+        # three branches merged back one after another: every merge has
+        # two parents and every parent pair gets bidirectional edges
+        repo = Repository()
+        repo.commit({"f": ("base",)})
+        for name in ("b1", "b2", "b3"):
+            repo.branch_from(name)
+            repo.commit({"f": ("base", name)}, branch=name)
+        for name in ("b1", "b2", "b3"):
+            repo.merge(name)
+        g = build_graph_from_repo(repo)
+        validate_graph(g)
+        merges = [c for c in repo.commits if len(c.parents) == 2]
+        assert len(merges) == 3
+        links = sum(len(c.parents) for c in repo.commits)
+        assert g.num_deltas == 2 * links
+
+    def test_merge_history_solves_end_to_end(self):
+        from repro.algorithms import lmg_all, min_storage_plan_tree
+
+        repo = self.make_merge_repo()
+        g = build_graph_from_repo(repo)
+        base = min_storage_plan_tree(g).total_storage
+        tree = lmg_all(g, base * 1.5)
+        assert tree.total_storage <= base * 1.5 + 1e-6
