@@ -5,6 +5,8 @@ Solver naming follows the paper:
 * :func:`lmg` — Local Move Greedy (Algorithm 1), the prior MSR heuristic.
 * :func:`lmg_all` — the paper's improved greedy (Algorithm 7).
 * :func:`mp` — Modified Prim's, the prior BMR heuristic.
+* :func:`bmr_lmg` / :func:`mp_local` — LMG-style local-move greedy for
+  BMR (all-materialized start, resp. MP start + refinement).
 * :func:`dp_bmr` / :func:`dp_bmr_heuristic` — exact tree DP (Algorithm 2)
   and its tree-extraction heuristic (Section 6.2).
 * :func:`dp_msr` / :func:`dp_msr_frontier` — the practical frontier DP
@@ -27,6 +29,7 @@ from .brute_force import (
     enumerate_parent_maps,
     enumerate_plan_scores,
 )
+from .bmr_greedy import bmr_lmg, bmr_local_moves, mp_local
 from .dp_bmr import (
     DPBMRResult,
     TreeIndex,
@@ -71,6 +74,9 @@ __all__ = [
     "lmg",
     "lmg_all",
     "mp",
+    "bmr_lmg",
+    "mp_local",
+    "bmr_local_moves",
     "dp_bmr",
     "dp_bmr_heuristic",
     "dp_msr",

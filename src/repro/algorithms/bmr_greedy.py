@@ -1,0 +1,162 @@
+"""Greedy local-move heuristics for BMR (storage under a retrieval cap).
+
+The paper's BMR story (Sections 6.2 / 7) pits the exact tree DP against
+MP, the prior Prim-style constructive heuristic.  Both leave an obvious
+gap: MP never revisits an attachment, and the DP only sees the
+extracted bidirectional tree.  This module adds the *local-search*
+counterpart of the LMG family for the BMR objective — minimize total
+storage subject to ``max_v R(v) <= R``:
+
+:func:`bmr_lmg`
+    An LMG-style swap loop started from the all-materialized plan (the
+    retrieval-optimal configuration, exactly dual to LMG starting from
+    the storage-optimal arborescence).  Each round scans every edge of
+    the extended graph and applies the best *storage-reducing* swap
+    whose moved subtree stays within the retrieval budget; moves are
+    ranked by ``rho = storage reduction / retrieval increase`` with
+    retrieval-non-increasing moves taken first (``rho = inf`` tier),
+    mirroring LMG's ratio rule with the objective and constraint roles
+    exchanged.
+
+:func:`mp_local`
+    MP's constructive tree refined by the same swap loop.  Every
+    applied move strictly reduces storage while preserving budget
+    feasibility, so ``mp_local`` dominates plain MP on the BMR
+    objective by construction.
+
+Feasibility bookkeeping
+-----------------------
+Re-routing ``v`` through ``(u, v)`` shifts the retrieval cost of every
+node in ``v``'s subtree by ``shift = R(u) + r_uv - R(v)``; the move is
+admissible iff ``max-subtree-retrieval(v) + shift`` stays within the
+budget (checked through :func:`repro.core.tolerance.within_budget`, the
+shared admission tolerance).  Per-subtree maxima are recomputed once per
+round in O(V) — the same order as one candidate scan.
+
+The flat-array kernels in :mod:`repro.fastgraph.solvers`
+(``bmr_lmg_array`` / ``mp_local_array``) are plan-identical to these
+references: same scan order, same IEEE float expressions, same
+first-strictly-greater tie-breaking.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import AUX, Node, VersionGraph
+from ..core.solution import PlanTree
+from ..core.tolerance import within_budget
+from .mp import mp
+
+__all__ = ["bmr_lmg", "mp_local", "bmr_local_moves"]
+
+
+def _subtree_max_retrieval(tree: PlanTree) -> dict[Node, float]:
+    """Per-node maximum retrieval cost over the node's subtree.
+
+    One reverse-topological pass; ``max`` selects among exact cached
+    floats, so the result is bit-identical however the tree was built.
+    """
+    order = list(tree.iter_nodes_topological())
+    submax = {v: tree.ret[v] for v in order}
+    submax[AUX] = 0.0
+    for v in reversed(order):
+        p = tree.parent[v]
+        if submax[v] > submax[p]:
+            submax[p] = submax[v]
+    return submax
+
+
+def bmr_local_moves(
+    tree: PlanTree,
+    retrieval_budget: float,
+    rounds: int,
+) -> PlanTree:
+    """Run the BMR swap loop on ``tree`` in place; returns ``tree``.
+
+    Each round scans all edges of the extended graph in insertion
+    order, skips current tree edges / cycle-creating moves, and applies
+    the best storage-reducing swap whose moved subtree stays within
+    ``retrieval_budget``.  Stops when no admissible move remains or
+    after ``rounds`` rounds.
+    """
+    ext = tree.graph
+    edges: list[tuple[Node, Node]] = [(u, v) for u, v, _ in ext.deltas()]
+
+    for _ in range(rounds):
+        submax = _subtree_max_retrieval(tree)
+        tree.refresh_euler()
+        best_key: tuple[int, float] | None = None  # (inf tier?, rho or reduction)
+        best_move: tuple[Node, Node] | None = None
+        for u, v in edges:
+            if tree.parent[v] == u:
+                continue
+            if u is not AUX and tree.is_ancestor(v, u):
+                continue  # would create a cycle (u descends from v)
+            new_d = ext.delta(u, v)
+            ds = new_d.storage - ext.delta(tree.parent[v], v).storage
+            if ds >= 0:
+                continue  # the BMR objective (storage) must strictly improve
+            shift = tree.ret[u] + new_d.retrieval - tree.ret[v]
+            if not within_budget(submax[v] + shift, retrieval_budget):
+                continue  # some version in subtree(v) would bust the budget
+            reduction = -ds
+            if shift <= 0:
+                key = (1, reduction)  # rho = inf tier, larger reduction first
+            else:
+                key = (0, reduction / shift)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_move = (u, v)
+        if best_move is None:
+            break
+        tree.apply_swap(*best_move)
+    return tree
+
+
+def _default_rounds(tree: PlanTree) -> int:
+    """Default round cap: every applied move strictly reduces storage,
+    so the loop terminates long before this safety bound in practice."""
+    return 4 * len(tree.parent) + 64
+
+
+def bmr_lmg(
+    graph: VersionGraph,
+    retrieval_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> PlanTree:
+    """LMG-style greedy for BMR. Returns the final :class:`PlanTree`.
+
+    Starts from the all-materialized plan (``max_v R(v) = 0``, feasible
+    for every non-negative budget) and greedily trades retrieval slack
+    for storage through budget-feasible edge swaps.  Raises
+    ``ValueError`` when ``retrieval_budget`` is negative (even the
+    all-materialized plan is infeasible then), matching :func:`~repro.
+    algorithms.mp.mp`'s infeasibility contract.
+    """
+    if not within_budget(0.0, retrieval_budget):
+        raise ValueError(
+            f"retrieval budget {retrieval_budget} infeasible: even "
+            f"materializing every version has max retrieval 0"
+        )
+    ext = graph if graph.has_aux else graph.extended()
+    tree = PlanTree(ext, {v: AUX for v in ext.versions if v is not AUX})
+    rounds = max_iterations if max_iterations is not None else _default_rounds(tree)
+    return bmr_local_moves(tree, retrieval_budget, rounds)
+
+
+def mp_local(
+    graph: VersionGraph,
+    retrieval_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> PlanTree:
+    """MP followed by BMR local moves. Returns the final :class:`PlanTree`.
+
+    Runs Modified Prim's to build a feasible tree, then refines it with
+    the same swap loop as :func:`bmr_lmg`; the result never stores more
+    than plain MP.  Raises ``ValueError`` on infeasible (negative)
+    retrieval budgets, exactly like MP itself.
+    """
+    tree = mp(graph, retrieval_budget)
+    rounds = max_iterations if max_iterations is not None else _default_rounds(tree)
+    return bmr_local_moves(tree, retrieval_budget, rounds)

@@ -136,6 +136,7 @@ class TreeIndex:
 
     @property
     def nodes(self) -> list[Node]:
+        """All tree nodes in entry-time (DFS) order."""
         return list(self.tin)
 
 

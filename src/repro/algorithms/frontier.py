@@ -71,10 +71,12 @@ class Frontier:
     # ------------------------------------------------------------------
     @staticmethod
     def empty() -> "Frontier":
+        """The canonical empty frontier (shared singleton)."""
         return _EMPTY_FRONTIER
 
     @staticmethod
     def single(storage: float, retrieval: float, grid: "ThinningGrid | None" = None) -> "Frontier":
+        """Frontier of one point; empty when the grid cap prunes it."""
         if grid is not None and storage > grid.cap:
             return _EMPTY_FRONTIER
         return Frontier(
@@ -98,12 +100,15 @@ class Frontier:
 
     @property
     def is_empty(self) -> bool:
+        """True when the frontier has no points."""
         return self.sto.shape[0] == 0
 
     def points(self) -> list[tuple[float, float]]:
+        """All points as ``(storage, retrieval)`` tuples."""
         return list(zip(self.sto.tolist(), self.ret.tolist()))
 
     def min_storage(self) -> float:
+        """Smallest storage among the points (``inf`` when empty)."""
         return float(self.sto[0]) if len(self) else math.inf
 
     def best_retrieval_within(self, storage_budget: float) -> float:
@@ -114,6 +119,7 @@ class Frontier:
         return float(self.ret[i - 1])
 
     def best_point_within(self, storage_budget: float) -> tuple[float, float] | None:
+        """Best ``(storage, retrieval)`` with storage within budget, or ``None``."""
         i = int(np.searchsorted(self.sto, budget_cap(storage_budget), side="right"))
         if i == 0:
             return None
@@ -158,6 +164,7 @@ class Frontier:
 
     # -- invariants (used by hypothesis tests) --------------------------
     def check_invariants(self) -> None:
+        """Assert canonical form: sorted, strictly dominating, finite."""
         s, r = self.sto, self.ret
         assert s.shape == r.shape
         if len(s) == 0:

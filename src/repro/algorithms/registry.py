@@ -30,17 +30,27 @@ graph cached on the :class:`VersionGraph` itself (``graph.compile()``),
 so repeated calls on one graph compile once.
 
 Budget-grid sweeps have a third addressing surface: :data:`MSR_SWEEPS`
-maps the LMG-family names to whole-grid trajectory-replay sweeps
-(``f(graph, budgets) -> list[SweepEntry]``, one solver run for the
-entire grid); :func:`get_msr_sweep` returns ``None`` for solvers that
-must be probed per budget.
+/ :data:`BMR_SWEEPS` map the greedy-family names to whole-grid
+trajectory-replay sweeps (``f(graph, budgets) -> list[SweepEntry]``,
+one solver run for the entire grid); :func:`get_msr_sweep` /
+:func:`get_bmr_sweep` return ``None`` for solvers that must be probed
+per budget.
 """
 
 from __future__ import annotations
 
 from ..core.graph import VersionGraph
 from ..core.solution import StoragePlan
-from ..fastgraph import lmg_all_array, lmg_array, mp_array, sweep_greedy_msr
+from ..fastgraph import (
+    bmr_lmg_array,
+    lmg_all_array,
+    lmg_array,
+    mp_array,
+    mp_local_array,
+    sweep_greedy_bmr,
+    sweep_greedy_msr,
+)
+from .bmr_greedy import bmr_lmg, mp_local
 from .dp_bmr import dp_bmr_heuristic
 from .dp_msr import dp_msr
 from .ilp import bmr_ilp, msr_ilp
@@ -52,11 +62,14 @@ __all__ = [
     "MSR_SOLVERS",
     "BMR_SOLVERS",
     "MSR_SWEEPS",
+    "BMR_SWEEPS",
     "ENGINE_SOLVERS",
+    "BMR_ENGINE_SOLVERS",
     "BACKENDS",
     "get_msr_solver",
     "get_bmr_solver",
     "get_msr_sweep",
+    "get_bmr_sweep",
     "get_engine_solver",
     "msr_sweep_start_edges",
 ]
@@ -132,6 +145,34 @@ def _bmr_ilp(graph: VersionGraph, budget: float) -> StoragePlan | None:
     return bmr_ilp(graph, budget).plan
 
 
+def _bmr_lmg_dict(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return bmr_lmg(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _bmr_lmg_array(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return bmr_lmg_array(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _mp_local_dict(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return mp_local(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
+def _mp_local_array(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return mp_local_array(graph, budget).to_plan()
+    except ValueError:
+        return None
+
+
 #: Plain-name mapping; greedy names resolve to the array kernels.
 MSR_SOLVERS = {
     "lmg": _lmg_array,
@@ -142,6 +183,8 @@ MSR_SOLVERS = {
 
 BMR_SOLVERS = {
     "mp": _mp_array,
+    "mp-local": _mp_local_array,
+    "bmr-lmg": _bmr_lmg_array,
     "dp-bmr": _dp_bmr,
     "ilp": _bmr_ilp,
 }
@@ -166,37 +209,82 @@ MSR_SWEEPS = {
 }
 
 
+def _sweep_bmr_lmg(graph, budgets):
+    return sweep_greedy_bmr(graph, "bmr-lmg", budgets)
+
+
+#: Whole-grid BMR sweep callables; only ``bmr-lmg`` qualifies — its
+#: all-materialized start is budget-independent and its move admission
+#: is budget-monotone.  ``mp`` / ``mp-local`` are absent by design:
+#: MP's Prim growth depends on the retrieval budget at every
+#: relaxation, so runs at different budgets share no prefix.
+BMR_SWEEPS = {
+    "bmr-lmg": _sweep_bmr_lmg,
+}
+
+
 def get_msr_sweep(name: str):
     """Whole-grid sweep for ``name``, or ``None`` when the solver has
     no trajectory-replay sweep (callers fall back to per-budget runs)."""
     return MSR_SWEEPS.get(name)
 
 
-#: Engine-aware MSR solvers ``f(compiled_graph, budget) -> ArrayPlanTree``.
+def get_bmr_sweep(name: str):
+    """Whole-grid BMR sweep for ``name``, or ``None`` when the solver
+    must be probed per retrieval budget."""
+    return BMR_SWEEPS.get(name)
+
+
+#: Engine-aware solvers ``f(compiled_graph, budget) -> ArrayPlanTree``.
 #: The ingest engine (:mod:`repro.engine`) needs the *tree*, not the
 #: exported :class:`StoragePlan`: between full re-solves it keeps
 #: attaching arriving versions onto the live ``ArrayPlanTree``, and the
 #: incremental attach / staleness bookkeeping work on the flat arrays.
 #: Only kernels that run directly on a :class:`~repro.fastgraph.
-#: CompiledGraph` qualify (the LMG greedy family); DP/ILP solvers have
+#: CompiledGraph` qualify (the greedy families); DP/ILP solvers have
 #: no array-tree form and are deliberately absent.
 ENGINE_SOLVERS = {
     "lmg": lmg_array,
     "lmg-all": lmg_all_array,
 }
 
+#: BMR engine solvers: budget is the max-retrieval cap, objective is
+#: storage.  All three greedy BMR kernels qualify.
+BMR_ENGINE_SOLVERS = {
+    "mp": mp_array,
+    "mp-local": mp_local_array,
+    "bmr-lmg": bmr_lmg_array,
+}
 
-def get_engine_solver(name: str):
+_ENGINE_TABLES = {"msr": ENGINE_SOLVERS, "bmr": BMR_ENGINE_SOLVERS}
+
+
+def get_engine_solver(name: str, problem: str = "msr"):
     """Tree-level solver for the ingest engine.
 
-    Raises ``KeyError`` with the valid options for unknown or
+    ``problem`` selects the family: ``"msr"`` (storage budget,
+    :data:`ENGINE_SOLVERS`) or ``"bmr"`` (retrieval budget,
+    :data:`BMR_ENGINE_SOLVERS`).  Raises ``ValueError`` for unknown
+    problems and ``KeyError`` with the valid options for unknown or
     non-engine-capable solver names.
     """
     try:
-        return ENGINE_SOLVERS[name]
+        table = _ENGINE_TABLES[problem]
     except KeyError:
+        raise ValueError(
+            f"unknown engine problem {problem!r}; options: "
+            f"{sorted(_ENGINE_TABLES)}"
+        ) from None
+    try:
+        return table[name]
+    except KeyError:
+        hint = ""
+        other = "bmr" if problem == "msr" else "msr"
+        if name in _ENGINE_TABLES[other]:
+            hint = f" ({name!r} is a {other.upper()} engine solver)"
         raise KeyError(
-            f"unknown engine solver {name!r}; options: {sorted(ENGINE_SOLVERS)}"
+            f"unknown {problem.upper()} engine solver {name!r}; "
+            f"options: {sorted(table)}{hint}"
         ) from None
 
 
@@ -215,6 +303,8 @@ BACKENDS = {
     ("msr", "lmg"): {"array": _lmg_array, "dict": _lmg_dict},
     ("msr", "lmg-all"): {"array": _lmg_all_array, "dict": _lmg_all_dict},
     ("bmr", "mp"): {"array": _mp_array, "dict": _mp_dict},
+    ("bmr", "mp-local"): {"array": _mp_local_array, "dict": _mp_local_dict},
+    ("bmr", "bmr-lmg"): {"array": _bmr_lmg_array, "dict": _bmr_lmg_dict},
 }
 
 _BACKEND_NAMES = ("array", "dict")
@@ -224,8 +314,16 @@ def _resolve(family: str, table: dict, name: str, backend: str | None):
     try:
         default = table[name]
     except KeyError:
+        other = "bmr" if family == "msr" else "msr"
+        other_table = BMR_SOLVERS if other == "bmr" else MSR_SOLVERS
+        hint = (
+            f" ({name!r} is a {other.upper()} solver; use get_{other}_solver)"
+            if name in other_table
+            else ""
+        )
         raise KeyError(
-            f"unknown {family.upper()} solver {name!r}; options: {sorted(table)}"
+            f"unknown {family.upper()} solver {name!r}; "
+            f"options: {sorted(table)}{hint}"
         ) from None
     if backend is None:
         return default

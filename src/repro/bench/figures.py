@@ -145,12 +145,14 @@ def fig13(dataset: str = "styleguide", verbose: bool = True) -> ExperimentResult
 
 @dataclass
 class Theorem1Row:
+    """One adversarial-chain measurement (LMG vs OPT at ``c/b``)."""
     c_over_b: float
     lmg_retrieval: float
     opt_retrieval: float
 
     @property
     def gap(self) -> float:
+        """LMG's retrieval divided by the optimum's."""
         return self.lmg_retrieval / self.opt_retrieval
 
 

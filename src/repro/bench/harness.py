@@ -12,13 +12,14 @@ Two solver families produce their whole budget series from **one** run:
 
 * DP-MSR's frontier is read at every budget ("the DP algorithm returns
   a whole spectrum of solutions at once", exactly as the paper does);
-* the LMG family replays one recorded greedy trajectory across the
-  grid (:func:`repro.fastgraph.sweep_greedy_msr`) — valid because the
-  greedy move sequence is budget-monotone, with a live continuation on
-  the rare divergence, so each grid point's plan is identical to an
-  independent solve at that budget.  MP has no replayable trajectory
-  (its Prim growth is budget-dependent at every relaxation) and keeps
-  per-budget runs.
+* the greedy families replay one recorded trajectory across the grid
+  (:func:`repro.fastgraph.sweep_greedy_msr` for LMG / LMG-All,
+  :func:`repro.fastgraph.sweep_greedy_bmr` for ``bmr-lmg``) — valid
+  because the greedy move sequence is budget-monotone, with a live
+  continuation on the rare divergence, so each grid point's plan is
+  identical to an independent solve at that budget.  The MP family has
+  no replayable trajectory (its Prim growth is budget-dependent at
+  every relaxation) and keeps per-budget runs.
 
 For single-run families the run-time series records the one shared
 wall-clock time, shown flat across the grid, as in the paper's panels.
@@ -43,6 +44,7 @@ from ..algorithms.ilp import msr_ilp
 from ..algorithms.registry import (
     BMR_SOLVERS,
     MSR_SOLVERS,
+    get_bmr_sweep,
     get_msr_sweep,
     msr_sweep_start_edges,
 )
@@ -70,10 +72,12 @@ class Series:
     y: list[float] = field(default_factory=list)
 
     def add(self, x: float, y: float) -> None:
+        """Append one ``(x, y)`` measurement."""
         self.x.append(float(x))
         self.y.append(float(y))
 
     def finite(self) -> "Series":
+        """Copy with non-finite (infeasible) points dropped."""
         pts = [(a, b) for a, b in zip(self.x, self.y) if math.isfinite(b)]
         return Series(self.label, [a for a, _ in pts], [b for _, b in pts])
 
@@ -84,15 +88,24 @@ class ExperimentResult:
 
     name: str
     dataset: str
+    problem: str = ""  # "msr" | "bmr" (set by the run_* entry points)
     objective: dict[str, Series] = field(default_factory=dict)
     runtime: dict[str, Series] = field(default_factory=dict)
     notes: dict[str, float | str] = field(default_factory=dict)
+
+    @property
+    def budget_kind(self) -> str:
+        """What the x-axis budgets constrain: storage (MSR family) or
+        retrieval (BMR family); empty when the problem is unset."""
+        return {"msr": "storage", "bmr": "retrieval"}.get(self.problem, "")
 
     def to_json_dict(self) -> dict:
         """Strict-JSON payload: non-finite values (infeasible grid
         points, infinite budgets) become ``None``, since ``json.dumps``
         would emit the non-RFC ``Infinity`` literal that jq/JSON.parse
-        reject."""
+        reject.  ``problem`` / ``budget_kind`` let downstream parsers
+        distinguish the MSR family (storage budgets) from the BMR
+        family (retrieval budgets)."""
 
         def series(s: Series) -> dict:
             safe = lambda vals: [v if math.isfinite(v) else None for v in vals]  # noqa: E731
@@ -101,12 +114,15 @@ class ExperimentResult:
         return {
             "name": self.name,
             "dataset": self.dataset,
+            "problem": self.problem,
+            "budget_kind": self.budget_kind,
             "objective": {k: series(s) for k, s in self.objective.items()},
             "runtime": {k: series(s) for k, s in self.runtime.items()},
             "notes": self.notes,
         }
 
     def save(self, directory: Path | None = None) -> Path:
+        """Write the JSON payload under ``results/``; returns the path."""
         directory = directory or results_dir()
         directory.mkdir(parents=True, exist_ok=True)
         safe = f"{self.name}_{self.dataset}".replace(" ", "_").replace("(", "").replace(")", "")
@@ -116,6 +132,7 @@ class ExperimentResult:
 
 
 def results_dir() -> Path:
+    """The repository-level ``results/`` directory."""
     return Path(__file__).resolve().parents[3] / "results"
 
 
@@ -160,7 +177,7 @@ def run_msr_experiment(
     per budget.  ILP (OPT) is optional and time-limited.
     """
     budgets = budgets or msr_budget_grid(graph)
-    result = ExperimentResult(name=name, dataset=graph.name)
+    result = ExperimentResult(name=name, dataset=graph.name, problem="msr")
     t0 = time.perf_counter()
     start_edges = msr_sweep_start_edges(graph, solvers)
     # the shared Edmonds run is part of producing every greedy series,
@@ -226,16 +243,32 @@ def run_bmr_experiment(
     """One Figure-13 panel (storage objective vs retrieval budget).
 
     DP-BMR reuses a single extracted tree index across budgets, the
-    same O(n²) precomputation amortization the paper's sweep uses.
+    same O(n²) precomputation amortization the paper's sweep uses;
+    ``bmr-lmg`` runs **once** per grid through the trajectory-replay
+    sweep (plan-identical to per-budget solves), recording its single
+    run time flat across the grid like the MSR greedy series.
     """
     if budgets is None:
         budgets = bmr_budget_grid(graph)
-    result = ExperimentResult(name=name, dataset=graph.name)
+    result = ExperimentResult(name=name, dataset=graph.name, problem="bmr")
     shared_index = extract_index(graph) if "dp-bmr" in solvers else None
 
     for solver_name in solvers:
         obj = Series(solver_name)
         rt = Series(solver_name)
+        sweep = get_bmr_sweep(solver_name)
+        if sweep is not None:
+            t0 = time.perf_counter()
+            entries = sweep(graph, list(budgets))
+            dt = time.perf_counter() - t0
+            for e in entries:
+                obj.add(e.budget, math.inf if e.score is None else e.score.storage)
+                rt.add(e.budget, dt)
+                if e.score is not None:
+                    assert within_budget_recomputed(e.score.max_retrieval, e.budget)
+            result.objective[solver_name] = obj
+            result.runtime[solver_name] = rt
+            continue
         for b in budgets:
             t0 = time.perf_counter()
             if solver_name == "dp-bmr":
@@ -308,6 +341,7 @@ def ascii_plot(
 
 
 def markdown_table(headers: list[str], rows: list[list]) -> str:
+    """Render rows as a GitHub-flavored Markdown table."""
     def fmt(x) -> str:
         if isinstance(x, float):
             return f"{x:.4g}"

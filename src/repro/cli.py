@@ -19,11 +19,14 @@ recorded greedy trajectory instead of re-solving per budget)::
     repro-versioning sweep msr --dataset styleguide --scale 0.2 --out panel.json
 
 Stream a repository through the online ingest engine (per-arrival plan
-repair + staleness-bounded re-solves)::
+repair + staleness-bounded re-solves; ``--problem bmr`` serves under a
+max-retrieval budget instead of a storage budget)::
 
     repro-versioning ingest --commits 500 --seed 7 --budget-factor 4
     repro-versioning ingest --commits 200 --budget 50000 --solver lmg-all \
         --staleness 0.05 --format markdown
+    repro-versioning ingest --problem bmr --commits 200 --budget 900 \
+        --solver mp-local
 
 Inspect a dataset preset::
 
@@ -164,7 +167,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
-    default_solvers = "lmg,lmg-all,dp-msr" if args.problem == "msr" else "mp,dp-bmr"
+    default_solvers = (
+        "lmg,lmg-all,dp-msr" if args.problem == "msr" else "mp,mp-local,bmr-lmg,dp-bmr"
+    )
     solvers = [
         s.strip() for s in (args.solvers or default_solvers).split(",") if s.strip()
     ]
@@ -190,14 +195,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
-    payload = result.to_json_dict()  # strict JSON: inf points are null
+    # strict JSON: inf points are null; "problem"/"budget_kind" tell
+    # downstream parsers whether budgets cap storage (MSR) or retrieval
+    # (BMR)
+    payload = result.to_json_dict()
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=1, allow_nan=False))
         print(f"wrote {args.out}", file=sys.stderr)
     if args.format in ("markdown", "both"):
+        budget_label = f"{result.budget_kind} budget"
 
         def panel_table(series_map, label):
-            headers = ["budget"] + [f"{s} ({label})" for s in solvers]
+            headers = [budget_label] + [f"{s} ({label})" for s in solvers]
             rows = [
                 [b] + [series_map[s].y[i] for s in solvers]
                 for i, b in enumerate(budgets)
@@ -225,7 +234,18 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         return 2
     budget = args.budget
     budget_factor = args.budget_factor if budget is None else None
-    if budget is None and budget_factor is None:
+    if args.problem == "bmr":
+        if budget_factor is not None:
+            print(
+                "error: --budget-factor is MSR-only; --problem bmr needs "
+                "a fixed --budget (max retrieval)",
+                file=sys.stderr,
+            )
+            return 2
+        if budget is None:
+            print("error: --problem bmr requires --budget", file=sys.stderr)
+            return 2
+    elif budget is None and budget_factor is None:
         budget_factor = 4.0  # the harness' default MSR grid span
 
     repo = random_repository(
@@ -236,6 +256,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     )
     try:
         engine = IngestEngine(
+            problem=args.problem,
             solver=args.solver,
             budget=budget,
             budget_factor=budget_factor,
@@ -268,8 +289,13 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     g = engine.graph
     tree = engine.tree
     payload = {
-        "problem": "msr-online",
-        "solver": args.solver,
+        # "problem" + "budget_kind" distinguish the families for
+        # downstream parsers: MSR budgets cap plan storage, BMR budgets
+        # cap every version's retrieval cost
+        "problem": args.problem,
+        "mode": "online",
+        "budget_kind": "storage" if args.problem == "msr" else "retrieval",
+        "solver": engine.solver_name,
         "commits": repo.num_commits,
         "seed": args.seed,
         "budget": budget,
@@ -286,6 +312,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             "final_budget": engine.current_budget(),
             "final_storage": tree.total_storage,
             "final_retrieval": tree.total_retrieval,
+            "final_max_retrieval": tree.max_retrieval(),
             "final_staleness": engine.staleness_bound,
             "total_seconds": total_seconds,
             "mean_arrival_seconds": total_seconds / max(1, repo.num_commits),
@@ -297,21 +324,23 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     if args.format in ("markdown", "both"):
         from .bench.harness import markdown_table
 
+        budget_label = f"{payload['budget_kind']} budget"
         headers = [
             "index",
-            "budget",
+            budget_label,
             "storage",
             "retrieval",
+            "max retrieval",
             "staleness",
             "resolved",
         ]
         rows = [
             [e["index"], e["budget"], e["storage"], e["retrieval"],
-             round(e["staleness"], 6), e["resolved"]]
+             e["max_retrieval"], round(e["staleness"], 6), e["resolved"]]
             for e in entries
         ]
         s = payload["summary"]
-        print(f"## MSR online ingest — {g.name or 'repo'}\n")
+        print(f"## {args.problem.upper()} online ingest — {g.name or 'repo'}\n")
         print(markdown_table(headers, rows))
         print()
         print(
@@ -325,6 +354,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro-versioning",
         description="Dataset-versioning storage/retrieval optimization "
@@ -341,7 +371,12 @@ def main(argv: list[str] | None = None) -> int:
     p_solve.add_argument("problem", choices=["msr", "bmr"])
     p_solve.add_argument("graph", help="path to VersionGraph JSON")
     p_solve.add_argument("--budget", type=float, required=True)
-    p_solve.add_argument("--solver", default="lmg-all")
+    p_solve.add_argument(
+        "--solver",
+        default="lmg-all",
+        help="msr: lmg | lmg-all | dp-msr | ilp; "
+        "bmr: mp | mp-local | bmr-lmg | dp-bmr | ilp (default lmg-all)",
+    )
     p_solve.add_argument(
         "--backend",
         choices=["array", "dict"],
@@ -411,9 +446,19 @@ def main(argv: list[str] | None = None) -> int:
             "repro.engine.IngestEngine: each arrival is diffed against its "
             "parents only, appended to the incrementally compiled graph, and "
             "greedily attached to the live plan; a staleness bound triggers "
-            "full re-solves.  Emits per-arrival plan stats as a strict-JSON "
-            "panel (like `sweep`) or a Markdown table."
+            "full re-solves.  --problem msr keeps storage within the budget "
+            "(objective: total retrieval); --problem bmr keeps every "
+            "version's retrieval within the budget (objective: storage).  "
+            "Emits per-arrival plan stats as a strict-JSON panel (like "
+            "`sweep`) or a Markdown table."
         ),
+    )
+    p_ing.add_argument(
+        "--problem",
+        choices=["msr", "bmr"],
+        default="msr",
+        help="budget family: msr = storage budget, bmr = max-retrieval "
+        "budget (default msr)",
     )
     p_ing.add_argument(
         "--commits", type=int, default=200, help="repository size (default 200)"
@@ -436,7 +481,10 @@ def main(argv: list[str] | None = None) -> int:
         "(default 4.0 when --budget is not given)",
     )
     p_ing.add_argument(
-        "--solver", default="lmg", help="engine solver (lmg | lmg-all)"
+        "--solver",
+        default=None,
+        help="engine solver (msr: lmg | lmg-all, default lmg; "
+        "bmr: mp | mp-local | bmr-lmg, default mp-local)",
     )
     p_ing.add_argument(
         "--staleness",

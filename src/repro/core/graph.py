@@ -188,6 +188,7 @@ class VersionGraph:
         self._listeners.append(listener)
 
     def unsubscribe(self, listener) -> None:
+        """Remove a mutation listener registered by :meth:`subscribe`."""
         self._listeners.remove(listener)
 
     def _mutated(self, event: GraphMutation) -> None:
@@ -291,6 +292,7 @@ class VersionGraph:
         )
 
     def remove_delta(self, u: Node, v: Node) -> None:
+        """Delete the delta ``u -> v``; raises :class:`GraphError` when absent."""
         try:
             del self._edges[(u, v)]
         except KeyError:
@@ -309,10 +311,12 @@ class VersionGraph:
 
     @property
     def num_versions(self) -> int:
+        """Number of versions currently in the graph."""
         return len(self._storage)
 
     @property
     def num_deltas(self) -> int:
+        """Number of stored deltas (directed edges)."""
         return len(self._edges)
 
     def __contains__(self, v: Node) -> bool:
@@ -322,6 +326,7 @@ class VersionGraph:
         return len(self._storage)
 
     def has_delta(self, u: Node, v: Node) -> bool:
+        """True when the delta ``u -> v`` exists."""
         return (u, v) in self._edges
 
     def storage_cost(self, v: Node) -> float:
@@ -329,25 +334,31 @@ class VersionGraph:
         return self._storage[v]
 
     def delta(self, u: Node, v: Node) -> Delta:
+        """The :class:`Delta` on ``u -> v``; raises :class:`GraphError` when absent."""
         try:
             return self._edges[(u, v)]
         except KeyError:
             raise GraphError(f"no delta {u!r}->{v!r}") from None
 
     def deltas(self) -> Iterator[tuple[Node, Node, Delta]]:
+        """Iterate ``(u, v, delta)`` triples in insertion order."""
         for (u, v), d in self._edges.items():
             yield u, v, d
 
     def successors(self, u: Node) -> Mapping[Node, Delta]:
+        """Outgoing neighbors of ``u`` as a ``{node: delta}`` mapping."""
         return self._succ[u]
 
     def predecessors(self, v: Node) -> Mapping[Node, Delta]:
+        """Incoming neighbors of ``v`` as a ``{node: delta}`` mapping."""
         return self._pred[v]
 
     def out_degree(self, u: Node) -> int:
+        """Number of outgoing deltas of ``u``."""
         return len(self._succ[u])
 
     def in_degree(self, v: Node) -> int:
+        """Number of incoming deltas of ``v``."""
         return len(self._pred[v])
 
     # ------------------------------------------------------------------
@@ -358,9 +369,11 @@ class VersionGraph:
         return sum(self._storage.values())
 
     def average_version_storage(self) -> float:
+        """Mean materialization cost over versions (Table 4 column)."""
         return self.total_version_storage() / max(1, self.num_versions)
 
     def average_delta_storage(self) -> float:
+        """Mean delta storage cost (0.0 when there are no deltas)."""
         if not self._edges:
             return 0.0
         return sum(d.storage for d in self._edges.values()) / len(self._edges)
@@ -408,6 +421,7 @@ class VersionGraph:
 
     @property
     def has_aux(self) -> bool:
+        """True when this is an extended graph (AUX present)."""
         return AUX in self._storage
 
     def compile(self):
@@ -439,6 +453,7 @@ class VersionGraph:
     # transforms
     # ------------------------------------------------------------------
     def copy(self) -> "VersionGraph":
+        """Independent copy (listeners and compile cache not carried over)."""
         g = VersionGraph(name=self.name)
         g._storage = dict(self._storage)
         g._edges = dict(self._edges)
@@ -457,6 +472,7 @@ class VersionGraph:
         return g
 
     def subgraph(self, nodes: Iterable[Node]) -> "VersionGraph":
+        """Induced subgraph on ``nodes`` (same costs, same name)."""
         keep = set(nodes)
         g = VersionGraph(name=self.name)
         for v in self._storage:
@@ -561,6 +577,7 @@ class VersionGraph:
         return g
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (AUX artifacts are never serialized)."""
         return {
             "name": self.name,
             "versions": [[repr_node(v), s] for v, s in self._storage.items() if v is not AUX],
@@ -572,10 +589,12 @@ class VersionGraph:
         }
 
     def to_json(self) -> str:
+        """Serialize via :meth:`to_dict`."""
         return json.dumps(self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "VersionGraph":
+        """Rebuild a graph from a :meth:`to_dict` payload."""
         g = cls(name=payload.get("name", ""))
         for v, s in payload["versions"]:
             g.add_version(v, s)
@@ -585,6 +604,7 @@ class VersionGraph:
 
     @classmethod
     def from_json(cls, text: str) -> "VersionGraph":
+        """Rebuild a graph from a :meth:`to_json` string."""
         return cls.from_dict(json.loads(text))
 
     def __repr__(self) -> str:

@@ -90,6 +90,7 @@ class SetCoverInstance:
 
     @classmethod
     def of(cls, num_elements: int, sets: Sequence[Sequence[int]]) -> "SetCoverInstance":
+        """Validated constructor from an element count plus set collections."""
         fs = tuple(frozenset(s) for s in sets)
         for s in fs:
             for o in s:
@@ -98,6 +99,7 @@ class SetCoverInstance:
         return cls(num_elements, fs)
 
     def covers(self, chosen: Sequence[int]) -> bool:
+        """True when the chosen set ids cover every element."""
         covered: set[int] = set()
         for i in chosen:
             covered |= self.sets[i]

@@ -46,9 +46,11 @@ class PlanScore:
 
     @property
     def feasible_reconstruction(self) -> bool:
+        """True when every version is reconstructible (finite max retrieval)."""
         return math.isfinite(self.max_retrieval)
 
     def objective(self, objective: Objective) -> float:
+        """The aggregate selected by this ``objective`` kind."""
         if objective is Objective.SUM_RETRIEVAL:
             return self.sum_retrieval
         if objective is Objective.MAX_RETRIEVAL:
@@ -93,6 +95,7 @@ class Problem:
         )
 
     def objective_value(self, score: PlanScore) -> float:
+        """The score's value of this problem's objective."""
         return score.objective(self.objective)
 
     def check(self, graph: VersionGraph, plan: StoragePlan) -> PlanScore:

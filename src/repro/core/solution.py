@@ -82,6 +82,7 @@ class StoragePlan:
         materialized: Iterable[Node],
         stored_deltas: Iterable[tuple[Node, Node]] = (),
     ) -> "StoragePlan":
+        """Build a plan from iterables of versions and delta pairs."""
         return cls(frozenset(materialized), frozenset(stored_deltas))
 
     # -- costs ---------------------------------------------------------
@@ -131,6 +132,7 @@ class StoragePlan:
         return RetrievalSummary(total=total, maximum=maximum, per_version=dist)
 
     def is_feasible(self, graph: VersionGraph) -> bool:
+        """True when every version is reachable through stored deltas."""
         return self.retrieval(graph).feasible
 
     def validate(self, graph: VersionGraph) -> None:
@@ -342,9 +344,11 @@ class PlanTree:
     # conversions / inspection
     # ------------------------------------------------------------------
     def max_retrieval(self) -> float:
+        """``max_v R(v)`` over the tree (0.0 for an empty graph)."""
         return max((r for v, r in self.ret.items() if v is not AUX), default=0.0)
 
     def retrieval_summary(self) -> RetrievalSummary:
+        """Aggregate retrieval statistics of the current tree."""
         per = {v: r for v, r in self.ret.items() if v is not AUX}
         return RetrievalSummary(
             total=self.total_retrieval,
@@ -353,6 +357,7 @@ class PlanTree:
         )
 
     def materialized_versions(self) -> list[Node]:
+        """Versions stored in full (children of AUX)."""
         return list(self.children[AUX])
 
     def to_plan(self) -> StoragePlan:
@@ -367,6 +372,7 @@ class PlanTree:
         return StoragePlan.of(mats, deltas)
 
     def iter_nodes_topological(self) -> Iterator[Node]:
+        """Yield versions root-first (parents before children)."""
         order = self._topo_order()
         assert order is not None
         for v in order:
@@ -374,6 +380,7 @@ class PlanTree:
                 yield v
 
     def copy(self) -> "PlanTree":
+        """Independent tree with the same parent map."""
         return PlanTree(self.graph, dict(self.parent))
 
     def check_invariants(self) -> None:

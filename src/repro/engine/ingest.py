@@ -13,12 +13,25 @@ event-driven bookkeeping or deferred:
    cheapest feasible edge (lexicographic ``(edge storage, resulting
    retrieval)``, parents in arrival order, materialization last), an
    O(depth) incremental attach.
-3. **Re-solve** — a *staleness bound* (retrieval added by greedy
+3. **Re-solve** — a *staleness bound* (objective cost added by greedy
    attaches since the last full solve, relative to that solve's
    objective) accumulates; past :attr:`IngestEngine.staleness_threshold`
-   the engine re-solves the whole instance with the registered LMG
+   the engine re-solves the whole instance with the registered solver
    kernel, either synchronously or on a background thread while ingest
    keeps serving arrivals.
+
+Both paper problem families are served, selected by ``problem=``:
+
+* ``"msr"`` (default) — the budget caps total *storage*, the objective
+  is total retrieval.  Attach feasibility checks the plan's storage
+  after the attach; staleness accumulates attach retrieval.
+* ``"bmr"`` — the budget caps every version's *retrieval* cost, the
+  objective is total storage.  An arrival is attached only through
+  edges that keep its own retrieval within the budget (it arrives as a
+  leaf, so no other version's retrieval changes — materialization,
+  retrieval 0, is always feasible); staleness accumulates attach
+  storage, and threshold re-solves run a full BMR kernel
+  (:data:`~repro.algorithms.registry.BMR_ENGINE_SOLVERS`).
 
 The staleness quantity is an upper-bound *estimate* of relative
 objective drift: a full re-solve can recover at most what the greedy
@@ -48,9 +61,9 @@ class ArrivalStats:
 
     index: int  # compiled node index of the arrival (== arrival order)
     version: Node
-    budget: float  # storage budget in force for this arrival
+    budget: float  # budget in force (storage for MSR, retrieval for BMR)
     storage: float  # plan total storage after the arrival
-    retrieval: float  # plan total retrieval (the MSR objective)
+    retrieval: float  # plan total retrieval after the arrival
     max_retrieval: float
     staleness: float  # staleness bound after the arrival
     resolved: bool  # True when a full re-solve landed on this arrival
@@ -58,7 +71,7 @@ class ArrivalStats:
 
 
 class IngestEngine:
-    """Keeps a near-optimal MSR storage plan over a growing graph.
+    """Keeps a near-optimal storage plan standing over a growing graph.
 
     Parameters
     ----------
@@ -66,14 +79,21 @@ class IngestEngine:
         Optional existing :class:`VersionGraph` to take ownership of
         (bootstrap re-solve happens on the first arrival); default is a
         fresh empty graph.
+    problem:
+        ``"msr"`` (default; the budget caps total storage) or
+        ``"bmr"`` (the budget caps every version's retrieval cost) —
+        see the module docstring for how repair and staleness change.
     solver:
         Engine-capable solver name (see
-        :data:`repro.algorithms.registry.ENGINE_SOLVERS`).
+        :data:`repro.algorithms.registry.ENGINE_SOLVERS` /
+        :data:`~repro.algorithms.registry.BMR_ENGINE_SOLVERS`).
+        Defaults to ``"lmg"`` for MSR and ``"mp-local"`` for BMR.
     budget:
-        Fixed MSR storage budget.  Exactly one of ``budget`` /
-        ``budget_factor`` must be given.
+        Fixed budget (storage for MSR, max retrieval for BMR).  For
+        MSR, exactly one of ``budget`` / ``budget_factor`` must be
+        given; BMR requires a fixed ``budget``.
     budget_factor:
-        Dynamic budget = ``budget_factor * LB`` where ``LB =
+        MSR only: dynamic budget = ``budget_factor * LB`` where ``LB =
         sum_v min_in(v) + min_v (s_v - min_in(v))`` and ``min_in(v)``
         is the cheapest incoming edge storage of ``v``
         (materialization included).  ``LB`` is an online lower bound on
@@ -85,8 +105,9 @@ class IngestEngine:
     staleness_threshold:
         Re-solve once :attr:`staleness_bound` exceeds this (default
         0.1 = re-solve when greedy attaches added 10% of the last
-        solve's total retrieval).  ``float("inf")`` disables automatic
-        re-solves (pure repair mode; call :meth:`resolve` yourself).
+        solve's objective — total retrieval for MSR, total storage for
+        BMR).  ``float("inf")`` disables automatic re-solves (pure
+        repair mode; call :meth:`resolve` yourself).
     background:
         When True, threshold re-solves run on a
         :class:`~repro.parallel.BackgroundResolver` thread against a
@@ -102,7 +123,8 @@ class IngestEngine:
         self,
         graph: VersionGraph | None = None,
         *,
-        solver: str = "lmg",
+        problem: str = "msr",
+        solver: str | None = None,
         budget: float | None = None,
         budget_factor: float | None = None,
         staleness_threshold: float = 0.1,
@@ -110,11 +132,25 @@ class IngestEngine:
         retrieval_ratio: float = 1.0,
         name: str = "ingest",
     ) -> None:
-        if (budget is None) == (budget_factor is None):
+        if problem not in ("msr", "bmr"):
+            raise ValueError(f"unknown problem {problem!r}; options: ['bmr', 'msr']")
+        if problem == "bmr":
+            if budget_factor is not None:
+                raise ValueError(
+                    "budget_factor is MSR-only (it scales an online "
+                    "min-storage lower bound); problem='bmr' needs a "
+                    "fixed retrieval budget"
+                )
+            if budget is None:
+                raise ValueError("problem='bmr' requires budget")
+        elif (budget is None) == (budget_factor is None):
             raise ValueError("pass exactly one of budget / budget_factor")
+        self.problem = problem
+        if solver is None:
+            solver = "lmg" if problem == "msr" else "mp-local"
         self.graph = graph if graph is not None else VersionGraph(name=name)
         self.solver_name = solver
-        self._solver = get_engine_solver(solver)
+        self._solver = get_engine_solver(solver, problem)
         self._budget = None if budget is None else float(budget)
         self._budget_factor = None if budget_factor is None else float(budget_factor)
         self.staleness_threshold = float(staleness_threshold)
@@ -133,8 +169,8 @@ class IngestEngine:
         self._gap: dict[Node, float] = {}
         self._gap_heap: list[tuple[float, int, Node]] = []
         self._gap_seq = 0
-        self._solve_retrieval = 0.0
-        self._pending_retrieval = 0.0
+        self._solve_obj = 0.0
+        self._pending_obj = 0.0
         self._max_ret = 0.0
         self._resolves = 0
         self._dirty = self.graph.num_versions > 0  # bookkeeping needs rebuild
@@ -219,9 +255,10 @@ class IngestEngine:
 
     @property
     def staleness_bound(self) -> float:
-        """Retrieval added by greedy attaches since the last full solve,
-        relative to that solve's total retrieval."""
-        return self._pending_retrieval / max(self._solve_retrieval, 1.0)
+        """Objective cost added by greedy attaches since the last full
+        solve, relative to that solve's objective (total retrieval for
+        MSR, total storage for BMR)."""
+        return self._pending_obj / max(self._solve_obj, 1.0)
 
     @property
     def resolves(self) -> int:
@@ -234,6 +271,7 @@ class IngestEngine:
         return self._tree
 
     def plan(self) -> StoragePlan:
+        """Export the live tree as a :class:`StoragePlan`."""
         if self._tree is None:
             raise GraphError("no plan yet: ingest at least one version")
         return self._tree.to_plan()
@@ -256,8 +294,8 @@ class IngestEngine:
         a byte-identical compiled graph).  Incoming edges
         (``dst == v``) are the attach candidates; outgoing ones are
         kept for future re-solves — they can only help older versions.
-        Raises ``ValueError`` when the storage budget cannot accommodate
-        the new version even after a full re-solve.
+        Raises ``ValueError`` when the budget cannot accommodate the
+        new version even after a full re-solve.
         """
         t0 = time.perf_counter()
         g = self.graph
@@ -378,8 +416,12 @@ class IngestEngine:
         materialization edge last, keeps the budget-feasible candidate
         minimizing ``(edge storage, resulting retrieval)`` with
         first-wins ties, and applies the O(depth) incremental attach.
+        Feasibility is the problem's constraint: plan storage after the
+        attach for MSR, the arrival's own resulting retrieval for BMR
+        (the arrival is a leaf, so no other version's retrieval moves).
         Returns False when no candidate fits the budget (caller falls
-        back to a full re-solve).
+        back to a full re-solve; for BMR materialization is always
+        feasible, so this cannot happen for non-negative budgets).
         """
         tree = self._tree if tree is None else tree
         if budget is None:
@@ -391,12 +433,19 @@ class IngestEngine:
         node_storage = float(self.graph.storage_cost(self._nodes[vi]))
         options = list(candidates)
         options.append((aux, self._num_real_edges + vi, node_storage, 0.0))
+        bmr = self.problem == "bmr"
         best = None
         best_key = None
         for p_idx, eid, s, r in options:
-            if not within_budget(tree.total_storage + s, budget):
+            new_ret = 0.0 if p_idx == aux else float(tree.ret[p_idx]) + r
+            feasible = (
+                within_budget(new_ret, budget)
+                if bmr
+                else within_budget(tree.total_storage + s, budget)
+            )
+            if not feasible:
                 continue
-            key = (s, 0.0 if p_idx == aux else float(tree.ret[p_idx]) + r)
+            key = (s, new_ret)
             if best_key is None or key < best_key:
                 best_key = key
                 best = (p_idx, eid, s, r)
@@ -406,7 +455,7 @@ class IngestEngine:
         new_v = tree.append_version(p_idx, eid, s, r)
         assert new_v == vi, "arrival order drifted from compiled interning"
         ret_v = float(tree.ret[vi])
-        self._pending_retrieval += ret_v
+        self._pending_obj += s if bmr else ret_v
         if ret_v > self._max_ret:
             self._max_ret = ret_v
         if self._bg is not None and self._bg.busy:
@@ -427,12 +476,16 @@ class IngestEngine:
             self._tree = None  # next ingest retries with a full solve
             raise
         self._tree = tree
-        self._solve_retrieval = tree.total_retrieval
-        self._pending_retrieval = 0.0
+        self._solve_obj = self._objective(tree)
+        self._pending_obj = 0.0
         self._max_ret = tree.max_retrieval()
         self._resolves += 1
         self._log.clear()
         return tree
+
+    def _objective(self, tree) -> float:
+        """The solve objective the staleness bound is measured against."""
+        return tree.total_storage if self.problem == "bmr" else tree.total_retrieval
 
     def resolve(self):
         """Force a synchronous full re-solve; returns the fresh tree.
@@ -474,14 +527,14 @@ class IngestEngine:
             self._tree = None
             raise value  # e.g. the budget went infeasible mid-stream
         tree = value
-        solve_retrieval = tree.total_retrieval
+        solve_obj = self._objective(tree)
         # replay arrivals that landed while the solve was running
         pending = self._log
         self._log = []
         tree.cg = self.graph.compile()  # rebind to the live compiled graph
         self._tree, old_tree = tree, self._tree
-        self._pending_retrieval = 0.0
-        self._solve_retrieval = solve_retrieval
+        self._pending_obj = 0.0
+        self._solve_obj = solve_obj
         self._max_ret = tree.max_retrieval()
         self._resolves += 1
         for vi, candidates in pending:

@@ -24,19 +24,23 @@ into flat NumPy arrays and reruns the greedy hot loops on top of them:
     and subtree sizes), swap application by *edge id*, and exports back
     to :class:`~repro.core.solution.StoragePlan` / ``PlanTree``.
 
-:func:`lmg_array` / :func:`lmg_all_array` / :func:`mp_array`
-    Greedy kernels that vectorize the per-round candidate scan.  They
-    are **plan-identical** to the dict reference implementations — same
-    iteration order, same IEEE arithmetic, same tie-breaking — which is
-    enforced by the equivalence suite in ``tests/test_fastgraph.py``
-    across every ``repro.gen.presets`` dataset.
+:func:`lmg_array` / :func:`lmg_all_array` / :func:`mp_array` /
+:func:`bmr_lmg_array` / :func:`mp_local_array`
+    Greedy kernels that vectorize the per-round candidate scan — the
+    MSR family plus the BMR local-move family (storage minimization
+    under a max-retrieval budget).  They are **plan-identical** to the
+    dict reference implementations — same iteration order, same IEEE
+    arithmetic, same tie-breaking — which is enforced by the
+    equivalence suites in ``tests/test_fastgraph.py`` /
+    ``tests/test_bmr_greedy.py`` across every ``repro.gen.presets``
+    dataset.
 
-:func:`sweep_greedy_msr`
-    Single-pass budget-grid sweeps for the LMG family via trajectory
-    replay (:mod:`repro.fastgraph.trajectory`): one recorded solver run
-    at the loosest budget emits plan-identical results for the entire
-    grid, falling back to a live continuation on a cloned tree at the
-    rare divergence point.
+:func:`sweep_greedy_msr` / :func:`sweep_greedy_bmr`
+    Single-pass budget-grid sweeps for the greedy families via
+    trajectory replay (:mod:`repro.fastgraph.trajectory`): one recorded
+    solver run at the loosest budget emits plan-identical results for
+    the entire grid, falling back to a live continuation on a cloned
+    tree at the rare divergence point.
 
 Backend selection is plumbed through the solver registry: the plain
 names (``solver="lmg"``) resolve to the array kernels automatically,
@@ -46,8 +50,14 @@ path (see :mod:`repro.algorithms.registry`).
 
 from .compiled import CompiledGraph
 from .plantree import ArrayPlanTree
-from .solvers import lmg_all_array, lmg_array, mp_array
-from .trajectory import GREEDY_SWEEP_SOLVERS, SweepEntry, sweep_greedy_msr
+from .solvers import bmr_lmg_array, lmg_all_array, lmg_array, mp_array, mp_local_array
+from .trajectory import (
+    BMR_GREEDY_SWEEP_SOLVERS,
+    GREEDY_SWEEP_SOLVERS,
+    SweepEntry,
+    sweep_greedy_bmr,
+    sweep_greedy_msr,
+)
 
 __all__ = [
     "CompiledGraph",
@@ -55,7 +65,11 @@ __all__ = [
     "lmg_array",
     "lmg_all_array",
     "mp_array",
+    "bmr_lmg_array",
+    "mp_local_array",
     "SweepEntry",
     "sweep_greedy_msr",
+    "sweep_greedy_bmr",
     "GREEDY_SWEEP_SOLVERS",
+    "BMR_GREEDY_SWEEP_SOLVERS",
 ]

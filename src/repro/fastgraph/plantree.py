@@ -59,6 +59,7 @@ class ArrayPlanTree:
         "total_retrieval",
         "_tin",
         "_tout",
+        "_preorder",
         "_order_dirty",
     )
 
@@ -80,6 +81,7 @@ class ArrayPlanTree:
         self.total_retrieval = 0.0
         self._tin = np.zeros(n + 1, dtype=np.int64)
         self._tout = np.zeros(n + 1, dtype=np.int64)
+        self._preorder = np.zeros(0, dtype=np.int64)
         self._order_dirty = True
 
         seen = 0
@@ -131,21 +133,37 @@ class ArrayPlanTree:
         self._order_dirty = True
 
     def refresh_euler(self) -> None:
-        """Recompute Euler intervals used by :meth:`is_ancestor`."""
-        timer = 0
-        stack: list[tuple[int, bool]] = [(self.cg.aux, False)]
-        tin, tout = self._tin, self._tout
+        """Recompute the subtree intervals used by :meth:`is_ancestor`.
+
+        One single-visit DFS collects the preorder; the intervals are
+        then derived vectorized from the cached subtree sizes:
+        ``tin[v] = preorder position``, ``tout[v] = tin[v] + size[v] -
+        1``.  A node's subtree is exactly the preorder block
+        ``[tin, tout]``, so every containment test (`is_ancestor`, the
+        kernels' cycle masks, :meth:`apply_swap_edge`'s batch shift
+        mask) answers identically to the classic entry/exit-timer
+        Euler tour while paying one Python walk instead of two.  The
+        preorder itself is kept on :attr:`_preorder` for the
+        range-max queries of :meth:`subtree_max_retrieval`.
+        """
+        order_list: list[int] = []
+        append = order_list.append
+        stack = [self.cg.aux]
+        pop = stack.pop
+        extend = stack.extend
+        children = self.children
         while stack:
-            x, done = stack.pop()
-            if done:
-                tout[x] = timer
-                timer += 1
-                continue
-            tin[x] = timer
-            timer += 1
-            stack.append((x, True))
-            for c in self.children[x]:
-                stack.append((c, False))
+            x = pop()
+            append(x)
+            c = children[x]
+            if c:
+                extend(c)
+        order = np.array(order_list, dtype=np.int64)
+        pos = np.empty(len(order), dtype=np.int64)
+        pos[order] = np.arange(len(order), dtype=np.int64)
+        self._preorder = order
+        self._tin = pos
+        self._tout = pos + self.size - 1
         self._order_dirty = False
 
     def is_ancestor(self, a: int, b: int) -> bool:
@@ -236,6 +254,41 @@ class ArrayPlanTree:
     def materialize(self, v: int) -> None:
         """Shortcut: re-route version index ``v`` through its AUX edge."""
         self.apply_swap_edge(int(self.cg.aux_edge[v]))
+
+    def subtree_max_retrieval(self) -> np.ndarray:
+        """Per-node max retrieval cost over each node's subtree.
+
+        ``float64[n + 1]`` indexed like :attr:`ret` (the AUX entry is
+        the tree-wide maximum).  A node's subtree is a contiguous block
+        of the preorder (see :meth:`refresh_euler`), so the answer for
+        *all* nodes is a batch of range-max queries over the preorder
+        depth-cost sequence, served by a sparse table built with
+        O(log V) vectorized ``np.maximum`` passes.  Since ``max`` only
+        *selects* among the cached floats (no arithmetic), the result
+        is bit-identical to the dict reference's reverse-topological
+        recomputation.  The BMR greedy kernels read this once per round
+        to admit only swaps that keep every version of the moved
+        subtree within the retrieval budget.
+        """
+        if self._order_dirty:
+            self.refresh_euler()
+        n1 = len(self.parent)
+        levels = max(1, int(n1).bit_length())  # floor(log2(n1)) + 1 levels
+        # sparse table over the preorder sequence, -inf padded so every
+        # level-k lookup at i + 2^(k-1) stays in bounds and inert
+        table = np.full((levels, n1 + (1 << levels)), -np.inf)
+        table[0, :n1] = self.ret[self._preorder]
+        for k in range(1, levels):
+            half = 1 << (k - 1)
+            np.maximum(table[k - 1, :-half], table[k - 1, half:], out=table[k, :-half])
+        # per-node query: range [tin, tin + size) as two overlapping
+        # power-of-two windows (exact for max)
+        k = np.frexp(self.size.astype(np.float64))[1] - 1
+        lo = self._tin
+        hi = lo + self.size - (1 << k).astype(np.int64)
+        flat_lo = k * table.shape[1] + lo
+        flat_hi = k * table.shape[1] + hi
+        return np.maximum(table.ravel()[flat_lo], table.ravel()[flat_hi])
 
     # ------------------------------------------------------------------
     # incremental growth (online ingest)
@@ -331,6 +384,7 @@ class ArrayPlanTree:
         new.total_retrieval = self.total_retrieval
         new._tin = self._tin.copy()
         new._tout = self._tout.copy()
+        new._preorder = self._preorder.copy()
         new._order_dirty = self._order_dirty
         return new
 
@@ -338,10 +392,12 @@ class ArrayPlanTree:
     # conversions / inspection
     # ------------------------------------------------------------------
     def max_retrieval(self) -> float:
+        """``max_v R(v)`` over the versions (0.0 for an empty graph)."""
         n = self.cg.n
         return float(self.ret[:n].max()) if n else 0.0
 
     def retrieval_summary(self) -> RetrievalSummary:
+        """Aggregate retrieval statistics of the current tree."""
         per = {self.cg.nodes[i]: float(self.ret[i]) for i in range(self.cg.n)}
         return RetrievalSummary(
             total=self.total_retrieval,
@@ -350,6 +406,7 @@ class ArrayPlanTree:
         )
 
     def materialized_versions(self) -> list[Node]:
+        """Versions stored in full (children of AUX)."""
         return [self.cg.nodes[i] for i in self.children[self.cg.aux]]
 
     def parent_map(self) -> dict[Node, Node]:

@@ -41,7 +41,7 @@ from ..core.tolerance import within_budget
 from .compiled import CompiledGraph
 from .plantree import ArrayPlanTree
 
-__all__ = ["lmg_array", "lmg_all_array", "mp_array"]
+__all__ = ["lmg_array", "lmg_all_array", "mp_array", "bmr_lmg_array", "mp_local_array"]
 
 _NEG_INF = -math.inf
 
@@ -317,4 +317,122 @@ def mp_array(
             f"retrieval budget {retrieval_budget} infeasible: MP plan has "
             f"max retrieval {tree.max_retrieval()}"
         )
+    return tree
+
+
+# ----------------------------------------------------------------------
+# BMR greedy family (minimize storage under a max-retrieval budget)
+# ----------------------------------------------------------------------
+def _bmr_default_rounds(cg: CompiledGraph) -> int:
+    """Default BMR local-move round cap: every applied move strictly
+    reduces storage, so the loop stops far earlier in practice."""
+    return 4 * cg.n + 64
+
+
+def _bmr_run(
+    cg: CompiledGraph,
+    tree: ArrayPlanTree,
+    retrieval_budget: float,
+    rounds: int,
+    record: list[tuple[int, float, float]] | None = None,
+) -> int:
+    """Run BMR local-move rounds from the current ``tree`` state.
+
+    Mutates ``tree`` in place and returns the number of applied moves.
+    When ``record`` is given, each applied move appends ``(edge id, max
+    retrieval of the moved subtree after the move, total_storage
+    after)`` — the first quantity is exactly the move's feasibility
+    check value, which the trajectory sweep replays against tighter
+    budgets.
+    """
+    aux = cg.aux
+    src, dst = cg.edge_src, cg.edge_dst
+    es, er = cg.edge_storage, cg.edge_retrieval
+    applied = 0
+
+    for _ in range(rounds):
+        tree.refresh_euler()
+        tin, tout = tree._tin, tree._tout
+        submax = tree.subtree_max_retrieval()
+        # skip current tree edges and moves that would create a cycle
+        valid = tree.parent[dst] != src
+        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
+        ds = es - es[tree.par_edge[dst]]
+        valid &= ds < 0.0  # the BMR objective (storage) must strictly improve
+        shift = tree.ret[src] + er - tree.ret[dst]
+        # every version in subtree(dst) shifts by the same amount: the
+        # move is admissible iff the subtree maximum stays within budget
+        valid &= within_budget(submax[dst] + shift, retrieval_budget)
+        if not valid.any():
+            break
+        reduction = -ds
+        inf_tier = valid & (shift <= 0.0)
+        if inf_tier.any():
+            # retrieval-non-increasing tier: larger reduction wins,
+            # first in edge order on ties
+            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
+        else:
+            rho = np.full(reduction.shape, _NEG_INF)
+            np.divide(reduction, shift, out=rho, where=valid)
+            pick = int(np.argmax(rho))
+        new_submax = float(submax[dst[pick]] + shift[pick])
+        tree.apply_swap_edge(pick)
+        applied += 1
+        if record is not None:
+            record.append((pick, new_submax, tree.total_storage))
+    return applied
+
+
+def _materialized_array_tree(cg: CompiledGraph) -> ArrayPlanTree:
+    """All-materialized starting configuration (max retrieval 0)."""
+    return ArrayPlanTree(cg, [(v, int(cg.aux_edge[v])) for v in range(cg.n)])
+
+
+def _check_bmr_feasible(retrieval_budget: float) -> None:
+    if not within_budget(0.0, retrieval_budget):
+        raise ValueError(
+            f"retrieval budget {retrieval_budget} infeasible: even "
+            f"materializing every version has max retrieval 0"
+        )
+
+
+def bmr_lmg_array(
+    graph: VersionGraph | CompiledGraph,
+    retrieval_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Array kernel for BMR-LMG; plan-identical to dict :func:`~repro.
+    algorithms.bmr_greedy.bmr_lmg`.
+
+    Starts from the all-materialized plan and applies the best
+    storage-reducing swap whose moved subtree stays within the
+    retrieval budget, one masked array scan per round.  Raises
+    ``ValueError`` on negative (infeasible) retrieval budgets.
+    """
+    cg = _compiled(graph)
+    _check_bmr_feasible(retrieval_budget)
+    tree = _materialized_array_tree(cg)
+    rounds = max_iterations if max_iterations is not None else _bmr_default_rounds(cg)
+    _bmr_run(cg, tree, retrieval_budget, rounds)
+    return tree
+
+
+def mp_local_array(
+    graph: VersionGraph | CompiledGraph,
+    retrieval_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Array kernel for MP + BMR local moves; plan-identical to dict
+    :func:`~repro.algorithms.bmr_greedy.mp_local`.
+
+    Runs :func:`mp_array` and refines its tree with the same swap loop
+    as :func:`bmr_lmg_array`; never stores more than plain MP.  Raises
+    ``ValueError`` on infeasible retrieval budgets, like MP itself.
+    """
+    cg = _compiled(graph)
+    tree = mp_array(cg, retrieval_budget)
+    rounds = max_iterations if max_iterations is not None else _bmr_default_rounds(cg)
+    _bmr_run(cg, tree, retrieval_budget, rounds)
     return tree

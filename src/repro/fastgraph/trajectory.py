@@ -37,6 +37,18 @@ MP is excluded: Modified Prim's grows a tree from scratch whose
 *structure* depends on the retrieval budget at every relaxation, so its
 runs at different budgets share no prefix trajectory.  MP sweeps
 amortize the compiled graph instead (see :mod:`repro.parallel.sweep`).
+``mp-local`` inherits MP's exclusion (its start tree is MP's).
+
+Retrieval-budget grids (BMR)
+----------------------------
+:func:`sweep_greedy_bmr` applies the same record/replay/diverge scheme
+to ``bmr-lmg``, whose trajectory is budget-monotone for the identical
+reason: its all-materialized start is budget-independent, a move's
+feasibility check (``max retrieval of the moved subtree after the
+move`` against the budget) is monotone in the budget, and its ranking
+key never reads the budget.  Each recorded step stores that post-move
+subtree maximum — bit-equal to what a fresh run at a tighter budget
+would compute in the same state — so replay admission is exact.
 """
 
 from __future__ import annotations
@@ -50,18 +62,32 @@ from ..core.tolerance import within_budget
 from .compiled import CompiledGraph
 from .plantree import ArrayPlanTree
 from .solvers import (
+    _bmr_default_rounds,
+    _bmr_run,
+    _check_bmr_feasible,
     _compiled,
     _lmg_all_default_rounds,
     _lmg_all_run,
     _lmg_candidates,
     _lmg_default_rounds,
     _lmg_run,
+    _materialized_array_tree,
 )
 
-__all__ = ["SweepEntry", "sweep_greedy_msr", "GREEDY_SWEEP_SOLVERS"]
+__all__ = [
+    "SweepEntry",
+    "sweep_greedy_msr",
+    "sweep_greedy_bmr",
+    "GREEDY_SWEEP_SOLVERS",
+    "BMR_GREEDY_SWEEP_SOLVERS",
+]
 
 #: MSR solver names the trajectory sweep supports.
 GREEDY_SWEEP_SOLVERS = ("lmg", "lmg-all")
+
+#: BMR solver names the trajectory sweep supports (``mp`` / ``mp-local``
+#: are excluded: their MP start tree is budget-dependent).
+BMR_GREEDY_SWEEP_SOLVERS = ("bmr-lmg",)
 
 
 @dataclass(frozen=True)
@@ -82,6 +108,7 @@ class SweepEntry:
 
     @property
     def feasible(self) -> bool:
+        """True when the budget admitted a plan."""
         return self.plan is not None
 
 
@@ -201,6 +228,86 @@ def sweep_greedy_msr(
         else:
             fork = base.clone()
             applied = _continue_live(cg, solver, fork, b, used_rounds=pos)
+            emit(i, fork, replayed=applied == 0)
+
+    return [e for e in results if e is not None]
+
+
+def sweep_greedy_bmr(
+    graph: VersionGraph | CompiledGraph,
+    solver: str,
+    budgets: list[float],
+) -> list[SweepEntry]:
+    """Evaluate ``solver`` at every retrieval budget with one solver run.
+
+    The BMR counterpart of :func:`sweep_greedy_msr`: one ``bmr-lmg``
+    run at the loosest retrieval budget records every applied move plus
+    the move's feasibility value (the moved subtree's post-move max
+    retrieval); tighter budgets replay the recorded prefix while those
+    values stay within budget and resume the live kernel on a cloned
+    tree past the first infeasible recorded move.  Entries with a
+    negative (infeasible) budget come back with ``plan=None``,
+    mirroring the registry solvers' ``None``-on-infeasible contract.
+
+    Every entry's plan is identical (parent map, storage, retrieval) to
+    an independent :func:`~repro.fastgraph.solvers.bmr_lmg_array` run
+    at that budget.
+    """
+    if solver not in BMR_GREEDY_SWEEP_SOLVERS:
+        raise KeyError(
+            f"unknown BMR sweep solver {solver!r}; "
+            f"options: {list(BMR_GREEDY_SWEEP_SOLVERS)}"
+        )
+    cg = _compiled(graph)
+    score_graph = graph if isinstance(graph, VersionGraph) else cg.graph
+
+    results: list[SweepEntry | None] = [None] * len(budgets)
+    feasible_ix = []
+    for i, b in enumerate(budgets):
+        if within_budget(0.0, b):
+            feasible_ix.append(i)
+        else:
+            results[i] = SweepEntry(
+                budget=float(b), plan=None, score=None, replayed=False
+            )
+    if not feasible_ix:
+        return [e for e in results if e is not None]
+
+    # one full solver run at the loosest budget, recording every move
+    loosest = max(budgets[i] for i in feasible_ix)
+    _check_bmr_feasible(loosest)
+    base = _materialized_array_tree(cg)
+    rec_tree = base.clone()
+    rounds = _bmr_default_rounds(cg)
+    steps: list[tuple[int, float, float]] = []
+    _bmr_run(cg, rec_tree, loosest, rounds, steps)
+
+    def emit(i: int, tree: ArrayPlanTree, replayed: bool) -> None:
+        plan = tree.to_plan()
+        results[i] = SweepEntry(
+            budget=float(budgets[i]),
+            plan=plan,
+            score=evaluate_plan(score_graph, plan),
+            replayed=replayed,
+        )
+
+    # ascending replay over one shared tree; ``pos`` counts applied steps
+    pos = 0
+    for i in sorted(feasible_ix, key=lambda i: budgets[i]):
+        b = budgets[i]
+        exact = True
+        while pos < len(steps):
+            eid, moved_submax, _ = steps[pos]
+            if not within_budget(moved_submax, b):
+                exact = False  # fresh run may settle for a smaller-shift move
+                break
+            base.apply_swap_edge(eid)
+            pos += 1
+        if exact:
+            emit(i, base, replayed=True)
+        else:
+            fork = base.clone()
+            applied = _bmr_run(cg, fork, b, max(0, rounds - pos))
             emit(i, fork, replayed=applied == 0)
 
     return [e for e in results if e is not None]

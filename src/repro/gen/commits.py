@@ -46,10 +46,12 @@ class CommitHistory:
 
     @property
     def num_commits(self) -> int:
+        """Number of commits."""
         return len(self.commits)
 
     @property
     def num_parent_links(self) -> int:
+        """Total number of ``(parent, child)`` links."""
         return sum(len(c.parents) for c in self.commits)
 
     def parent_pairs(self) -> list[tuple[int, int]]:
@@ -57,9 +59,11 @@ class CommitHistory:
         return [(p, c.id) for c in self.commits for p in c.parents]
 
     def merge_commits(self) -> list[Commit]:
+        """All two-parent commits."""
         return [c for c in self.commits if len(c.parents) == 2]
 
     def validate(self) -> None:
+        """Assert dense ids and parent-before-child ordering."""
         for i, c in enumerate(self.commits):
             assert c.id == i, "ids must be dense"
             for p in c.parents:

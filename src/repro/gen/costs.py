@@ -71,9 +71,11 @@ class CostModel:
 
     # ------------------------------------------------------------------
     def draw_version_size(self, rng: np.random.Generator) -> float:
+        """Sample a full-version materialization cost."""
         return self._round(self._lognormal(rng, self.version_mean, self.version_sigma))
 
     def draw_delta_storage(self, rng: np.random.Generator) -> float:
+        """Sample a forward-delta storage cost."""
         return self._round(self._lognormal(rng, self.delta_mean, self.delta_sigma))
 
     def delta_pair(self, rng: np.random.Generator) -> tuple[float, float]:

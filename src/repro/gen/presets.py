@@ -119,6 +119,7 @@ TABLE4_PAPER: dict[str, tuple[int, int, float, float]] = {
 
 
 def dataset_names() -> list[str]:
+    """Names of every available dataset preset."""
     return list(PRESETS)
 
 

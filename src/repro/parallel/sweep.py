@@ -2,15 +2,16 @@
 
 A Figure-10-style experiment evaluates solvers at many budgets on a
 fixed graph.  The parallel axis is **solvers/graph-tasks, not budget
-probes**: the LMG family produces its entire budget series from one
-recorded greedy run (trajectory replay,
-:func:`repro.fastgraph.sweep_greedy_msr`), so splitting its grid into
-per-budget tasks would re-pay the solve ``B`` times and erase the
+probes**: the LMG family (MSR) and ``bmr-lmg`` (BMR) produce their
+entire budget series from one recorded greedy run (trajectory replay,
+:func:`repro.fastgraph.sweep_greedy_msr` /
+:func:`~repro.fastgraph.sweep_greedy_bmr`), so splitting their grids
+into per-budget tasks would re-pay the solve ``B`` times and erase the
 single-pass win.  Each sweep-capable solver therefore becomes ONE task
 covering the whole grid, while solvers without a replayable trajectory
-(DP, ILP, MP — MP's Prim growth is budget-dependent at every
-relaxation, so its runs share no prefix) still fan out one task per
-budget.
+(DP, ILP, MP and ``mp-local`` — MP's Prim growth is budget-dependent
+at every relaxation, so its runs share no prefix) still fan out one
+task per budget.
 
 Shared read-only state is shipped to workers **once** through the
 initializer (copy-on-write under fork, pickled once under spawn):
@@ -45,6 +46,7 @@ from ..core.problems import PlanScore, evaluate_plan
 from ..algorithms.registry import (
     BMR_SOLVERS,
     MSR_SOLVERS,
+    get_bmr_sweep,
     get_msr_sweep,
     msr_sweep_start_edges,
 )
@@ -80,6 +82,7 @@ class SweepPoint:
 
     @property
     def feasible(self) -> bool:
+        """True when the budget admitted a plan."""
         return self.score is not None
 
 
@@ -108,9 +111,19 @@ def _run_msr_task(task: tuple[str, list[float]]) -> list[SweepPoint]:
 
 
 def _run_bmr_task(task: tuple[str, list[float]]) -> list[SweepPoint]:
+    """One BMR task: a solver plus the grid slice it covers."""
     name, budgets = task
     graph = _WORKER_GRAPH
     assert graph is not None, "worker initializer did not run"
+    sweep = get_bmr_sweep(name)
+    if sweep is not None:
+        t0 = time.perf_counter()
+        entries = sweep(graph, budgets)
+        dt = time.perf_counter() - t0
+        return [
+            SweepPoint(solver=name, budget=e.budget, score=e.score, seconds=dt)
+            for e in entries
+        ]
     out = []
     for budget in budgets:
         t0 = time.perf_counter()
@@ -164,16 +177,24 @@ def sweep_bmr(
 ) -> list[SweepPoint]:
     """Evaluate each BMR solver at each retrieval budget.
 
-    No BMR solver has a replayable trajectory (see the module
-    docstring on MP), so every (solver, budget) pair stays its own
-    task, all sharing the one compiled graph.
+    ``bmr-lmg`` covers its whole grid in a single trajectory-replay
+    task; solvers without a replayable trajectory (MP family, DP, ILP —
+    see the module docstring) fan out one task per budget, all sharing
+    the one compiled graph.
     """
     graph.compile()  # one compiled graph shared by all budget probes
-    tasks = [(s, [float(b)]) for s in solvers for b in budgets]
+    grid = [float(b) for b in budgets]
+    tasks: list[tuple[str, list[float]]] = []
+    for name in solvers:
+        if get_bmr_sweep(name) is not None:
+            tasks.append((name, grid))
+        else:
+            tasks.extend((name, [b]) for b in grid)
     chunks = parallel_map(
         _run_bmr_task,
         tasks,
         processes=processes,
+        min_items_per_worker=1,
         initializer=_init_worker,
         initargs=(graph,),
     )

@@ -30,13 +30,16 @@ class TreeDecomposition:
 
     @property
     def width(self) -> int:
+        """Decomposition width: ``max bag size - 1``."""
         return max((len(b) for b in self.bags), default=1) - 1
 
     @property
     def num_bags(self) -> int:
+        """Number of bags."""
         return len(self.bags)
 
     def neighbors(self, i: int) -> list[int]:
+        """Bag ids adjacent to bag ``i`` in the decomposition tree."""
         out = []
         for a, b in self.tree:
             if a == i:

@@ -44,13 +44,16 @@ class NiceDecomposition:
 
     @property
     def root(self) -> int:
+        """Index of the root node (always last)."""
         return len(self.nodes) - 1
 
     def add(self, node: NiceNode) -> int:
+        """Append ``node`` and return its index."""
         self.nodes.append(node)
         return len(self.nodes) - 1
 
     def postorder(self) -> list[int]:
+        """Children-before-parent traversal order over all node ids."""
         order: list[int] = []
         stack = [self.root]
         visited = set()
@@ -66,6 +69,7 @@ class NiceDecomposition:
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
+        """Assert the per-kind nice-decomposition structural invariants."""
         for node in self.nodes:
             if node.kind == "leaf":
                 assert not node.children and len(node.bag) == 1
@@ -87,6 +91,7 @@ class NiceDecomposition:
 
     @property
     def width(self) -> int:
+        """Decomposition width: ``max bag size - 1``."""
         return max((len(n.bag) for n in self.nodes), default=1) - 1
 
 

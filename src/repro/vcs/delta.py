@@ -46,6 +46,7 @@ class DeltaOp:
     lines: tuple[str, ...] = ()
 
     def byte_size(self) -> int:
+        """Wire size of this op (header plus insert payload)."""
         if self.kind == "insert":
             return OP_HEADER_BYTES + insert_payload_bytes(self.lines)
         return OP_HEADER_BYTES
@@ -85,6 +86,7 @@ class DeltaScript:
 
     @property
     def is_identity(self) -> bool:
+        """True when the script only keeps lines (source == target)."""
         return all(op.kind == "keep" for op in self.ops)
 
 

@@ -61,6 +61,7 @@ class Repository:
         return c
 
     def branch_from(self, new_branch: str, at: str = "main") -> None:
+        """Create ``new_branch`` pointing at ``at``'s current head."""
         if new_branch in self.heads:
             raise ValueError(f"branch {new_branch!r} already exists")
         self.heads[new_branch] = self.heads[at]
@@ -84,10 +85,12 @@ class Repository:
         return c
 
     def snapshot_at(self, commit_id: int) -> Snapshot:
+        """Copy of the snapshot recorded by ``commit_id``."""
         return dict(self.commits[commit_id].snapshot)
 
     @property
     def num_commits(self) -> int:
+        """Number of commits."""
         return len(self.commits)
 
 
@@ -109,13 +112,16 @@ class RandomEditor:
         self.rng = rng
 
     def random_line(self, width: int = 8) -> str:
+        """One random line of 3 to ``width`` vocabulary words."""
         k = int(self.rng.integers(3, width + 1))
         return " ".join(self.rng.choice(self.VOCAB) for _ in range(k))
 
     def random_file(self, n_lines: int) -> tuple[str, ...]:
+        """A file of ``n_lines`` random lines."""
         return tuple(self.random_line() for _ in range(n_lines))
 
     def initial_snapshot(self, n_files: int = 3, lines_per_file: int = 30) -> Snapshot:
+        """A starting snapshot of a few random files."""
         return {
             f"file_{i}.txt": self.random_file(
                 int(self.rng.integers(lines_per_file // 2, lines_per_file * 2))

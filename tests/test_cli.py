@@ -107,7 +107,10 @@ class TestIngest:
         rc = main(["ingest", "--commits", "40", "--seed", "3", "--every", "5"])
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["problem"] == "msr-online"
+        assert payload["problem"] == "msr"
+        assert payload["mode"] == "online"
+        assert payload["budget_kind"] == "storage"
+        assert payload["solver"] == "lmg"
         assert payload["summary"]["versions"] == 40
         assert payload["summary"]["resolves"] >= 1
         for entry in payload["entries"]:
@@ -115,6 +118,33 @@ class TestIngest:
             assert entry["staleness"] >= 0.0
         # strict JSON: re-serializable with allow_nan=False
         json.dumps(payload, allow_nan=False)
+
+    def test_bmr_json_panel(self, capsys):
+        rc = main(
+            ["ingest", "--problem", "bmr", "--commits", "30", "--seed", "2",
+             "--budget", "1500", "--every", "5"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "bmr"
+        assert payload["budget_kind"] == "retrieval"
+        assert payload["solver"] == "mp-local"  # the BMR default
+        # every emitted arrival respects the max-retrieval budget
+        for entry in payload["entries"]:
+            assert entry["max_retrieval"] <= 1500 * (1 + 1e-9) + 1e-6
+        assert payload["summary"]["final_max_retrieval"] <= 1500 * (1 + 1e-9) + 1e-6
+        json.dumps(payload, allow_nan=False)
+
+    def test_bmr_requires_fixed_budget(self, capsys):
+        rc = main(["ingest", "--problem", "bmr", "--commits", "10"])
+        assert rc == 2
+        assert "requires --budget" in capsys.readouterr().err
+        rc = main(
+            ["ingest", "--problem", "bmr", "--commits", "10",
+             "--budget-factor", "4"]
+        )
+        assert rc == 2
+        assert "MSR-only" in capsys.readouterr().err
 
     def test_fixed_budget_and_solver(self, capsys):
         rc = main(

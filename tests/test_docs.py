@@ -1,0 +1,81 @@
+"""Validity checks for the docs/ site (ISSUE-4 acceptance).
+
+`docs/` must render as sane Markdown, the README must link to it, and
+internal cross-links plus the solver names the docs promise must stay
+truthful as the registry evolves.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = ROOT / "docs"
+PAGES = ("architecture.md", "algorithms.md", "benchmarks.md")
+
+
+@pytest.mark.parametrize("page", PAGES)
+def test_page_exists_and_renders_as_markdown(page):
+    path = DOCS / page
+    text = path.read_text()
+    assert text.startswith("# "), "every page leads with an H1"
+    assert len(text) > 1000, "a docs page should be substantial"
+    # balanced code fences (valid Markdown rendering)
+    assert text.count("```") % 2 == 0
+    # every table row has a header separator somewhere in the same table
+    for line in text.splitlines():
+        if line.startswith("|---"):
+            break
+    else:
+        if "|" in text:
+            pytest.fail(f"{page}: tables present but no separator row")
+
+
+def test_readme_links_to_docs():
+    readme = (ROOT / "README.md").read_text()
+    for page in PAGES:
+        assert f"docs/{page}" in readme, f"README must link docs/{page}"
+
+
+def test_internal_doc_links_resolve():
+    link = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
+    for page in PAGES:
+        text = (DOCS / page).read_text()
+        for target in link.findall(text):
+            if target.startswith(("http://", "https://")):
+                continue
+            assert (DOCS / target).exists(), f"{page}: broken link {target}"
+
+
+def test_algorithms_page_matches_registry():
+    from repro.algorithms.registry import (
+        BMR_ENGINE_SOLVERS,
+        BMR_SOLVERS,
+        BMR_SWEEPS,
+        ENGINE_SOLVERS,
+        MSR_SOLVERS,
+        MSR_SWEEPS,
+    )
+
+    text = (DOCS / "algorithms.md").read_text()
+    for name in (
+        set(MSR_SOLVERS)
+        | set(BMR_SOLVERS)
+        | set(MSR_SWEEPS)
+        | set(BMR_SWEEPS)
+        | set(ENGINE_SOLVERS)
+        | set(BMR_ENGINE_SOLVERS)
+    ):
+        assert name in text, f"algorithms.md must mention solver {name!r}"
+
+
+def test_benchmarks_page_covers_every_bench_file():
+    text = (DOCS / "benchmarks.md").read_text()
+    bench_files = sorted(p.name for p in ROOT.glob("BENCH_*.json"))
+    assert bench_files, "committed BENCH_*.json files expected"
+    for name in bench_files:
+        assert name in text, f"benchmarks.md must document {name}"
+    # each documented file names its regeneration script, and it exists
+    for script in re.findall(r"benchmarks/(\w+\.py)", text):
+        assert (ROOT / "benchmarks" / script).exists(), script

@@ -1,0 +1,49 @@
+"""Public-docstring gate for ``src/repro`` (local mirror of ruff D1).
+
+CI runs ``ruff check --select D1 src/repro`` (configured in
+``pyproject.toml``); this test enforces the same contract from the
+tier-1 suite so environments without ruff still catch regressions.
+Matching the ruff config, magic methods (D105) and ``__init__`` (D107)
+are exempt — constructors are documented in their class docstring —
+and anything underscore-private is out of scope.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def _missing_docstrings() -> list[str]:
+    missing: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        rel = path.relative_to(SRC.parents[1])
+        if ast.get_docstring(tree) is None:
+            missing.append(f"{rel}:1 module")
+
+        def walk(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    if not child.name.startswith("_"):
+                        if ast.get_docstring(child) is None:
+                            missing.append(
+                                f"{rel}:{child.lineno} {prefix}{child.name}"
+                            )
+                    if isinstance(child, ast.ClassDef):
+                        # public methods of private classes still count
+                        walk(child, prefix + child.name + ".")
+                # defs nested inside functions are not public API
+
+        walk(tree, "")
+    return missing
+
+
+def test_every_public_name_has_a_docstring():
+    missing = _missing_docstrings()
+    assert not missing, (
+        "public API without docstrings (see pyproject [tool.ruff.lint]):\n"
+        + "\n".join(missing)
+    )

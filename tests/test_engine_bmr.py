@@ -1,0 +1,131 @@
+"""Tests for the ingest engine's BMR mode (retrieval-budget serving).
+
+The ISSUE-4 acceptance bar, pinned here:
+
+* the engine's post-re-solve plan is *identical* to a from-scratch BMR
+  solve on the final graph;
+* every per-arrival plan satisfies the max-retrieval budget, checked
+  through the shared :mod:`repro.core.tolerance` helpers.
+"""
+
+import pytest
+
+from repro.algorithms.registry import get_engine_solver
+from repro.core.tolerance import within_budget, within_budget_recomputed
+from repro.engine import IngestEngine
+from repro.fastgraph import mp_local_array
+from repro.vcs import build_graph_from_repo, random_repository
+
+
+def repo_retrieval_budget(graph, span=2.0):
+    return graph.max_retrieval_cost() * span
+
+
+class TestBMREngineEquivalence:
+    @pytest.mark.parametrize("solver", ["mp", "mp-local", "bmr-lmg"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_post_resolve_plan_identical_to_batch(self, solver, seed):
+        repo = random_repository(60, seed=seed)
+        batch = build_graph_from_repo(repo)
+        budget = repo_retrieval_budget(batch)
+        engine = IngestEngine(
+            problem="bmr", budget=budget, solver=solver, staleness_threshold=0.1
+        )
+        for stats in engine.ingest_repository(repo):
+            assert within_budget(stats.max_retrieval, budget)
+        tree = engine.resolve()
+        ref = get_engine_solver(solver, "bmr")(batch.compile(), budget)
+        assert tree.to_plan() == ref.to_plan()
+        assert tree.total_storage == ref.total_storage
+        assert tree.total_retrieval == ref.total_retrieval
+
+    def test_every_arrival_plan_feasible_in_pure_repair_mode(self):
+        repo = random_repository(50, seed=6)
+        batch = build_graph_from_repo(repo)
+        budget = repo_retrieval_budget(batch)
+        engine = IngestEngine(
+            problem="bmr", budget=budget, staleness_threshold=float("inf")
+        )
+        for stats in engine.ingest_repository(repo):
+            assert within_budget(stats.max_retrieval, budget)
+        # only the bootstrap solve happened; the cached totals and the
+        # exported plan must still be exact and feasible
+        assert engine.resolves == 1
+        engine.graph.compile()
+        engine.tree.check_invariants()
+        score_max = engine.plan().retrieval(engine.graph).maximum
+        assert within_budget_recomputed(score_max, budget)
+
+    def test_background_engine_converges_to_batch_plan(self):
+        repo = random_repository(60, seed=13)
+        batch = build_graph_from_repo(repo)
+        budget = repo_retrieval_budget(batch)
+        engine = IngestEngine(
+            problem="bmr",
+            budget=budget,
+            staleness_threshold=0.02,
+            background=True,
+        )
+        for stats in engine.ingest_repository(repo):
+            assert within_budget(stats.max_retrieval, budget)
+        engine.wait()
+        engine.tree.check_invariants()
+        tree = engine.resolve()
+        ref = mp_local_array(batch.compile(), budget)
+        assert tree.to_plan() == ref.to_plan()
+
+
+class TestBMREngineBehavior:
+    def test_staleness_accumulates_storage_and_resets(self):
+        repo = random_repository(60, seed=8)
+        batch = build_graph_from_repo(repo)
+        engine = IngestEngine(
+            problem="bmr",
+            budget=repo_retrieval_budget(batch),
+            staleness_threshold=0.02,
+        )
+        saw_reset = False
+        prev = 0.0
+        for stats in engine.ingest_repository(repo):
+            if stats.resolved:
+                assert stats.staleness == 0.0
+                saw_reset = prev > 0.0 or saw_reset
+            prev = stats.staleness
+        assert saw_reset
+        assert engine.resolves > 1
+
+    def test_tight_budget_forces_materialization(self):
+        # budget 0: every arrival must be materialized (retrieval 0)
+        engine = IngestEngine(problem="bmr", budget=0.0)
+        engine.ingest_version("a", 10.0)
+        stats = engine.ingest_version(
+            "b", 12.0, [("a", "b", 1.0, 5.0), ("b", "a", 1.0, 5.0)]
+        )
+        assert stats.max_retrieval == 0.0
+        assert engine.plan().materialized == frozenset({"a", "b"})
+
+    def test_negative_budget_raises(self):
+        engine = IngestEngine(problem="bmr", budget=-1.0)
+        with pytest.raises(ValueError, match="infeasible"):
+            engine.ingest_version("a", 10.0)
+
+    def test_budget_factor_rejected(self):
+        with pytest.raises(ValueError, match="MSR-only"):
+            IngestEngine(problem="bmr", budget_factor=4.0)
+
+    def test_missing_budget_rejected(self):
+        with pytest.raises(ValueError, match="requires budget"):
+            IngestEngine(problem="bmr")
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            IngestEngine(problem="mmr", budget=1.0)
+
+    def test_msr_solver_names_rejected(self):
+        with pytest.raises(KeyError, match="BMR engine solver"):
+            IngestEngine(problem="bmr", budget=10.0, solver="lmg")
+
+    def test_default_solver_is_mp_local(self):
+        engine = IngestEngine(problem="bmr", budget=10.0)
+        assert engine.solver_name == "mp-local"
+        assert engine.problem == "bmr"

@@ -43,6 +43,14 @@ def test_git_history_optimizer_runs_small():
     assert "DP-BMR" in out
 
 
+def test_retrieval_budget_serving_runs_small():
+    out = run_example("retrieval_budget_serving.py", "40", "5")
+    assert "Max-retrieval SLA" in out
+    assert "post-re-solve plan == from-scratch mp-local solve" in out
+    assert "batch BMR solvers" in out
+    assert "bmr-lmg" in out
+
+
 @pytest.mark.parametrize(
     "name", ["datalake_snapshots.py", "ml_pipeline_versions.py"]
 )

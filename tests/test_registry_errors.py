@@ -1,0 +1,133 @@
+"""Error-path tests for the solver registry (messages pinned).
+
+Every entry point that resolves solvers by name must fail with a
+message that names the family, echoes the bad input, and lists the
+valid options — these strings are part of the CLI's user experience
+(they surface verbatim behind ``error:`` lines), so the exact wording
+is pinned here.
+"""
+
+import pytest
+
+from repro.algorithms.registry import (
+    BMR_ENGINE_SOLVERS,
+    BMR_SOLVERS,
+    ENGINE_SOLVERS,
+    MSR_SOLVERS,
+    get_bmr_solver,
+    get_bmr_sweep,
+    get_engine_solver,
+    get_msr_solver,
+    get_msr_sweep,
+)
+
+
+class TestUnknownSolverNames:
+    def test_unknown_msr_solver(self):
+        with pytest.raises(KeyError) as exc:
+            get_msr_solver("nope")
+        assert (
+            "unknown MSR solver 'nope'; options: "
+            "['dp-msr', 'ilp', 'lmg', 'lmg-all']" in str(exc.value)
+        )
+
+    def test_unknown_bmr_solver(self):
+        with pytest.raises(KeyError) as exc:
+            get_bmr_solver("nope")
+        assert (
+            "unknown BMR solver 'nope'; options: "
+            "['bmr-lmg', 'dp-bmr', 'ilp', 'mp', 'mp-local']" in str(exc.value)
+        )
+
+
+class TestCrossFamilyNames:
+    """A name from the *other* family gets a redirecting hint."""
+
+    @pytest.mark.parametrize("name", ["mp", "mp-local", "bmr-lmg", "dp-bmr"])
+    def test_bmr_name_passed_to_msr_getter(self, name):
+        with pytest.raises(KeyError) as exc:
+            get_msr_solver(name)
+        msg = str(exc.value)
+        assert f"unknown MSR solver {name!r}" in msg
+        assert f"({name!r} is a BMR solver; use get_bmr_solver)" in msg
+
+    @pytest.mark.parametrize("name", ["lmg", "lmg-all", "dp-msr"])
+    def test_msr_name_passed_to_bmr_getter(self, name):
+        with pytest.raises(KeyError) as exc:
+            get_bmr_solver(name)
+        msg = str(exc.value)
+        assert f"unknown BMR solver {name!r}" in msg
+        assert f"({name!r} is a MSR solver; use get_msr_solver)" in msg
+
+    def test_ilp_resolves_in_both_families(self):
+        # "ilp" legitimately exists on both sides: no error, no hint
+        assert get_msr_solver("ilp") is MSR_SOLVERS["ilp"]
+        assert get_bmr_solver("ilp") is BMR_SOLVERS["ilp"]
+
+
+class TestInvalidBackends:
+    @pytest.mark.parametrize("getter", [get_msr_solver, get_bmr_solver])
+    def test_unknown_backend(self, getter):
+        name = "lmg" if getter is get_msr_solver else "mp"
+        with pytest.raises(KeyError) as exc:
+            getter(name, backend="gpu")
+        assert "unknown backend 'gpu'; options: ['array', 'dict']" in str(exc.value)
+
+    def test_backend_error_beats_silent_fallback(self):
+        # even for solvers without an array variant, a bogus backend
+        # name is a caller bug and must raise, not silently resolve
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_msr_solver("dp-msr", backend="gpu")
+
+
+class TestEngineSolverResolution:
+    def test_unknown_engine_solver(self):
+        with pytest.raises(KeyError) as exc:
+            get_engine_solver("nope")
+        assert (
+            "unknown MSR engine solver 'nope'; options: ['lmg', 'lmg-all']"
+            in str(exc.value)
+        )
+
+    def test_bmr_engine_solver_table(self):
+        with pytest.raises(KeyError) as exc:
+            get_engine_solver("nope", "bmr")
+        assert (
+            "unknown BMR engine solver 'nope'; options: "
+            "['bmr-lmg', 'mp', 'mp-local']" in str(exc.value)
+        )
+
+    def test_cross_family_engine_hint(self):
+        with pytest.raises(KeyError) as exc:
+            get_engine_solver("mp", "msr")
+        assert "('mp' is a BMR engine solver)" in str(exc.value)
+        with pytest.raises(KeyError) as exc:
+            get_engine_solver("lmg", "bmr")
+        assert "('lmg' is a MSR engine solver)" in str(exc.value)
+
+    def test_unknown_problem(self):
+        with pytest.raises(ValueError) as exc:
+            get_engine_solver("lmg", "mmr")
+        assert "unknown engine problem 'mmr'; options: ['bmr', 'msr']" in str(
+            exc.value
+        )
+
+    def test_tables_resolve_their_own_names(self):
+        for name in ENGINE_SOLVERS:
+            assert get_engine_solver(name) is ENGINE_SOLVERS[name]
+        for name in BMR_ENGINE_SOLVERS:
+            assert get_engine_solver(name, "bmr") is BMR_ENGINE_SOLVERS[name]
+
+
+class TestSweepResolution:
+    def test_non_sweep_solvers_return_none(self):
+        assert get_msr_sweep("dp-msr") is None
+        assert get_msr_sweep("nope") is None
+        assert get_bmr_sweep("mp") is None
+        assert get_bmr_sweep("mp-local") is None
+        assert get_bmr_sweep("nope") is None
+
+    def test_sweep_capable_names(self):
+        assert get_msr_sweep("lmg") is not None
+        assert get_msr_sweep("lmg-all") is not None
+        assert get_bmr_sweep("bmr-lmg") is not None

@@ -375,7 +375,7 @@ class TestSweepCLI:
         )
         assert rc == 0
         out = capsys.readouterr().out
-        assert "| budget |" in out and "lmg" in out
+        assert "| storage budget |" in out and "lmg" in out
 
     def test_cli_sweep_requires_one_input(self, capsys):
         from repro.cli import main
