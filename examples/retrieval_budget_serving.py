@@ -23,7 +23,7 @@ Run:  python examples/retrieval_budget_serving.py [commits] [seed]
 
 import sys
 
-from repro.algorithms.registry import get_bmr_solver
+from repro.algorithms.registry import get_solver
 from repro.core.problems import evaluate_plan
 from repro.core.tolerance import within_budget, within_budget_recomputed
 from repro.engine import IngestEngine
@@ -67,7 +67,7 @@ def main(commits: int = 120, seed: int = 7) -> None:
 
     print(f"\n--- batch BMR solvers on the final graph (SLA {sla:.0f}) ---")
     for name in ("mp", "mp-local", "bmr-lmg", "dp-bmr"):
-        plan = get_bmr_solver(name)(batch, sla)
+        plan = get_solver("bmr", name)(batch, sla)
         score = evaluate_plan(batch, plan)
         assert within_budget_recomputed(score.max_retrieval, sla)
         marker = " <- engine solver" if name == "mp-local" else ""

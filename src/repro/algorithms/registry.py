@@ -1,45 +1,63 @@
-"""Solver registry: names -> budgeted solver callables.
+"""Solver registry: ``(problem, name)`` -> budgeted solver callables.
 
-Benchmarks, the CLI and the parallel sweep workers all address solvers
-by name, so the mapping lives in one place.  Two families:
+Benchmarks, the CLI, the ingest engine and the parallel sweep workers
+all address solvers by name, so the mapping lives in one place.  Since
+the :class:`~repro.core.problemspec.ProblemSpec` refactor there is
+**one** registry per addressing surface, keyed by ``(problem, name)``
+with ``problem in repro.core.problemspec.SPECS``:
 
-* **MSR solvers** ``f(graph, storage_budget) -> StoragePlan | None``
-  (None = budget below the minimum achievable storage);
-* **BMR solvers** ``f(graph, retrieval_budget) -> StoragePlan | None``
-  (None = retrieval budget infeasible, i.e. negative).
+* :data:`SOLVERS` — plan-level solvers
+  ``f(graph, budget) -> StoragePlan | None`` (None = the budget is
+  infeasible for the family: below the minimum achievable storage for
+  MSR, negative retrieval for BMR);
+* :data:`SWEEPS` — whole-grid trajectory-replay sweeps
+  ``f(graph, budgets, *, start_edges=None) -> list[SweepEntry]`` (one
+  solver run for the entire budget grid; only greedy solvers with
+  budget-monotone trajectories qualify);
+* :data:`ENGINE_KERNELS` — tree-level kernels
+  ``f(compiled_graph, budget) -> ArrayPlanTree`` for the online ingest
+  engine (only kernels that run directly on a
+  :class:`~repro.fastgraph.CompiledGraph` qualify; DP/ILP solvers have
+  no array-tree form and are deliberately absent);
+* :data:`BACKENDS` — explicit backend requests for the greedy family
+  (``"array"`` kernels vs the ``"dict"`` reference implementations).
 
-Backends
---------
-The greedy family (``lmg`` / ``lmg-all`` / ``mp``) exists twice: the
-dict-of-dicts reference implementation and the flat-array kernel from
-:mod:`repro.fastgraph`.  The plain names resolve to the **array**
-backend automatically (it is plan-identical and much faster); pass
-``backend="dict"`` to :func:`get_msr_solver` / :func:`get_bmr_solver`
-to keep the reference path, e.g. for cross-validation::
+Resolution goes through :func:`get_solver`, :func:`get_sweep` and
+:func:`get_engine_solver`, all taking the problem name first.  Plain
+names resolve to the **array** backend automatically (it is
+plan-identical and much faster); pass ``backend="dict"`` to
+:func:`get_solver` to keep the reference path, e.g. for
+cross-validation::
 
-    fast = get_msr_solver("lmg")                  # array kernel
-    ref = get_msr_solver("lmg", backend="dict")   # reference path
+    fast = get_solver("msr", "lmg")                  # array kernel
+    ref = get_solver("msr", "lmg", backend="dict")   # reference path
 
 Solvers without an array variant accept both backend names and resolve
-to their single implementation.
+to their single implementation.  The DP entries rebuild their tree
+index per call; sweep code that wants index reuse calls the solver
+classes directly (see :mod:`repro.bench.figures`).  The array kernels
+reuse the compiled graph cached on the :class:`VersionGraph` itself
+(``graph.compile()``), so repeated calls on one graph compile once.
 
-The DP entries rebuild their tree index per call; sweep code that wants
-index reuse calls the solver classes directly (see
-:mod:`repro.bench.figures`).  The array kernels reuse the compiled
-graph cached on the :class:`VersionGraph` itself (``graph.compile()``),
-so repeated calls on one graph compile once.
-
-Budget-grid sweeps have a third addressing surface: :data:`MSR_SWEEPS`
-/ :data:`BMR_SWEEPS` map the greedy-family names to whole-grid
-trajectory-replay sweeps (``f(graph, budgets) -> list[SweepEntry]``,
-one solver run for the entire grid); :func:`get_msr_sweep` /
-:func:`get_bmr_sweep` return ``None`` for solvers that must be probed
-per budget.
+Deprecated surfaces
+-------------------
+The pre-refactor twin tables and getters — ``MSR_SOLVERS`` /
+``BMR_SOLVERS``, ``MSR_SWEEPS`` / ``BMR_SWEEPS``, ``ENGINE_SOLVERS`` /
+``BMR_ENGINE_SOLVERS``, ``get_msr_solver`` / ``get_bmr_solver``,
+``get_msr_sweep`` / ``get_bmr_sweep``, ``msr_sweep_start_edges`` and
+the ``get_engine_solver(name, problem)`` argument order — keep
+resolving to the identical objects but emit a ``DeprecationWarning``
+(``tests/test_registry_compat.py``).  The table shims are cached
+*snapshots* of the unified registry: mutate :data:`SOLVERS` etc. when
+patching solvers.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..core.graph import VersionGraph
+from ..core.problemspec import SPECS, get_spec
 from ..core.solution import StoragePlan
 from ..fastgraph import (
     bmr_lmg_array,
@@ -47,8 +65,7 @@ from ..fastgraph import (
     lmg_array,
     mp_array,
     mp_local_array,
-    sweep_greedy_bmr,
-    sweep_greedy_msr,
+    sweep_greedy,
 )
 from .bmr_greedy import bmr_lmg, mp_local
 from .dp_bmr import dp_bmr_heuristic
@@ -59,18 +76,21 @@ from .lmg_all import lmg_all
 from .mp import mp
 
 __all__ = [
-    "MSR_SOLVERS",
-    "BMR_SOLVERS",
-    "MSR_SWEEPS",
-    "BMR_SWEEPS",
-    "ENGINE_SOLVERS",
-    "BMR_ENGINE_SOLVERS",
+    "SOLVERS",
+    "SWEEPS",
+    "ENGINE_KERNELS",
     "BACKENDS",
+    "get_solver",
+    "get_sweep",
+    "get_engine_solver",
+    "sweep_start_edges",
+    # deprecated getter shims (DeprecationWarning on use); the six
+    # deprecated twin tables resolve through module __getattr__ and are
+    # importable by name without being re-exported here
     "get_msr_solver",
     "get_bmr_solver",
     "get_msr_sweep",
     "get_bmr_sweep",
-    "get_engine_solver",
     "msr_sweep_start_edges",
 ]
 
@@ -173,132 +193,66 @@ def _mp_local_array(graph: VersionGraph, budget: float) -> StoragePlan | None:
         return None
 
 
-#: Plain-name mapping; greedy names resolve to the array kernels.
-MSR_SOLVERS = {
-    "lmg": _lmg_array,
-    "lmg-all": _lmg_all_array,
-    "dp-msr": _dp_msr,
-    "ilp": _msr_ilp,
-}
-
-BMR_SOLVERS = {
-    "mp": _mp_array,
-    "mp-local": _mp_local_array,
-    "bmr-lmg": _bmr_lmg_array,
-    "dp-bmr": _dp_bmr,
-    "ilp": _bmr_ilp,
+#: ``(problem, name)`` -> plan-level solver; greedy names resolve to
+#: the array kernels.
+SOLVERS = {
+    ("msr", "lmg"): _lmg_array,
+    ("msr", "lmg-all"): _lmg_all_array,
+    ("msr", "dp-msr"): _dp_msr,
+    ("msr", "ilp"): _msr_ilp,
+    ("bmr", "mp"): _mp_array,
+    ("bmr", "mp-local"): _mp_local_array,
+    ("bmr", "bmr-lmg"): _bmr_lmg_array,
+    ("bmr", "dp-bmr"): _dp_bmr,
+    ("bmr", "ilp"): _bmr_ilp,
 }
 
 
 def _sweep_lmg(graph, budgets, *, start_edges=None):
-    return sweep_greedy_msr(graph, "lmg", budgets, start_edges=start_edges)
+    return sweep_greedy(graph, "msr", "lmg", budgets, start_edges=start_edges)
 
 
 def _sweep_lmg_all(graph, budgets, *, start_edges=None):
-    return sweep_greedy_msr(graph, "lmg-all", budgets, start_edges=start_edges)
+    return sweep_greedy(graph, "msr", "lmg-all", budgets, start_edges=start_edges)
 
 
-#: Whole-grid sweep callables ``f(graph, budgets) -> list[SweepEntry]``
-#: for solvers whose greedy trajectory is budget-monotone (the LMG
-#: family).  MP is absent by design: its Prim growth depends on the
-#: retrieval budget at every relaxation, so runs at different budgets
-#: share no prefix (see :mod:`repro.fastgraph.trajectory`).
-MSR_SWEEPS = {
-    "lmg": _sweep_lmg,
-    "lmg-all": _sweep_lmg_all,
-}
+def _sweep_bmr_lmg(graph, budgets, *, start_edges=None):
+    return sweep_greedy(graph, "bmr", "bmr-lmg", budgets, start_edges=start_edges)
 
 
-def _sweep_bmr_lmg(graph, budgets):
-    return sweep_greedy_bmr(graph, "bmr-lmg", budgets)
-
-
-#: Whole-grid BMR sweep callables; only ``bmr-lmg`` qualifies — its
-#: all-materialized start is budget-independent and its move admission
-#: is budget-monotone.  ``mp`` / ``mp-local`` are absent by design:
+#: ``(problem, name)`` -> whole-grid trajectory-replay sweep
+#: ``f(graph, budgets, *, start_edges=None) -> list[SweepEntry]``.
+#: Only greedy solvers with budget-monotone trajectories qualify (the
+#: LMG family and ``bmr-lmg``).  The MP family is absent by design:
 #: MP's Prim growth depends on the retrieval budget at every
-#: relaxation, so runs at different budgets share no prefix.
-BMR_SWEEPS = {
-    "bmr-lmg": _sweep_bmr_lmg,
+#: relaxation, so runs at different budgets share no prefix (see
+#: :mod:`repro.fastgraph.trajectory`).  ``start_edges`` ships a shared
+#: Edmonds arborescence to MSR sweeps; families whose start tree is
+#: budget-independent of it (BMR's all-materialized start) ignore it.
+SWEEPS = {
+    ("msr", "lmg"): _sweep_lmg,
+    ("msr", "lmg-all"): _sweep_lmg_all,
+    ("bmr", "bmr-lmg"): _sweep_bmr_lmg,
 }
 
 
-def get_msr_sweep(name: str):
-    """Whole-grid sweep for ``name``, or ``None`` when the solver has
-    no trajectory-replay sweep (callers fall back to per-budget runs)."""
-    return MSR_SWEEPS.get(name)
-
-
-def get_bmr_sweep(name: str):
-    """Whole-grid BMR sweep for ``name``, or ``None`` when the solver
-    must be probed per retrieval budget."""
-    return BMR_SWEEPS.get(name)
-
-
-#: Engine-aware solvers ``f(compiled_graph, budget) -> ArrayPlanTree``.
-#: The ingest engine (:mod:`repro.engine`) needs the *tree*, not the
-#: exported :class:`StoragePlan`: between full re-solves it keeps
-#: attaching arriving versions onto the live ``ArrayPlanTree``, and the
+#: ``(problem, name)`` -> tree-level engine kernel
+#: ``f(compiled_graph, budget) -> ArrayPlanTree``.  The ingest engine
+#: (:mod:`repro.engine`) needs the *tree*, not the exported
+#: :class:`StoragePlan`: between full re-solves it keeps attaching
+#: arriving versions onto the live ``ArrayPlanTree``, and the
 #: incremental attach / staleness bookkeeping work on the flat arrays.
-#: Only kernels that run directly on a :class:`~repro.fastgraph.
-#: CompiledGraph` qualify (the greedy families); DP/ILP solvers have
-#: no array-tree form and are deliberately absent.
-ENGINE_SOLVERS = {
-    "lmg": lmg_array,
-    "lmg-all": lmg_all_array,
+ENGINE_KERNELS = {
+    ("msr", "lmg"): lmg_array,
+    ("msr", "lmg-all"): lmg_all_array,
+    ("bmr", "mp"): mp_array,
+    ("bmr", "mp-local"): mp_local_array,
+    ("bmr", "bmr-lmg"): bmr_lmg_array,
 }
 
-#: BMR engine solvers: budget is the max-retrieval cap, objective is
-#: storage.  All three greedy BMR kernels qualify.
-BMR_ENGINE_SOLVERS = {
-    "mp": mp_array,
-    "mp-local": mp_local_array,
-    "bmr-lmg": bmr_lmg_array,
-}
 
-_ENGINE_TABLES = {"msr": ENGINE_SOLVERS, "bmr": BMR_ENGINE_SOLVERS}
-
-
-def get_engine_solver(name: str, problem: str = "msr"):
-    """Tree-level solver for the ingest engine.
-
-    ``problem`` selects the family: ``"msr"`` (storage budget,
-    :data:`ENGINE_SOLVERS`) or ``"bmr"`` (retrieval budget,
-    :data:`BMR_ENGINE_SOLVERS`).  Raises ``ValueError`` for unknown
-    problems and ``KeyError`` with the valid options for unknown or
-    non-engine-capable solver names.
-    """
-    try:
-        table = _ENGINE_TABLES[problem]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine problem {problem!r}; options: "
-            f"{sorted(_ENGINE_TABLES)}"
-        ) from None
-    try:
-        return table[name]
-    except KeyError:
-        hint = ""
-        other = "bmr" if problem == "msr" else "msr"
-        if name in _ENGINE_TABLES[other]:
-            hint = f" ({name!r} is a {other.upper()} engine solver)"
-        raise KeyError(
-            f"unknown {problem.upper()} engine solver {name!r}; "
-            f"options: {sorted(table)}{hint}"
-        ) from None
-
-
-def msr_sweep_start_edges(graph: VersionGraph, solvers) -> list | None:
-    """The Edmonds start tree shared by every trajectory-replay sweep,
-    or ``None`` when no requested solver supports one."""
-    if not any(get_msr_sweep(s) is not None for s in solvers):
-        return None
-    from ..fastgraph.arborescence import min_storage_parent_edges
-
-    return min_storage_parent_edges(graph.compile())
-
-
-#: (family, name) -> backend -> callable, for explicit backend requests.
+#: ``(problem, name)`` -> backend -> callable, for explicit backend
+#: requests (greedy family only).
 BACKENDS = {
     ("msr", "lmg"): {"array": _lmg_array, "dict": _lmg_dict},
     ("msr", "lmg-all"): {"array": _lmg_all_array, "dict": _lmg_all_dict},
@@ -310,36 +264,218 @@ BACKENDS = {
 _BACKEND_NAMES = ("array", "dict")
 
 
-def _resolve(family: str, table: dict, name: str, backend: str | None):
-    try:
-        default = table[name]
-    except KeyError:
-        other = "bmr" if family == "msr" else "msr"
-        other_table = BMR_SOLVERS if other == "bmr" else MSR_SOLVERS
+def _names(table: dict, problem: str) -> list[str]:
+    """Sorted solver names registered for ``problem`` in ``table``."""
+    return sorted(n for p, n in table if p == problem)
+
+
+def _other_problem(problem: str) -> str | None:
+    """The one other registered family, or None with >2 families."""
+    others = [p for p in SPECS if p != problem]
+    return others[0] if len(others) == 1 else None
+
+
+def get_solver(problem: str, name: str, backend: str | None = None):
+    """Look up a plan-level solver for ``problem`` by ``name``.
+
+    ``backend`` picks ``"array"`` or ``"dict"`` for the greedy family;
+    solvers without an array variant resolve to their single
+    implementation.  Raises ``ValueError`` for unknown problems and
+    ``KeyError`` — with a cross-family hint when the name belongs to
+    the other family — for unknown solver names or backends.
+    """
+    problem = get_spec(problem).name
+    if (problem, name) not in SOLVERS:
+        other = _other_problem(problem)
         hint = (
             f" ({name!r} is a {other.upper()} solver; use get_{other}_solver)"
-            if name in other_table
+            if other is not None and (other, name) in SOLVERS
             else ""
         )
         raise KeyError(
-            f"unknown {family.upper()} solver {name!r}; "
-            f"options: {sorted(table)}{hint}"
-        ) from None
+            f"unknown {problem.upper()} solver {name!r}; "
+            f"options: {_names(SOLVERS, problem)}{hint}"
+        )
     if backend is None:
-        return default
+        return SOLVERS[(problem, name)]
     if backend not in _BACKEND_NAMES:
         raise KeyError(
             f"unknown backend {backend!r}; options: {sorted(_BACKEND_NAMES)}"
         )
-    # solvers without an array variant resolve to their one implementation
-    return BACKENDS.get((family, name), {}).get(backend, default)
+    return BACKENDS.get((problem, name), {}).get(backend, SOLVERS[(problem, name)])
+
+
+def get_sweep(problem: str, name: str):
+    """Whole-grid sweep for ``(problem, name)``, or ``None``.
+
+    ``None`` means the solver has no trajectory-replay sweep and must
+    be probed per budget (DP, ILP, the MP family).
+    """
+    problem = get_spec(problem).name
+    return SWEEPS.get((problem, name))
+
+
+def _engine_lookup(problem: str, name: str):
+    """Engine-kernel lookup with the pinned engine error messages."""
+    if problem not in SPECS:
+        raise ValueError(
+            f"unknown engine problem {problem!r}; options: {sorted(SPECS)}"
+        )
+    try:
+        return ENGINE_KERNELS[(problem, name)]
+    except KeyError:
+        other = _other_problem(problem)
+        hint = (
+            f" ({name!r} is a {other.upper()} engine solver)"
+            if other is not None and (other, name) in ENGINE_KERNELS
+            else ""
+        )
+        raise KeyError(
+            f"unknown {problem.upper()} engine solver {name!r}; "
+            f"options: {_names(ENGINE_KERNELS, problem)}{hint}"
+        ) from None
+
+
+def get_engine_solver(*args, problem: str | None = None, name: str | None = None):
+    """Tree-level solver for the ingest engine: ``(problem, name)``.
+
+    Raises ``ValueError`` for unknown problems and ``KeyError`` with
+    the valid options for unknown or non-engine-capable solver names.
+
+    The pre-refactor call shapes — positional ``get_engine_solver(name,
+    problem)``, keyword ``get_engine_solver(name, problem="bmr")`` and
+    single-argument ``get_engine_solver(name)`` — still resolve
+    (problem names and solver names never collide) but emit a
+    ``DeprecationWarning``.
+    """
+    legacy = "get_engine_solver(name, problem)"
+    new = "get_engine_solver(problem, name)"
+    if len(args) > 2 or (args and len(args) + (problem is not None) + (name is not None) > 2):
+        raise TypeError("get_engine_solver takes (problem, name)")
+    if len(args) == 2:
+        first, second = args
+        if first in SPECS:
+            return _engine_lookup(first, second)
+        if second in SPECS or any(first == n for _, n in ENGINE_KERNELS):
+            # unambiguously the legacy (name, problem) order: the
+            # second argument is a problem, or the first is a known
+            # engine solver name (covers legacy calls with a bad
+            # problem, whose error message is pinned)
+            _deprecated(legacy, new)
+            return _engine_lookup(second, first)
+        # neither reading is registered: report against the documented
+        # new order so a typo'd family name is blamed correctly
+        raise ValueError(
+            f"unknown engine problem {first!r}; options: {sorted(SPECS)}"
+        )
+    if len(args) == 1:
+        if problem is not None:
+            # legacy keyword form: get_engine_solver("mp", problem="bmr")
+            _deprecated(legacy, new)
+            return _engine_lookup(problem, args[0])
+        if name is not None:
+            return _engine_lookup(args[0], name)
+        if args[0] in SPECS:
+            raise TypeError(
+                "get_engine_solver(problem, name) requires a solver name"
+            )
+        _deprecated(legacy, new)
+        return _engine_lookup("msr", args[0])
+    if problem is not None and name is not None:
+        # fully keyworded: identical semantics in both call shapes
+        return _engine_lookup(problem, name)
+    if name is not None:
+        _deprecated(legacy, new)
+        return _engine_lookup("msr", name)
+    raise TypeError("get_engine_solver(problem, name) requires a solver name")
+
+
+def sweep_start_edges(
+    problem: str, graph: VersionGraph, solvers
+) -> list | None:
+    """The Edmonds start tree shared by a problem's trajectory sweeps.
+
+    Returns ``(version index, parent edge id)`` pairs when the family's
+    sweeps start from the minimum-storage arborescence and at least one
+    requested solver has a trajectory sweep; ``None`` otherwise
+    (per-budget solvers only, or families with budget-independent
+    starts like BMR's all-materialized tree).
+    """
+    spec = get_spec(problem)
+    if not spec.sweep_uses_start_tree:
+        return None
+    if not any(get_sweep(spec.name, s) is not None for s in solvers):
+        return None
+    from ..fastgraph.arborescence import min_storage_parent_edges
+
+    return min_storage_parent_edges(graph.compile())
+
+
+# ----------------------------------------------------------------------
+# deprecated pre-ProblemSpec surfaces
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    """Emit the registry's standard deprecation warning."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.algorithms.registry)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+_DEPRECATED_TABLES = {
+    "MSR_SOLVERS": (SOLVERS, "msr", 'SOLVERS[("msr", name)]'),
+    "BMR_SOLVERS": (SOLVERS, "bmr", 'SOLVERS[("bmr", name)]'),
+    "MSR_SWEEPS": (SWEEPS, "msr", 'SWEEPS[("msr", name)]'),
+    "BMR_SWEEPS": (SWEEPS, "bmr", 'SWEEPS[("bmr", name)]'),
+    "ENGINE_SOLVERS": (ENGINE_KERNELS, "msr", 'ENGINE_KERNELS[("msr", name)]'),
+    "BMR_ENGINE_SOLVERS": (ENGINE_KERNELS, "bmr", 'ENGINE_KERNELS[("bmr", name)]'),
+}
+
+_table_views: dict[str, dict] = {}
+
+
+def __getattr__(attr: str):
+    """Serve the deprecated twin tables as cached family snapshots."""
+    if attr in _DEPRECATED_TABLES:
+        table, problem, new = _DEPRECATED_TABLES[attr]
+        _deprecated(attr, new)
+        if attr not in _table_views:
+            _table_views[attr] = {
+                n: fn for (p, n), fn in table.items() if p == problem
+            }
+        return _table_views[attr]
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")
 
 
 def get_msr_solver(name: str, backend: str | None = None):
-    """Look up an MSR solver; ``backend`` picks ``"array"`` or ``"dict"``."""
-    return _resolve("msr", MSR_SOLVERS, name, backend)
+    """Deprecated: use ``get_solver("msr", name, backend)``."""
+    _deprecated("get_msr_solver(name)", 'get_solver("msr", name)')
+    return get_solver("msr", name, backend)
 
 
 def get_bmr_solver(name: str, backend: str | None = None):
-    """Look up a BMR solver; ``backend`` picks ``"array"`` or ``"dict"``."""
-    return _resolve("bmr", BMR_SOLVERS, name, backend)
+    """Deprecated: use ``get_solver("bmr", name, backend)``."""
+    _deprecated("get_bmr_solver(name)", 'get_solver("bmr", name)')
+    return get_solver("bmr", name, backend)
+
+
+def get_msr_sweep(name: str):
+    """Deprecated: use ``get_sweep("msr", name)``."""
+    _deprecated("get_msr_sweep(name)", 'get_sweep("msr", name)')
+    return get_sweep("msr", name)
+
+
+def get_bmr_sweep(name: str):
+    """Deprecated: use ``get_sweep("bmr", name)``."""
+    _deprecated("get_bmr_sweep(name)", 'get_sweep("bmr", name)')
+    return get_sweep("bmr", name)
+
+
+def msr_sweep_start_edges(graph: VersionGraph, solvers) -> list | None:
+    """Deprecated: use ``sweep_start_edges("msr", graph, solvers)``."""
+    _deprecated(
+        "msr_sweep_start_edges(graph, solvers)",
+        'sweep_start_edges("msr", graph, solvers)',
+    )
+    return sweep_start_edges("msr", graph, solvers)

@@ -4,10 +4,12 @@ from .harness import (
     ExperimentResult,
     Series,
     ascii_plot,
+    budget_grid,
     markdown_table,
     msr_budget_grid,
     results_dir,
     run_bmr_experiment,
+    run_experiment,
     run_msr_experiment,
 )
 from .figures import (
@@ -26,6 +28,8 @@ __all__ = [
     "Series",
     "ExperimentResult",
     "msr_budget_grid",
+    "budget_grid",
+    "run_experiment",
     "run_msr_experiment",
     "run_bmr_experiment",
     "ascii_plot",

@@ -8,18 +8,22 @@ log-plots so benchmark output is self-contained in the terminal and in
 
 Single-run sweep amortization
 -----------------------------
-Two solver families produce their whole budget series from **one** run:
+Two solver classes produce their whole budget series from **one** run,
+both registered per ``(problem, name)``:
 
-* DP-MSR's frontier is read at every budget ("the DP algorithm returns
-  a whole spectrum of solutions at once", exactly as the paper does);
-* the greedy families replay one recorded trajectory across the grid
-  (:func:`repro.fastgraph.sweep_greedy_msr` for LMG / LMG-All,
-  :func:`repro.fastgraph.sweep_greedy_bmr` for ``bmr-lmg``) — valid
-  because the greedy move sequence is budget-monotone, with a live
-  continuation on the rare divergence, so each grid point's plan is
-  identical to an independent solve at that budget.  The MP family has
-  no replayable trajectory (its Prim growth is budget-dependent at
-  every relaxation) and keeps per-budget runs.
+* DP-style solvers (:data:`SINGLE_RUN_PANELS`: ``dp-msr``'s frontier
+  is read at every budget — "the DP algorithm returns a whole spectrum
+  of solutions at once", exactly as the paper does — and ``dp-bmr``
+  reuses one extracted tree index across budgets);
+* greedy solvers with a trajectory sweep in
+  :data:`repro.algorithms.registry.SWEEPS` replay one recorded run
+  across the grid through the unified
+  :func:`repro.fastgraph.sweep_greedy` engine — valid because the
+  greedy move sequence is budget-monotone, with band-shared live
+  continuations on divergence, so each grid point's plan is identical
+  to an independent solve at that budget.  The MP family has no
+  replayable trajectory (its Prim growth is budget-dependent at every
+  relaxation) and keeps per-budget runs.
 
 For single-run families the run-time series records the one shared
 wall-clock time, shown flat across the grid, as in the paper's panels.
@@ -37,24 +41,21 @@ import numpy as np
 
 from ..core.graph import VersionGraph
 from ..core.problems import evaluate_plan
+from ..core.problemspec import get_spec
 from ..core.tolerance import within_budget_recomputed
-from ..algorithms.dp_bmr import dp_bmr, extract_index
+from ..algorithms.dp_bmr import extract_index
 from ..algorithms.dp_msr import DPMSRSolver
 from ..algorithms.ilp import msr_ilp
-from ..algorithms.registry import (
-    BMR_SOLVERS,
-    MSR_SOLVERS,
-    get_bmr_sweep,
-    get_msr_sweep,
-    msr_sweep_start_edges,
-)
+from ..algorithms.registry import get_solver, get_sweep, sweep_start_edges
 from ..algorithms.arborescence import min_storage_plan_tree
 
 __all__ = [
     "Series",
     "ExperimentResult",
+    "budget_grid",
     "msr_budget_grid",
     "bmr_budget_grid",
+    "run_experiment",
     "run_msr_experiment",
     "run_bmr_experiment",
     "ascii_plot",
@@ -95,9 +96,13 @@ class ExperimentResult:
 
     @property
     def budget_kind(self) -> str:
-        """What the x-axis budgets constrain: storage (MSR family) or
-        retrieval (BMR family); empty when the problem is unset."""
-        return {"msr": "storage", "bmr": "retrieval"}.get(self.problem, "")
+        """What the x-axis budgets constrain, from the problem's spec
+        (storage for the MSR family, retrieval for the BMR family);
+        empty when the problem is unset."""
+        from ..core.problemspec import SPECS
+
+        spec = SPECS.get(self.problem)
+        return spec.budget_kind if spec is not None else ""
 
     def to_json_dict(self) -> dict:
         """Strict-JSON payload: non-finite values (infeasible grid
@@ -156,6 +161,200 @@ def bmr_budget_grid(
     return [0.0] + list(np.geomspace(max(hi / 64, 1.0), hi, points - 1))
 
 
+#: Problem name -> grid builder.  A new problem family registers its
+#: budget-grid policy here (the spec carries the default span).
+GRID_BUILDERS = {"msr": msr_budget_grid, "bmr": bmr_budget_grid}
+
+
+def budget_grid(
+    graph: VersionGraph,
+    problem: str,
+    *,
+    points: int = 7,
+    span: float | None = None,
+) -> list[float]:
+    """Build ``problem``'s default budget grid for ``graph``.
+
+    Dispatches to the family's registered builder
+    (:data:`GRID_BUILDERS`); ``span`` defaults to the spec's
+    ``default_grid_span`` (4× minimum storage for MSR, 6× the
+    costliest delta for BMR).
+    """
+    spec = get_spec(problem)
+    if span is None:
+        span = spec.default_grid_span
+    return GRID_BUILDERS[spec.name](graph, points=points, span=span)
+
+
+def _bmr_ilp_panel(graph, budget, *, time_limit, mip_rel_gap):
+    """BMR OPT panel adapter (the multicommodity ILP has no gap knob)."""
+    from ..algorithms.ilp import bmr_ilp
+
+    return bmr_ilp(graph, budget, time_limit=time_limit)
+
+
+#: Problem name -> ILP panel runner for ``include_ilp``; a new family
+#: registers its OPT series here (or leaves it out, in which case
+#: ``include_ilp`` raises instead of silently skipping).
+_ILP_PANELS = {"msr": msr_ilp, "bmr": _bmr_ilp_panel}
+
+
+def _dp_msr_series(graph, budgets, ctx):
+    """Single-run DP-MSR panel: one frontier, read at every budget."""
+    t0 = time.perf_counter()
+    frontier = DPMSRSolver(graph, ticks=ctx["dp_ticks"]).frontier()
+    dt = time.perf_counter() - t0
+    ys = [frontier.best_retrieval_within(b) for b in budgets]
+    return ys, [dt] * len(budgets)
+
+
+def _dp_bmr_series(graph, budgets, ctx):
+    """Shared-index DP-BMR panel: one extracted tree index, reused
+    across per-budget DP runs (the paper's O(n²) amortization)."""
+    from ..algorithms.dp_bmr import dp_bmr_heuristic
+
+    spec, index = ctx["spec"], ctx["dp_bmr_index"]
+    ys, ts = [], []
+    for b in budgets:
+        t0 = time.perf_counter()
+        plan = dp_bmr_heuristic(graph, b, index=index).plan
+        ts.append(time.perf_counter() - t0)
+        if plan is None:  # infeasible retrieval budget
+            ys.append(math.inf)
+            continue
+        score = evaluate_plan(graph, plan)
+        assert within_budget_recomputed(spec.score_constrained(score), b)
+        ys.append(spec.score_objective(score))
+    return ys, ts
+
+
+#: ``(problem, name)`` -> single-run panel adapter ``f(graph, budgets,
+#: ctx) -> (objective_ys, seconds)`` for solvers that amortize one
+#: expensive precomputation across the whole grid without a trajectory
+#: sweep.  A new family's DP-style solver registers here; the shared
+#: ``run_experiment`` loop stays branch-free.
+SINGLE_RUN_PANELS = {
+    ("msr", "dp-msr"): _dp_msr_series,
+    ("bmr", "dp-bmr"): _dp_bmr_series,
+}
+
+
+def run_experiment(
+    graph: VersionGraph,
+    *,
+    problem: str,
+    name: str,
+    solvers: list[str] | None = None,
+    budgets: list[float] | None = None,
+    dp_ticks: int = 96,
+    include_ilp: bool = False,
+    ilp_time_limit: float = 10.0,
+    ilp_rel_gap: float = 0.003,
+) -> ExperimentResult:
+    """One Figure-10/11/12/13-style panel for any problem family.
+
+    Single-run amortization applies per solver, not per problem:
+    ``dp-msr`` runs **once** and its frontier is read at every budget,
+    ``dp-bmr`` reuses a single extracted tree index across budgets,
+    and every solver with a registered trajectory-replay sweep runs
+    **once** per grid (plan-identical to per-budget solves — see the
+    module docstring).  Single-run solvers record their one run time
+    flat across the grid, as in the paper.  Everything else runs once
+    per budget.  Objective extraction and the feasibility
+    double-checks route through the family's
+    :class:`~repro.core.problemspec.ProblemSpec`; ``include_ilp`` adds
+    a time-limited OPT series via the family's registered ILP panel
+    and raises for families without one.
+    """
+    spec = get_spec(problem)
+    solvers = list(solvers) if solvers is not None else list(spec.default_panel_solvers)
+    budgets = list(budgets) if budgets else budget_grid(graph, spec.name)
+    result = ExperimentResult(name=name, dataset=graph.name, problem=spec.name)
+    t0 = time.perf_counter()
+    start_edges = sweep_start_edges(spec.name, graph, solvers)
+    # a shared sweep start state (MSR's Edmonds run) is part of
+    # producing every greedy series, so its cost folds into each sweep
+    # solver's flat runtime below
+    start_dt = time.perf_counter() - t0
+    needs_index = (spec.name, "dp-bmr") in SINGLE_RUN_PANELS and "dp-bmr" in solvers
+    ctx = {
+        "spec": spec,
+        "dp_ticks": dp_ticks,
+        "dp_bmr_index": extract_index(graph) if needs_index else None,
+    }
+
+    def check_and_extract(score, b: float) -> float:
+        """Spec-routed objective, with the constrained-side re-check."""
+        assert within_budget_recomputed(spec.score_constrained(score), b)
+        return spec.score_objective(score)
+
+    for solver_name in solvers:
+        obj = Series(solver_name)
+        rt = Series(solver_name)
+        grid_sweep = get_sweep(spec.name, solver_name)
+        single = SINGLE_RUN_PANELS.get((spec.name, solver_name))
+        if grid_sweep is None:
+            # validate the name against the family up front — a
+            # cross-family name (e.g. dp-msr on a BMR panel) must fail
+            # with the registry's hinting KeyError, never produce a
+            # silently wrong series
+            get_solver(spec.name, solver_name)
+        if single is not None:
+            ys, ts = single(graph, list(budgets), ctx)
+            for b, y, dt in zip(budgets, ys, ts):
+                obj.add(b, y)
+                rt.add(b, dt)
+        elif grid_sweep is not None:
+            t0 = time.perf_counter()
+            entries = grid_sweep(graph, list(budgets), start_edges=start_edges)
+            dt = time.perf_counter() - t0 + start_dt
+            for e in entries:
+                y = math.inf if e.score is None else check_and_extract(e.score, e.budget)
+                obj.add(e.budget, y)
+                rt.add(e.budget, dt)
+        else:
+            fn = get_solver(spec.name, solver_name)
+            for b in budgets:
+                t0 = time.perf_counter()
+                plan = fn(graph, b)
+                dt = time.perf_counter() - t0
+                if plan is None:  # infeasible budget for this family
+                    obj.add(b, math.inf)
+                    rt.add(b, dt)
+                    continue
+                obj.add(b, check_and_extract(evaluate_plan(graph, plan), b))
+                rt.add(b, dt)
+        result.objective[solver_name] = obj
+        result.runtime[solver_name] = rt
+
+    ilp_panel = None
+    if include_ilp:
+        ilp_panel = _ILP_PANELS.get(spec.name)
+        if ilp_panel is None:
+            raise ValueError(
+                f"include_ilp: no ILP panel registered for {spec.name!r}; "
+                f"options: {sorted(_ILP_PANELS)}"
+            )
+    if ilp_panel is not None:
+        obj = Series("opt-ilp")
+        rt = Series("opt-ilp")
+        for b in budgets:
+            t0 = time.perf_counter()
+            res = ilp_panel(graph, b, time_limit=ilp_time_limit, mip_rel_gap=ilp_rel_gap)
+            dt = time.perf_counter() - t0
+            y = math.inf if res.plan is None else spec.score_objective(res.score)
+            obj.add(b, y)
+            rt.add(b, dt)
+        result.objective["opt-ilp"] = obj
+        result.runtime["opt-ilp"] = rt
+
+    if spec.budget_kind == "storage":
+        result.notes["min_storage"] = min_storage_plan_tree(graph).total_storage
+    result.notes["nodes"] = graph.num_versions
+    result.notes["edges"] = graph.num_deltas
+    return result
+
+
 def run_msr_experiment(
     graph: VersionGraph,
     *,
@@ -167,70 +366,18 @@ def run_msr_experiment(
     ilp_time_limit: float = 10.0,
     ilp_rel_gap: float = 0.003,
 ) -> ExperimentResult:
-    """One Figure-10/11/12 panel.
-
-    DP-MSR runs **once** and its frontier is read at every budget; the
-    LMG family runs **once** per grid through the trajectory-replay
-    sweep (plan-identical to per-budget solves — see the module
-    docstring for the replay contract).  Both record their single run
-    time flat across the grid, as in the paper.  Other solvers run once
-    per budget.  ILP (OPT) is optional and time-limited.
-    """
-    budgets = budgets or msr_budget_grid(graph)
-    result = ExperimentResult(name=name, dataset=graph.name, problem="msr")
-    t0 = time.perf_counter()
-    start_edges = msr_sweep_start_edges(graph, solvers)
-    # the shared Edmonds run is part of producing every greedy series,
-    # so its cost folds into each sweep solver's flat runtime below
-    start_dt = time.perf_counter() - t0
-
-    for solver_name in solvers:
-        obj = Series(solver_name)
-        rt = Series(solver_name)
-        sweep = get_msr_sweep(solver_name)
-        if solver_name == "dp-msr":
-            t0 = time.perf_counter()
-            frontier = DPMSRSolver(graph, ticks=dp_ticks).frontier()
-            dt = time.perf_counter() - t0
-            for b in budgets:
-                obj.add(b, frontier.best_retrieval_within(b))
-                rt.add(b, dt)
-        elif sweep is not None:
-            t0 = time.perf_counter()
-            entries = sweep(graph, list(budgets), start_edges=start_edges)
-            dt = time.perf_counter() - t0 + start_dt
-            for e in entries:
-                obj.add(e.budget, math.inf if e.score is None else e.score.sum_retrieval)
-                rt.add(e.budget, dt)
-        else:
-            fn = MSR_SOLVERS[solver_name]
-            for b in budgets:
-                t0 = time.perf_counter()
-                plan = fn(graph, b)
-                dt = time.perf_counter() - t0
-                y = math.inf if plan is None else evaluate_plan(graph, plan).sum_retrieval
-                obj.add(b, y)
-                rt.add(b, dt)
-        result.objective[solver_name] = obj
-        result.runtime[solver_name] = rt
-
-    if include_ilp:
-        obj = Series("opt-ilp")
-        rt = Series("opt-ilp")
-        for b in budgets:
-            t0 = time.perf_counter()
-            res = msr_ilp(graph, b, time_limit=ilp_time_limit, mip_rel_gap=ilp_rel_gap)
-            dt = time.perf_counter() - t0
-            y = math.inf if res.plan is None else res.score.sum_retrieval
-            obj.add(b, y)
-            rt.add(b, dt)
-        result.objective["opt-ilp"] = obj
-        result.runtime["opt-ilp"] = rt
-
-    result.notes["min_storage"] = min_storage_plan_tree(graph).total_storage
-    result.notes["nodes"] = graph.num_versions
-    result.notes["edges"] = graph.num_deltas
-    return result
+    """One Figure-10/11/12 panel: :func:`run_experiment` for MSR."""
+    return run_experiment(
+        graph,
+        problem="msr",
+        name=name,
+        solvers=solvers,
+        budgets=budgets,
+        dp_ticks=dp_ticks,
+        include_ilp=include_ilp,
+        ilp_time_limit=ilp_time_limit,
+        ilp_rel_gap=ilp_rel_gap,
+    )
 
 
 def run_bmr_experiment(
@@ -240,57 +387,10 @@ def run_bmr_experiment(
     solvers: list[str] = ("mp", "dp-bmr"),
     budgets: list[float] | None = None,
 ) -> ExperimentResult:
-    """One Figure-13 panel (storage objective vs retrieval budget).
-
-    DP-BMR reuses a single extracted tree index across budgets, the
-    same O(n²) precomputation amortization the paper's sweep uses;
-    ``bmr-lmg`` runs **once** per grid through the trajectory-replay
-    sweep (plan-identical to per-budget solves), recording its single
-    run time flat across the grid like the MSR greedy series.
-    """
-    if budgets is None:
-        budgets = bmr_budget_grid(graph)
-    result = ExperimentResult(name=name, dataset=graph.name, problem="bmr")
-    shared_index = extract_index(graph) if "dp-bmr" in solvers else None
-
-    for solver_name in solvers:
-        obj = Series(solver_name)
-        rt = Series(solver_name)
-        sweep = get_bmr_sweep(solver_name)
-        if sweep is not None:
-            t0 = time.perf_counter()
-            entries = sweep(graph, list(budgets))
-            dt = time.perf_counter() - t0
-            for e in entries:
-                obj.add(e.budget, math.inf if e.score is None else e.score.storage)
-                rt.add(e.budget, dt)
-                if e.score is not None:
-                    assert within_budget_recomputed(e.score.max_retrieval, e.budget)
-            result.objective[solver_name] = obj
-            result.runtime[solver_name] = rt
-            continue
-        for b in budgets:
-            t0 = time.perf_counter()
-            if solver_name == "dp-bmr":
-                from ..algorithms.dp_bmr import dp_bmr_heuristic
-
-                plan = dp_bmr_heuristic(graph, b, index=shared_index).plan
-            else:
-                plan = BMR_SOLVERS[solver_name](graph, b)
-            dt = time.perf_counter() - t0
-            if plan is None:  # infeasible retrieval budget
-                obj.add(b, math.inf)
-                rt.add(b, dt)
-                continue
-            score = evaluate_plan(graph, plan)
-            assert within_budget_recomputed(score.max_retrieval, b)
-            obj.add(b, score.storage)
-            rt.add(b, dt)
-        result.objective[solver_name] = obj
-        result.runtime[solver_name] = rt
-    result.notes["nodes"] = graph.num_versions
-    result.notes["edges"] = graph.num_deltas
-    return result
+    """One Figure-13 panel: :func:`run_experiment` for BMR."""
+    return run_experiment(
+        graph, problem="bmr", name=name, solvers=solvers, budgets=budgets
+    )
 
 
 # ----------------------------------------------------------------------

@@ -27,6 +27,7 @@ max-retrieval budget instead of a storage budget)::
         --staleness 0.05 --format markdown
     repro-versioning ingest --problem bmr --commits 200 --budget 900 \
         --solver mp-local
+    repro-versioning ingest --problem bmr --commits 200 --budget-factor 3
 
 Inspect a dataset preset::
 
@@ -56,6 +57,7 @@ import sys
 from pathlib import Path
 
 from .core.graph import GraphError, VersionGraph
+from .core.problemspec import SPECS
 from .core.problems import evaluate_plan
 
 __all__ = ["main"]
@@ -93,17 +95,14 @@ def _load_graph(
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from .algorithms.registry import get_bmr_solver, get_msr_solver
+    from .algorithms.registry import get_solver
 
     try:
         graph = _load_graph(args.graph)
     except (OSError, GraphError, ValueError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    if args.problem == "msr":
-        solver = get_msr_solver(args.solver, backend=args.backend)
-    else:
-        solver = get_bmr_solver(args.solver, backend=args.backend)
+    solver = get_solver(args.problem, args.solver, backend=args.backend)
     try:
         plan = solver(graph, args.budget)
     except GraphError as err:
@@ -151,13 +150,13 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .bench.harness import (
         ascii_plot,
-        bmr_budget_grid,
+        budget_grid,
         markdown_table,
-        msr_budget_grid,
-        run_bmr_experiment,
-        run_msr_experiment,
+        run_experiment,
     )
+    from .core.problemspec import get_spec
 
+    spec = get_spec(args.problem)
     if (args.graph is None) == (args.dataset is None):
         print("error: pass a graph JSON path or --dataset (not both)", file=sys.stderr)
         return 2
@@ -167,30 +166,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
 
-    default_solvers = (
-        "lmg,lmg-all,dp-msr" if args.problem == "msr" else "mp,mp-local,bmr-lmg,dp-bmr"
-    )
+    default_solvers = ",".join(spec.default_panel_solvers)
     solvers = [
         s.strip() for s in (args.solvers or default_solvers).split(",") if s.strip()
     ]
     try:
         if args.budgets:
             budgets = [float(b) for b in args.budgets.split(",")]
-        elif args.problem == "msr":
-            span = args.span if args.span is not None else 4.0
-            budgets = msr_budget_grid(graph, points=args.points, span=span)
         else:
-            span = args.span if args.span is not None else 6.0
-            budgets = bmr_budget_grid(graph, points=args.points, span=span)
+            budgets = budget_grid(
+                graph, spec.name, points=args.points, span=args.span
+            )
     except ValueError as err:
         print(f"error: bad budget grid: {err}", file=sys.stderr)
         return 2
 
     try:
-        if args.problem == "msr":
-            result = run_msr_experiment(graph, name="sweep", solvers=solvers, budgets=budgets)
-        else:
-            result = run_bmr_experiment(graph, name="sweep", solvers=solvers, budgets=budgets)
+        result = run_experiment(
+            graph, problem=spec.name, name="sweep", solvers=solvers, budgets=budgets
+        )
     except KeyError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -213,13 +207,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ]
             return markdown_table(headers, rows)
 
-        obj_label = "sum retrieval" if args.problem == "msr" else "storage"
-        print(f"## {args.problem.upper()} sweep — {graph.name or 'graph'}\n")
+        obj_label = spec.objective_label
+        print(f"## {spec.name.upper()} sweep — {graph.name or 'graph'}\n")
         print(panel_table(result.objective, obj_label))
         print()
         print(panel_table(result.runtime, "s"))
         print()
-        print(ascii_plot(result.objective, title=f"{args.problem.upper()} objective"))
+        print(ascii_plot(result.objective, title=f"{spec.name.upper()} objective"))
     if args.format in ("json", "both"):
         print(json.dumps(payload, indent=1, allow_nan=False))
     return 0
@@ -234,19 +228,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         return 2
     budget = args.budget
     budget_factor = args.budget_factor if budget is None else None
-    if args.problem == "bmr":
-        if budget_factor is not None:
-            print(
-                "error: --budget-factor is MSR-only; --problem bmr needs "
-                "a fixed --budget (max retrieval)",
-                file=sys.stderr,
-            )
-            return 2
-        if budget is None:
-            print("error: --problem bmr requires --budget", file=sys.stderr)
-            return 2
-    elif budget is None and budget_factor is None:
-        budget_factor = 4.0  # the harness' default MSR grid span
+    if budget is None and budget_factor is None:
+        # both families carry an online lower bound on their budget
+        # scale; 4x it is a comfortable default for either
+        budget_factor = 4.0
 
     repo = random_repository(
         args.commits,
@@ -291,10 +276,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     payload = {
         # "problem" + "budget_kind" distinguish the families for
         # downstream parsers: MSR budgets cap plan storage, BMR budgets
-        # cap every version's retrieval cost
-        "problem": args.problem,
+        # cap every version's retrieval cost — both derived from the
+        # engine's ProblemSpec, never hand-maintained literals
+        "problem": engine.spec.name,
         "mode": "online",
-        "budget_kind": "storage" if args.problem == "msr" else "retrieval",
+        "budget_kind": engine.spec.budget_kind,
         "solver": engine.solver_name,
         "commits": repo.num_commits,
         "seed": args.seed,
@@ -340,7 +326,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             for e in entries
         ]
         s = payload["summary"]
-        print(f"## {args.problem.upper()} online ingest — {g.name or 'repo'}\n")
+        print(f"## {engine.spec.name.upper()} online ingest — {g.name or 'repo'}\n")
         print(markdown_table(headers, rows))
         print()
         print(
@@ -368,7 +354,7 @@ def main(argv: list[str] | None = None) -> int:
     p_fig.set_defaults(func=_cmd_figure)
 
     p_solve = sub.add_parser("solve", help="optimize a version graph JSON file")
-    p_solve.add_argument("problem", choices=["msr", "bmr"])
+    p_solve.add_argument("problem", choices=sorted(SPECS))
     p_solve.add_argument("graph", help="path to VersionGraph JSON")
     p_solve.add_argument("--budget", type=float, required=True)
     p_solve.add_argument(
@@ -404,7 +390,7 @@ def main(argv: list[str] | None = None) -> int:
             "run once per budget."
         ),
     )
-    p_sweep.add_argument("problem", choices=["msr", "bmr"])
+    p_sweep.add_argument("problem", choices=sorted(SPECS))
     p_sweep.add_argument("graph", nargs="?", default=None, help="path to VersionGraph JSON")
     p_sweep.add_argument("--dataset", default=None, help="preset name instead of a JSON file")
     p_sweep.add_argument("--scale", type=float, default=1.0, help="preset scale (with --dataset)")
@@ -455,7 +441,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_ing.add_argument(
         "--problem",
-        choices=["msr", "bmr"],
+        choices=sorted(SPECS),
         default="msr",
         help="budget family: msr = storage budget, bmr = max-retrieval "
         "budget (default msr)",
@@ -471,14 +457,18 @@ def main(argv: list[str] | None = None) -> int:
         "--merge-prob", type=float, default=0.06, help="merge probability"
     )
     p_ing.add_argument(
-        "--budget", type=float, default=None, help="fixed MSR storage budget"
+        "--budget",
+        type=float,
+        default=None,
+        help="fixed budget (total storage for msr, max retrieval for bmr)",
     )
     p_ing.add_argument(
         "--budget-factor",
         type=float,
         default=None,
-        help="dynamic budget = factor x online min-storage lower bound "
-        "(default 4.0 when --budget is not given)",
+        help="dynamic budget = factor x the problem's online lower bound "
+        "(min-storage bound for msr, retrieval-scale bound for bmr; "
+        "default 4.0 when --budget is not given)",
     )
     p_ing.add_argument(
         "--solver",

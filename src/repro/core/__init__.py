@@ -2,10 +2,16 @@
 
 from .graph import AUX, AuxRoot, Delta, GraphError, VersionGraph, validate_graph
 from .problems import BMR, BSR, MMR, MSR, Objective, PlanScore, Problem, evaluate_plan
+from .problemspec import BMR_SPEC, MSR_SPEC, SPECS, ProblemSpec, get_spec
 from .solution import INFEASIBLE, PlanTree, RetrievalSummary, StoragePlan
 from .tolerance import budget_cap, within_budget
 
 __all__ = [
+    "ProblemSpec",
+    "MSR_SPEC",
+    "BMR_SPEC",
+    "SPECS",
+    "get_spec",
     "AUX",
     "AuxRoot",
     "Delta",

@@ -7,7 +7,7 @@ event-driven bookkeeping or deferred:
 1. **Append** — the new version and its parent deltas go into the
    :class:`~repro.core.graph.VersionGraph`; the mutation-event stream
    extends the cached compiled arrays in place (no recompilation) and
-   updates the engine's cheapest-incoming-edge budget proxy.
+   updates the problem's online budget lower bound.
 2. **Repair** — the arriving version is attached to the live
    :class:`~repro.fastgraph.plantree.ArrayPlanTree` through its
    cheapest feasible edge (lexicographic ``(edge storage, resulting
@@ -20,18 +20,13 @@ event-driven bookkeeping or deferred:
    kernel, either synchronously or on a background thread while ingest
    keeps serving arrivals.
 
-Both paper problem families are served, selected by ``problem=``:
-
-* ``"msr"`` (default) — the budget caps total *storage*, the objective
-  is total retrieval.  Attach feasibility checks the plan's storage
-  after the attach; staleness accumulates attach retrieval.
-* ``"bmr"`` — the budget caps every version's *retrieval* cost, the
-  objective is total storage.  An arrival is attached only through
-  edges that keep its own retrieval within the budget (it arrives as a
-  leaf, so no other version's retrieval changes — materialization,
-  retrieval 0, is always feasible); staleness accumulates attach
-  storage, and threshold re-solves run a full BMR kernel
-  (:data:`~repro.algorithms.registry.BMR_ENGINE_SOLVERS`).
+Both paper problem families are served; everything per-problem —
+attach feasibility, the staleness metric, objective extraction, the
+``budget_factor`` lower bound, the default solver — routes through the
+:class:`~repro.core.problemspec.ProblemSpec` selected by ``problem=``
+(``"msr"``: the budget caps total storage, objective total retrieval;
+``"bmr"``: the budget caps every version's retrieval, objective total
+storage).  The engine itself contains no per-problem branches.
 
 The staleness quantity is an upper-bound *estimate* of relative
 objective drift: a full re-solve can recover at most what the greedy
@@ -42,14 +37,13 @@ not against the true optimum).
 
 from __future__ import annotations
 
-import heapq
 import time
 from dataclasses import dataclass
 
 from ..algorithms.registry import get_engine_solver
 from ..core.graph import GraphError, GraphMutation, Node, VersionGraph
+from ..core.problemspec import get_spec
 from ..core.solution import StoragePlan
-from ..core.tolerance import within_budget
 from ..parallel.background import BackgroundResolver
 
 __all__ = ["ArrivalStats", "IngestEngine"]
@@ -82,26 +76,41 @@ class IngestEngine:
     problem:
         ``"msr"`` (default; the budget caps total storage) or
         ``"bmr"`` (the budget caps every version's retrieval cost) —
-        see the module docstring for how repair and staleness change.
+        any name registered in :data:`repro.core.problemspec.SPECS`.
+        The resolved :class:`~repro.core.problemspec.ProblemSpec` is
+        exposed as :attr:`spec` and drives repair feasibility,
+        staleness accounting and budget resolution.
     solver:
         Engine-capable solver name (see
-        :data:`repro.algorithms.registry.ENGINE_SOLVERS` /
-        :data:`~repro.algorithms.registry.BMR_ENGINE_SOLVERS`).
-        Defaults to ``"lmg"`` for MSR and ``"mp-local"`` for BMR.
+        :data:`repro.algorithms.registry.ENGINE_KERNELS`).  Defaults to
+        the spec's ``default_engine_solver`` (``"lmg"`` for MSR,
+        ``"mp-local"`` for BMR).
     budget:
-        Fixed budget (storage for MSR, max retrieval for BMR).  For
-        MSR, exactly one of ``budget`` / ``budget_factor`` must be
-        given; BMR requires a fixed ``budget``.
+        Fixed budget (total storage for MSR, max retrieval for BMR).
+        Exactly one of ``budget`` / ``budget_factor`` must be given.
     budget_factor:
-        MSR only: dynamic budget = ``budget_factor * LB`` where ``LB =
-        sum_v min_in(v) + min_v (s_v - min_in(v))`` and ``min_in(v)``
-        is the cheapest incoming edge storage of ``v``
-        (materialization included).  ``LB`` is an online lower bound on
-        the minimum-storage arborescence — every node pays at least its
-        cheapest in-edge, and at least one node must materialize —
-        maintained incrementally from the mutation-event stream.
-        Factors well above 1 keep the instance comfortably feasible
-        (the bound is not tight on cyclic graphs).
+        Dynamic budget = ``budget_factor * LB`` where ``LB`` is the
+        problem's online lower bound, maintained incrementally from the
+        mutation-event stream (``spec.lower_bound_tracker()``):
+
+        * **MSR** — ``LB = sum_v min_in(v) + min_v (s_v - min_in(v))``
+          with ``min_in(v)`` the cheapest incoming edge storage of
+          ``v`` (materialization included): a lower bound on the
+          minimum-storage arborescence.  Factors well above 1 keep the
+          instance comfortably feasible (the bound is not tight on
+          cyclic graphs).
+        * **BMR** — ``LB = max_v min{ r(e) : e a delta into v with
+          s(e) < s_v }`` (0 when materializing ``v`` is already its
+          cheapest storage): the smallest retrieval budget at which
+          every version *could* take its cheapest-storage in-edge —
+          below it at least one version is forced to pay full
+          materialization storage.  Factors ≥ 1 open progressively
+          deeper delta chains.
+
+        Either bound can tighten as cheaper deltas arrive, so with
+        ``budget_factor`` the standing plan is guaranteed feasible
+        against the budget *at its last solve or attach*; the next
+        re-solve re-establishes feasibility against the current one.
     staleness_threshold:
         Re-solve once :attr:`staleness_bound` exceeds this (default
         0.1 = re-solve when greedy attaches added 10% of the last
@@ -132,25 +141,15 @@ class IngestEngine:
         retrieval_ratio: float = 1.0,
         name: str = "ingest",
     ) -> None:
-        if problem not in ("msr", "bmr"):
-            raise ValueError(f"unknown problem {problem!r}; options: ['bmr', 'msr']")
-        if problem == "bmr":
-            if budget_factor is not None:
-                raise ValueError(
-                    "budget_factor is MSR-only (it scales an online "
-                    "min-storage lower bound); problem='bmr' needs a "
-                    "fixed retrieval budget"
-                )
-            if budget is None:
-                raise ValueError("problem='bmr' requires budget")
-        elif (budget is None) == (budget_factor is None):
+        self.spec = get_spec(problem)
+        self.problem = self.spec.name
+        if (budget is None) == (budget_factor is None):
             raise ValueError("pass exactly one of budget / budget_factor")
-        self.problem = problem
         if solver is None:
-            solver = "lmg" if problem == "msr" else "mp-local"
+            solver = self.spec.default_engine_solver
         self.graph = graph if graph is not None else VersionGraph(name=name)
         self.solver_name = solver
-        self._solver = get_engine_solver(solver, problem)
+        self._solver = get_engine_solver(self.spec.name, solver)
         self._budget = None if budget is None else float(budget)
         self._budget_factor = None if budget_factor is None else float(budget_factor)
         self.staleness_threshold = float(staleness_threshold)
@@ -160,15 +159,7 @@ class IngestEngine:
         self._index: dict[Node, int] = {}
         self._nodes: list[Node] = []
         self._num_real_edges = 0
-        self._min_in: dict[Node, float] = {}
-        self._min_in_sum = 0.0
-        # materialization-gap term of the storage lower bound:
-        # min_v (s_v - min_in(v)), kept as an authoritative dict plus a
-        # lazy-deletion heap (gaps only grow as cheaper deltas arrive,
-        # so the first heap top matching the dict is the true minimum)
-        self._gap: dict[Node, float] = {}
-        self._gap_heap: list[tuple[float, int, Node]] = []
-        self._gap_seq = 0
+        self._lb = self.spec.lower_bound_tracker()  # online budget lower bound
         self._solve_obj = 0.0
         self._pending_obj = 0.0
         self._max_ret = 0.0
@@ -187,21 +178,18 @@ class IngestEngine:
         if event.kind == "add_version":
             self._index[event.v] = len(self._index)
             self._nodes.append(event.v)
-            self._min_in[event.v] = event.storage
-            self._min_in_sum += event.storage
-            self._push_gap(event.v, 0.0)  # min_in == s_v on arrival
+            self._lb.add_version(event.v, event.storage)
         elif event.kind == "add_delta":
             self._num_real_edges += 1
-            cur = self._min_in.get(event.v)
-            if cur is not None and event.storage < cur:
-                self._min_in_sum += event.storage - cur
-                self._min_in[event.v] = event.storage
-                self._push_gap(
-                    event.v, self.graph.storage_cost(event.v) - event.storage
-                )
+            self._lb.add_delta(
+                event.v,
+                event.storage,
+                event.retrieval,
+                self.graph.storage_cost(event.v),
+            )
         else:
-            # cost updates / removals shift edge ids and the proxy —
-            # rebuild from the graph before the next decision
+            # cost updates / removals shift edge ids and the lower
+            # bound — rebuild from the graph before the next decision
             self._dirty = True
 
     def _rebuild_bookkeeping(self) -> None:
@@ -209,49 +197,20 @@ class IngestEngine:
         self._nodes = g.versions
         self._index = {v: i for i, v in enumerate(self._nodes)}
         self._num_real_edges = g.num_deltas
-        self._min_in = {
-            v: min(
-                (d.storage for d in g.predecessors(v).values()),
-                default=float("inf"),
-            )
-            for v in g.versions
-        }
-        for v in self._nodes:  # materialization is always available
-            self._min_in[v] = min(self._min_in[v], g.storage_cost(v))
-        self._min_in_sum = sum(self._min_in.values())
-        self._gap = {}
-        self._gap_heap = []
-        self._gap_seq = 0
-        for v in self._nodes:
-            self._push_gap(v, g.storage_cost(v) - self._min_in[v])
+        self._lb.rebuild(g)
         self._dirty = False
-
-    def _push_gap(self, v: Node, gap: float) -> None:
-        self._gap[v] = gap
-        heapq.heappush(self._gap_heap, (gap, self._gap_seq, v))
-        self._gap_seq += 1
-
-    def _gap_term(self) -> float:
-        """Current ``min_v (s_v - min_in(v))`` via lazy heap deletion."""
-        heap = self._gap_heap
-        gaps = self._gap
-        while heap:
-            g, _, v = heap[0]
-            if gaps.get(v) == g:
-                return g
-            heapq.heappop(heap)  # stale: this node's gap has grown since
-        return 0.0
 
     # ------------------------------------------------------------------
     # budget / staleness
     # ------------------------------------------------------------------
     def current_budget(self) -> float:
-        """The storage budget in force right now."""
+        """The budget in force right now (``spec.budget_kind`` says
+        whether it caps plan storage or per-version retrieval)."""
         if self._budget is not None:
             return self._budget
         if self._dirty:
             self._rebuild_bookkeeping()
-        return self._budget_factor * (self._min_in_sum + self._gap_term())
+        return self._budget_factor * self._lb.value()
 
     @property
     def staleness_bound(self) -> float:
@@ -416,9 +375,10 @@ class IngestEngine:
         materialization edge last, keeps the budget-feasible candidate
         minimizing ``(edge storage, resulting retrieval)`` with
         first-wins ties, and applies the O(depth) incremental attach.
-        Feasibility is the problem's constraint: plan storage after the
-        attach for MSR, the arrival's own resulting retrieval for BMR
-        (the arrival is a leaf, so no other version's retrieval moves).
+        Feasibility is the spec's :meth:`~repro.core.problemspec.
+        ProblemSpec.attach_feasible` rule (plan storage after the
+        attach for MSR, the arrival's own resulting retrieval for BMR —
+        the arrival is a leaf, so no other version's retrieval moves).
         Returns False when no candidate fits the budget (caller falls
         back to a full re-solve; for BMR materialization is always
         feasible, so this cannot happen for non-negative budgets).
@@ -433,17 +393,12 @@ class IngestEngine:
         node_storage = float(self.graph.storage_cost(self._nodes[vi]))
         options = list(candidates)
         options.append((aux, self._num_real_edges + vi, node_storage, 0.0))
-        bmr = self.problem == "bmr"
+        spec = self.spec
         best = None
         best_key = None
         for p_idx, eid, s, r in options:
             new_ret = 0.0 if p_idx == aux else float(tree.ret[p_idx]) + r
-            feasible = (
-                within_budget(new_ret, budget)
-                if bmr
-                else within_budget(tree.total_storage + s, budget)
-            )
-            if not feasible:
+            if not spec.attach_feasible(tree, budget, new_ret, s):
                 continue
             key = (s, new_ret)
             if best_key is None or key < best_key:
@@ -455,7 +410,7 @@ class IngestEngine:
         new_v = tree.append_version(p_idx, eid, s, r)
         assert new_v == vi, "arrival order drifted from compiled interning"
         ret_v = float(tree.ret[vi])
-        self._pending_obj += s if bmr else ret_v
+        self._pending_obj += spec.attach_cost(s, ret_v)
         if ret_v > self._max_ret:
             self._max_ret = ret_v
         if self._bg is not None and self._bg.busy:
@@ -476,16 +431,12 @@ class IngestEngine:
             self._tree = None  # next ingest retries with a full solve
             raise
         self._tree = tree
-        self._solve_obj = self._objective(tree)
+        self._solve_obj = self.spec.tree_objective(tree)
         self._pending_obj = 0.0
         self._max_ret = tree.max_retrieval()
         self._resolves += 1
         self._log.clear()
         return tree
-
-    def _objective(self, tree) -> float:
-        """The solve objective the staleness bound is measured against."""
-        return tree.total_storage if self.problem == "bmr" else tree.total_retrieval
 
     def resolve(self):
         """Force a synchronous full re-solve; returns the fresh tree.
@@ -527,7 +478,7 @@ class IngestEngine:
             self._tree = None
             raise value  # e.g. the budget went infeasible mid-stream
         tree = value
-        solve_obj = self._objective(tree)
+        solve_obj = self.spec.tree_objective(tree)
         # replay arrivals that landed while the solve was running
         pending = self._log
         self._log = []

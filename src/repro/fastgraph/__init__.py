@@ -35,16 +35,19 @@ into flat NumPy arrays and reruns the greedy hot loops on top of them:
     ``tests/test_bmr_greedy.py`` across every ``repro.gen.presets``
     dataset.
 
-:func:`sweep_greedy_msr` / :func:`sweep_greedy_bmr`
-    Single-pass budget-grid sweeps for the greedy families via
-    trajectory replay (:mod:`repro.fastgraph.trajectory`): one recorded
-    solver run at the loosest budget emits plan-identical results for
-    the entire grid, falling back to a live continuation on a cloned
-    tree at the rare divergence point.
+:func:`sweep_greedy` (thin wrappers :func:`sweep_greedy_msr` /
+:func:`sweep_greedy_bmr`)
+    Single-pass budget-grid sweeps for the greedy families of **both**
+    problem specs via trajectory replay
+    (:mod:`repro.fastgraph.trajectory`): one recorded solver run at the
+    loosest budget emits plan-identical results for the entire grid;
+    diverged grid points are grouped into bands that share the nearest
+    looser neighbor's recorded live continuation instead of each
+    re-running the kernel.
 
 Backend selection is plumbed through the solver registry: the plain
 names (``solver="lmg"``) resolve to the array kernels automatically,
-while ``get_msr_solver("lmg", backend="dict")`` keeps the reference
+while ``get_solver("msr", "lmg", backend="dict")`` keeps the reference
 path (see :mod:`repro.algorithms.registry`).
 """
 
@@ -54,7 +57,9 @@ from .solvers import bmr_lmg_array, lmg_all_array, lmg_array, mp_array, mp_local
 from .trajectory import (
     BMR_GREEDY_SWEEP_SOLVERS,
     GREEDY_SWEEP_SOLVERS,
+    TRAJECTORY_SOLVERS,
     SweepEntry,
+    sweep_greedy,
     sweep_greedy_bmr,
     sweep_greedy_msr,
 )
@@ -68,8 +73,10 @@ __all__ = [
     "bmr_lmg_array",
     "mp_local_array",
     "SweepEntry",
+    "sweep_greedy",
     "sweep_greedy_msr",
     "sweep_greedy_bmr",
+    "TRAJECTORY_SOLVERS",
     "GREEDY_SWEEP_SOLVERS",
     "BMR_GREEDY_SWEEP_SOLVERS",
 ]

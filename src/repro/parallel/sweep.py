@@ -1,17 +1,22 @@
 """Scatter/gather budget sweeps.
 
-A Figure-10-style experiment evaluates solvers at many budgets on a
+A Figure-10/13-style experiment evaluates solvers at many budgets on a
 fixed graph.  The parallel axis is **solvers/graph-tasks, not budget
-probes**: the LMG family (MSR) and ``bmr-lmg`` (BMR) produce their
-entire budget series from one recorded greedy run (trajectory replay,
-:func:`repro.fastgraph.sweep_greedy_msr` /
-:func:`~repro.fastgraph.sweep_greedy_bmr`), so splitting their grids
-into per-budget tasks would re-pay the solve ``B`` times and erase the
-single-pass win.  Each sweep-capable solver therefore becomes ONE task
-covering the whole grid, while solvers without a replayable trajectory
-(DP, ILP, MP and ``mp-local`` — MP's Prim growth is budget-dependent
-at every relaxation, so its runs share no prefix) still fan out one
-task per budget.
+probes**: solvers with a trajectory-replay sweep registered in
+:data:`repro.algorithms.registry.SWEEPS` (the LMG family for MSR,
+``bmr-lmg`` for BMR) produce their entire budget series from one
+recorded greedy run (:func:`repro.fastgraph.sweep_greedy`), so
+splitting their grids into per-budget tasks would re-pay the solve
+``B`` times and erase the single-pass win.  Each sweep-capable solver
+therefore becomes ONE task covering the whole grid, while solvers
+without a replayable trajectory (DP, ILP, MP and ``mp-local`` — MP's
+Prim growth is budget-dependent at every relaxation, so its runs share
+no prefix) still fan out one task per budget.
+
+One entry point, :func:`sweep`, serves every problem family registered
+in :data:`repro.core.problemspec.SPECS`; :func:`sweep_msr` /
+:func:`sweep_bmr` are thin wrappers.  Tasks carry the problem name, so
+workers resolve solvers through the unified registry.
 
 Shared read-only state is shipped to workers **once** through the
 initializer (copy-on-write under fork, pickled once under spawn):
@@ -19,16 +24,17 @@ initializer (copy-on-write under fork, pickled once under spawn):
 * the graph, with its **compiled** :class:`~repro.fastgraph.
   CompiledGraph` cache warmed (``graph.compile()``) so the flat-array
   kernels never re-extend or re-index per probe;
-* the **minimum-storage start tree** (Edmonds ``(version, parent-edge)``
-  pairs), computed once in the parent: every greedy sweep task replays
-  from it instead of re-deriving the identical arborescence.
+* the family's shared sweep start state when it has one
+  (:func:`~repro.algorithms.registry.sweep_start_edges` — the
+  minimum-storage Edmonds arborescence for MSR; ``None`` for families
+  with budget-independent starts like BMR's all-materialized tree).
 
 Trajectory-replay contract: each grid point's plan is identical to an
 independent per-budget solve — while the recorded move stays feasible
 under a tighter budget it is also the tighter run's first-maximum
 choice, and past the first infeasible recorded move the sweep resumes
-the live kernel on a cloned tree (see
-:mod:`repro.fastgraph.trajectory`).
+the live kernel on a cloned tree, sharing recorded continuations
+across same-band budgets (see :mod:`repro.fastgraph.trajectory`).
 
 Measured wall-clock times per probe are collected alongside objective
 values so the harness can reproduce the paper's run-time panels; a
@@ -43,16 +49,11 @@ from dataclasses import dataclass
 
 from ..core.graph import VersionGraph
 from ..core.problems import PlanScore, evaluate_plan
-from ..algorithms.registry import (
-    BMR_SOLVERS,
-    MSR_SOLVERS,
-    get_bmr_sweep,
-    get_msr_sweep,
-    msr_sweep_start_edges,
-)
+from ..core.problemspec import get_spec
+from ..algorithms.registry import get_solver, get_sweep, sweep_start_edges
 from .pool import parallel_map
 
-__all__ = ["SweepPoint", "sweep_msr", "sweep_bmr"]
+__all__ = ["SweepPoint", "sweep", "sweep_msr", "sweep_bmr"]
 
 # worker-global state, set by the initializer (fork or spawn)
 _WORKER_GRAPH: VersionGraph | None = None
@@ -86,77 +87,58 @@ class SweepPoint:
         return self.score is not None
 
 
-def _run_msr_task(task: tuple[str, list[float]]) -> list[SweepPoint]:
-    """One MSR task: a solver plus the grid slice it covers."""
-    name, budgets = task
+def _run_task(task: tuple[str, str, list[float]]) -> list[SweepPoint]:
+    """One task: a (problem, solver) pair plus the grid slice it covers."""
+    problem, name, budgets = task
     graph = _WORKER_GRAPH
     assert graph is not None, "worker initializer did not run"
-    sweep = get_msr_sweep(name)
-    if sweep is not None:
+    grid_sweep = get_sweep(problem, name)
+    if grid_sweep is not None:
         t0 = time.perf_counter()
-        entries = sweep(graph, budgets, start_edges=_WORKER_START)
+        entries = grid_sweep(graph, budgets, start_edges=_WORKER_START)
         dt = time.perf_counter() - t0
         return [
             SweepPoint(solver=name, budget=e.budget, score=e.score, seconds=dt)
             for e in entries
         ]
+    solve = get_solver(problem, name)
     out = []
     for budget in budgets:
         t0 = time.perf_counter()
-        plan = MSR_SOLVERS[name](graph, budget)
+        plan = solve(graph, budget)
         dt = time.perf_counter() - t0
         score = None if plan is None else evaluate_plan(graph, plan)
         out.append(SweepPoint(solver=name, budget=budget, score=score, seconds=dt))
     return out
 
 
-def _run_bmr_task(task: tuple[str, list[float]]) -> list[SweepPoint]:
-    """One BMR task: a solver plus the grid slice it covers."""
-    name, budgets = task
-    graph = _WORKER_GRAPH
-    assert graph is not None, "worker initializer did not run"
-    sweep = get_bmr_sweep(name)
-    if sweep is not None:
-        t0 = time.perf_counter()
-        entries = sweep(graph, budgets)
-        dt = time.perf_counter() - t0
-        return [
-            SweepPoint(solver=name, budget=e.budget, score=e.score, seconds=dt)
-            for e in entries
-        ]
-    out = []
-    for budget in budgets:
-        t0 = time.perf_counter()
-        plan = BMR_SOLVERS[name](graph, budget)
-        dt = time.perf_counter() - t0
-        score = None if plan is None else evaluate_plan(graph, plan)
-        out.append(SweepPoint(solver=name, budget=budget, score=score, seconds=dt))
-    return out
-
-
-def sweep_msr(
+def sweep(
     graph: VersionGraph,
+    problem: str,
     solvers: list[str],
     budgets: list[float],
     *,
     processes: int | None = None,
 ) -> list[SweepPoint]:
-    """Evaluate each MSR solver at each storage budget (order preserved).
+    """Evaluate each solver at each budget of ``problem`` (order kept).
 
-    Sweep-capable solvers (the LMG family) cover their whole grid in a
-    single trajectory-replay task; the rest fan out per budget.
+    Sweep-capable solvers cover their whole grid in a single
+    trajectory-replay task; the rest fan out per budget, all sharing
+    one compiled graph (and, for families that use one, a shared sweep
+    start tree).
     """
+    spec = get_spec(problem)
     graph.compile()  # one compiled graph shared by all tasks
-    start_edges = msr_sweep_start_edges(graph, solvers)
+    start_edges = sweep_start_edges(spec.name, graph, solvers)
     grid = [float(b) for b in budgets]
-    tasks: list[tuple[str, list[float]]] = []
+    tasks: list[tuple[str, str, list[float]]] = []
     for name in solvers:
-        if get_msr_sweep(name) is not None:
-            tasks.append((name, grid))
+        if get_sweep(spec.name, name) is not None:
+            tasks.append((spec.name, name, grid))
         else:
-            tasks.extend((name, [b]) for b in grid)
+            tasks.extend((spec.name, name, [b]) for b in grid)
     chunks = parallel_map(
-        _run_msr_task,
+        _run_task,
         tasks,
         processes=processes,
         # whole-grid tasks are few but heavy: let 2 tasks use 2 workers
@@ -168,6 +150,17 @@ def sweep_msr(
     return [pt for chunk in chunks for pt in chunk]
 
 
+def sweep_msr(
+    graph: VersionGraph,
+    solvers: list[str],
+    budgets: list[float],
+    *,
+    processes: int | None = None,
+) -> list[SweepPoint]:
+    """Storage-budget sweep: :func:`sweep` with ``problem="msr"``."""
+    return sweep(graph, "msr", solvers, budgets, processes=processes)
+
+
 def sweep_bmr(
     graph: VersionGraph,
     solvers: list[str],
@@ -175,27 +168,5 @@ def sweep_bmr(
     *,
     processes: int | None = None,
 ) -> list[SweepPoint]:
-    """Evaluate each BMR solver at each retrieval budget.
-
-    ``bmr-lmg`` covers its whole grid in a single trajectory-replay
-    task; solvers without a replayable trajectory (MP family, DP, ILP —
-    see the module docstring) fan out one task per budget, all sharing
-    the one compiled graph.
-    """
-    graph.compile()  # one compiled graph shared by all budget probes
-    grid = [float(b) for b in budgets]
-    tasks: list[tuple[str, list[float]]] = []
-    for name in solvers:
-        if get_bmr_sweep(name) is not None:
-            tasks.append((name, grid))
-        else:
-            tasks.extend((name, [b]) for b in grid)
-    chunks = parallel_map(
-        _run_bmr_task,
-        tasks,
-        processes=processes,
-        min_items_per_worker=1,
-        initializer=_init_worker,
-        initargs=(graph,),
-    )
-    return [pt for chunk in chunks for pt in chunk]
+    """Retrieval-budget sweep: :func:`sweep` with ``problem="bmr"``."""
+    return sweep(graph, "bmr", solvers, budgets, processes=processes)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.core.instances import figure1_graph
+from repro.core.problemspec import SPECS
 
 
 @pytest.fixture()
@@ -52,7 +53,7 @@ class TestSolve:
         def broken(graph, budget):
             raise GraphError("dp_bmr requires a bidirectional tree input")
 
-        monkeypatch.setitem(registry.BMR_SOLVERS, "dp-bmr", broken)
+        monkeypatch.setitem(registry.SOLVERS, ("bmr", "dp-bmr"), broken)
         rc = main(["solve", "bmr", graph_file, "--budget", "600", "--solver", "dp-bmr"])
         assert rc == 2
         captured = capsys.readouterr()
@@ -135,16 +136,31 @@ class TestIngest:
         assert payload["summary"]["final_max_retrieval"] <= 1500 * (1 + 1e-9) + 1e-6
         json.dumps(payload, allow_nan=False)
 
-    def test_bmr_requires_fixed_budget(self, capsys):
-        rc = main(["ingest", "--problem", "bmr", "--commits", "10"])
-        assert rc == 2
-        assert "requires --budget" in capsys.readouterr().err
+    def test_bmr_budget_factor_dynamic_budget(self, capsys):
+        # BMR now has its own online lower bound: --budget-factor works
+        # and the emitted budgets stay non-negative multiples of it
         rc = main(
-            ["ingest", "--problem", "bmr", "--commits", "10",
-             "--budget-factor", "4"]
+            ["ingest", "--problem", "bmr", "--commits", "25", "--seed", "2",
+             "--budget-factor", "3", "--every", "5"]
         )
-        assert rc == 2
-        assert "MSR-only" in capsys.readouterr().err
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "bmr"
+        assert payload["budget_kind"] == "retrieval"
+        assert payload["budget"] is None
+        assert payload["budget_factor"] == 3.0
+        assert payload["summary"]["final_budget"] >= 0.0
+        for entry in payload["entries"]:
+            assert entry["max_retrieval"] <= entry["budget"] * (1 + 1e-9) + 1e-6
+
+    def test_bmr_defaults_to_budget_factor(self, capsys):
+        # neither --budget nor --budget-factor: both families fall back
+        # to factor 4.0 over their online lower bound
+        rc = main(["ingest", "--problem", "bmr", "--commits", "15", "--seed", "1"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["budget_factor"] == 4.0
+        assert payload["budget"] is None
 
     def test_fixed_budget_and_solver(self, capsys):
         rc = main(
@@ -201,6 +217,36 @@ class TestIngest:
         payload = json.loads(out.read_text())
         assert payload["background"] is True
         assert payload["summary"]["versions"] == 20
+
+
+class TestSpecDerivedPanels:
+    """Panel ``problem``/``budget_kind`` pairs come from the spec, not
+    hand-maintained literals — checked for every registered family."""
+
+    @pytest.mark.parametrize("problem", sorted(SPECS))
+    def test_sweep_panel_matches_spec(self, problem, graph_file, capsys):
+        spec = SPECS[problem]
+        solver = spec.default_panel_solvers[0]
+        rc = main(
+            ["sweep", problem, graph_file, "--solvers", solver, "--points", "3"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == spec.name
+        assert payload["budget_kind"] == spec.budget_kind
+
+    @pytest.mark.parametrize("problem", sorted(SPECS))
+    def test_ingest_panel_matches_spec(self, problem, capsys):
+        spec = SPECS[problem]
+        rc = main(
+            ["ingest", "--problem", problem, "--commits", "12", "--seed", "5",
+             "--budget-factor", "4", "--every", "4"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == spec.name
+        assert payload["budget_kind"] == spec.budget_kind
+        assert payload["solver"] == spec.default_engine_solver
 
 
 class TestFigure:

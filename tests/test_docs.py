@@ -49,25 +49,22 @@ def test_internal_doc_links_resolve():
 
 
 def test_algorithms_page_matches_registry():
-    from repro.algorithms.registry import (
-        BMR_ENGINE_SOLVERS,
-        BMR_SOLVERS,
-        BMR_SWEEPS,
-        ENGINE_SOLVERS,
-        MSR_SOLVERS,
-        MSR_SWEEPS,
-    )
+    from repro.algorithms.registry import ENGINE_KERNELS, SOLVERS, SWEEPS
+    from repro.core.problemspec import SPECS
 
     text = (DOCS / "algorithms.md").read_text()
-    for name in (
-        set(MSR_SOLVERS)
-        | set(BMR_SOLVERS)
-        | set(MSR_SWEEPS)
-        | set(BMR_SWEEPS)
-        | set(ENGINE_SOLVERS)
-        | set(BMR_ENGINE_SOLVERS)
-    ):
+    names = {
+        name for table in (SOLVERS, SWEEPS, ENGINE_KERNELS) for _, name in table
+    }
+    for name in names:
         assert name in text, f"algorithms.md must mention solver {name!r}"
+    for problem in SPECS:
+        assert problem in text, f"algorithms.md must mention family {problem!r}"
+
+
+def test_architecture_page_mentions_problemspec():
+    text = (DOCS / "architecture.md").read_text()
+    assert "ProblemSpec" in text, "architecture.md must document the spec layer"
 
 
 def test_benchmarks_page_covers_every_bench_file():

@@ -109,13 +109,13 @@ class TestBMREngineBehavior:
         with pytest.raises(ValueError, match="infeasible"):
             engine.ingest_version("a", 10.0)
 
-    def test_budget_factor_rejected(self):
-        with pytest.raises(ValueError, match="MSR-only"):
-            IngestEngine(problem="bmr", budget_factor=4.0)
-
     def test_missing_budget_rejected(self):
-        with pytest.raises(ValueError, match="requires budget"):
+        with pytest.raises(ValueError, match="exactly one of budget"):
             IngestEngine(problem="bmr")
+
+    def test_both_budget_modes_rejected(self):
+        with pytest.raises(ValueError, match="exactly one of budget"):
+            IngestEngine(problem="bmr", budget=5.0, budget_factor=2.0)
 
     def test_unknown_problem_rejected(self):
         with pytest.raises(ValueError, match="unknown problem"):
@@ -129,3 +129,71 @@ class TestBMREngineBehavior:
         engine = IngestEngine(problem="bmr", budget=10.0)
         assert engine.solver_name == "mp-local"
         assert engine.problem == "bmr"
+        assert engine.spec.budget_kind == "retrieval"
+
+
+def brute_force_retrieval_lower_bound(graph) -> float:
+    """Reference for the spec's online bound: ``max_v min{ r(e) :
+    e a delta into v with s(e) < s_v }`` (0 with no qualifying delta)."""
+    best = 0.0
+    for v in graph.versions:
+        s_v = graph.storage_cost(v)
+        bound = min(
+            (d.retrieval for d in graph.predecessors(v).values() if d.storage < s_v),
+            default=0.0,
+        )
+        best = max(best, bound)
+    return best
+
+
+class TestBMRBudgetFactor:
+    """The PR-4 open item: a BMR analogue of ``budget_factor`` built on
+    an online retrieval lower bound (pinned against brute force)."""
+
+    @pytest.mark.parametrize("factor", [1.0, 3.0])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_dynamic_budget_tracks_online_lower_bound(self, factor, seed):
+        repo = random_repository(50, seed=seed)
+        engine = IngestEngine(
+            problem="bmr", budget_factor=factor, staleness_threshold=0.1
+        )
+        for stats in engine.ingest_repository(repo):
+            # the budget in force is exactly factor x the incremental
+            # bound, which must equal the from-scratch recomputation
+            expect = factor * brute_force_retrieval_lower_bound(engine.graph)
+            assert stats.budget == expect
+            if stats.resolved:
+                # a fresh solve is feasible against the budget it used;
+                # between solves the dynamic budget may tighten (the
+                # bound shrinks when a cheaper qualifying delta lands),
+                # leaving the standing plan stale until the next solve
+                assert within_budget(stats.max_retrieval, stats.budget)
+        assert engine.resolves >= 1
+        assert engine.current_budget() > 0.0
+        tree = engine.resolve()
+        assert within_budget(tree.max_retrieval(), engine.current_budget())
+
+    def test_lower_bound_hand_instance(self):
+        # b's only cheaper-than-materialization delta forces retrieval 7;
+        # c's cheaper deltas force min(5, 9) = 5; a has none -> bound 0.
+        engine = IngestEngine(problem="bmr", budget_factor=2.0)
+        engine.ingest_version("a", 10.0)
+        engine.ingest_version("b", 20.0, [("a", "b", 6.0, 7.0)])
+        assert engine.current_budget() == 2.0 * 7.0
+        engine.ingest_version(
+            "c", 30.0, [("a", "c", 4.0, 5.0), ("b", "c", 8.0, 9.0)]
+        )
+        assert engine.current_budget() == 2.0 * 7.0  # c's bound is 5 < 7
+        # a delta NOT cheaper than materializing must not count
+        engine.ingest_version("d", 3.0, [("a", "d", 3.0, 50.0)])
+        assert engine.current_budget() == 2.0 * 7.0
+
+    def test_lower_bound_survives_out_of_band_rebuild(self):
+        engine = IngestEngine(problem="bmr", budget_factor=1.0)
+        engine.ingest_version("a", 10.0)
+        engine.ingest_version("b", 20.0, [("a", "b", 6.0, 7.0)])
+        assert engine.current_budget() == 7.0
+        # out-of-band removal: bookkeeping goes dirty, then rebuilds
+        engine.graph.remove_delta("a", "b")
+        engine.ingest_version("c", 5.0, [("a", "c", 1.0, 2.0)])
+        assert engine.current_budget() == 2.0  # only c's delta qualifies

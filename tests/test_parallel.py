@@ -93,17 +93,17 @@ class TestSweeps:
         # tree; under spawn both are pickled instead of inherited, so
         # exercise that path explicitly (fork-only coverage otherwise).
         from repro.fastgraph.arborescence import min_storage_parent_edges
-        from repro.parallel.sweep import _init_worker, _run_msr_task
+        from repro.parallel.sweep import _init_worker, _run_task
 
         base = min_storage_plan_tree(graph).total_storage
         budgets = [base * 1.1, base * 2.0]
         start_edges = min_storage_parent_edges(graph.compile())
-        tasks = [("lmg", budgets), ("lmg-all", budgets)]
+        tasks = [("msr", "lmg", budgets), ("msr", "lmg-all", budgets)]
         ctx = multiprocessing.get_context("spawn")
         with ctx.Pool(
             processes=2, initializer=_init_worker, initargs=(graph, start_edges)
         ) as pool:
-            chunks = pool.map(_run_msr_task, tasks)
+            chunks = pool.map(_run_task, tasks)
         flat = [p for chunk in chunks for p in chunk]
         serial = sweep_msr(graph, ["lmg", "lmg-all"], budgets, processes=1)
         assert len(flat) == len(serial) == 4

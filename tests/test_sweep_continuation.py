@@ -1,0 +1,166 @@
+"""Divergence-continuation sharing in the unified trajectory sweep.
+
+The load-bearing guarantee of :func:`repro.fastgraph.sweep_greedy` is
+unchanged by the sharing optimization: every grid point's plan is
+*identical* (parent map, storage, retrieval) to an independent solver
+run at that budget — for both problem families, on natural and ER
+graph structure, across dense grids engineered to produce divergence
+bands.  On top of that, the sharing itself is observable: within one
+divergence band only the loosest member runs live kernel moves
+(``replayed=False``); the tighter members replay its recorded
+continuation (``replayed=True``), where the pre-sharing engine re-ran
+live moves for every one of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import min_storage_plan_tree
+from repro.core import VersionGraph, evaluate_plan
+from repro.fastgraph import (
+    bmr_lmg_array,
+    lmg_all_array,
+    lmg_array,
+    sweep_greedy,
+)
+from repro.gen import natural_graph
+from repro.gen.presets import PRESETS
+
+FRESH = {
+    ("msr", "lmg"): lmg_array,
+    ("msr", "lmg-all"): lmg_all_array,
+    ("bmr", "bmr-lmg"): bmr_lmg_array,
+}
+
+
+def dense_grid(graph, problem, points=24):
+    """A deliberately fine budget grid: adjacent budgets routinely land
+    in the same divergence band, which is what the sharing serves."""
+    if problem == "msr":
+        base = min_storage_plan_tree(graph).total_storage
+        return [float(b) for b in np.linspace(base * 1.001, base * 3.0, points)]
+    hi = graph.max_retrieval_cost() * 4.0
+    return [float(b) for b in np.linspace(0.0, hi, points)]
+
+
+def assert_plan_identity(graph, problem, solver, budgets):
+    entries = sweep_greedy(graph, problem, solver, budgets)
+    assert [e.budget for e in entries] == [float(b) for b in budgets]
+    fresh = FRESH[(problem, solver)]
+    for e, b in zip(entries, budgets):
+        try:
+            ref = fresh(graph, b)
+        except ValueError:
+            assert e.plan is None and not e.feasible
+            continue
+        assert e.feasible
+        assert e.plan == ref.to_plan(), (problem, solver, b)
+        assert e.score == evaluate_plan(graph, ref.to_plan()), (problem, solver, b)
+    return entries
+
+
+class TestSharedContinuationPlanIdentity:
+    @pytest.mark.parametrize(
+        "problem,solver",
+        [("msr", "lmg"), ("msr", "lmg-all"), ("bmr", "bmr-lmg")],
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_natural_graphs(self, problem, solver, seed):
+        g = natural_graph(40, seed=seed)
+        assert_plan_identity(g, problem, solver, dense_grid(g, problem))
+
+    @pytest.mark.parametrize(
+        "problem,solver",
+        [("msr", "lmg"), ("msr", "lmg-all"), ("bmr", "bmr-lmg")],
+    )
+    @pytest.mark.parametrize("preset", ["LeetCode (0.05)", "LeetCode (0.2)"])
+    def test_er_graphs(self, problem, solver, preset):
+        # the LeetCode presets are the paper's ER-construction graphs
+        g = PRESETS[preset].build(scale=0.3)
+        assert_plan_identity(g, problem, solver, dense_grid(g, problem))
+
+    @pytest.mark.parametrize(
+        "problem,solver",
+        [("msr", "lmg-all"), ("bmr", "bmr-lmg")],
+    )
+    def test_divergence_bands_are_exercised(self, problem, solver):
+        # the sharing path must actually run in this suite: across the
+        # seeds above at least one dense grid produces a diverged band
+        diverged = 0
+        for seed in range(3):
+            g = natural_graph(40, seed=seed)
+            entries = sweep_greedy(g, problem, solver, dense_grid(g, problem))
+            diverged += sum(1 for e in entries if e.feasible and not e.replayed)
+        assert diverged > 0
+
+
+class TestBandSharingObservable:
+    def test_one_live_continuation_per_band(self):
+        # Same instance as TestTrajectorySweep's divergence test, but
+        # with a BAND of tight budgets all diverging at recorded step 0:
+        #   loose (160) run: materialize b (-> storage 155), then c (158)
+        #   tight band: 112 (no move fits), 113.5 and 114 (c fits, b not)
+        # Pre-sharing, 113.5 and 114 each re-ran the live kernel; with
+        # continuation sharing only the band's loosest member (114) runs
+        # live, 113.5 replays its recording, 112 replays-and-stops.
+        g = VersionGraph()
+        g.add_version("a", 100.0)
+        g.add_version("b", 50.0)
+        g.add_version("c", 8.0)
+        g.add_delta("a", "b", 5.0, 100.0)
+        g.add_delta("a", "c", 5.0, 4.0)
+        assert min_storage_plan_tree(g).total_storage == 110.0
+        budgets = [112.0, 113.5, 114.0, 160.0]
+        entries = sweep_greedy(g, "msr", "lmg", budgets)
+        for e, b in zip(entries, budgets):
+            ref = lmg_array(g, b)
+            assert e.plan == ref.to_plan()
+        assert [e.replayed for e in entries] == [True, True, False, True]
+        # the tight plans took the cheap move the loose trajectory skipped
+        assert "c" in map(str, entries[1].plan.materialized)
+        assert "b" not in map(str, entries[1].plan.materialized)
+
+    def test_nested_band_recursion(self):
+        # a band inside a band: 112 sub-diverges from the 114 band
+        # continuation (its recorded c-move overshoots 112) and resolves
+        # through a second-level recursion with zero live moves — its
+        # plan is the untouched minimum-storage start
+        g = VersionGraph()
+        g.add_version("a", 100.0)
+        g.add_version("b", 50.0)
+        g.add_version("c", 8.0)
+        g.add_delta("a", "b", 5.0, 100.0)
+        g.add_delta("a", "c", 5.0, 4.0)
+        entries = sweep_greedy(g, "msr", "lmg", [112.0, 113.5, 114.0, 160.0])
+        assert entries[0].plan == lmg_array(g, 112.0).to_plan()
+        assert entries[0].plan.materialized == frozenset({"a"})
+        assert entries[0].replayed  # sub-band, zero live moves
+        assert entries[1].plan.materialized == frozenset({"a", "c"})
+        assert entries[1].replayed  # served from 114's continuation
+        assert entries[2].plan.materialized == frozenset({"a", "c"})
+        assert not entries[2].replayed  # the band's one live run
+
+    def test_duplicate_budgets_inside_a_band(self):
+        g = natural_graph(30, seed=11)
+        base = min_storage_plan_tree(g).total_storage
+        budgets = [base * 1.2, base * 1.2, base * 2.0, base * 1.2]
+        entries = sweep_greedy(g, "msr", "lmg-all", budgets)
+        assert entries[0].plan == entries[1].plan == entries[3].plan
+        for e, b in zip(entries, budgets):
+            assert e.plan == lmg_all_array(g, b).to_plan()
+
+    def test_bmr_band_replays_continuation(self):
+        # two retrieval budgets below the recorded move's subtree max:
+        # the looser one records the (empty) continuation, the tighter
+        # replays it — both emit the all-materialized plan
+        g = VersionGraph()
+        g.add_version("a", 100.0)
+        g.add_version("b", 60.0)
+        g.add_delta("a", "b", 5.0, 10.0)
+        budgets = [5.0, 8.0, 20.0]
+        entries = sweep_greedy(g, "bmr", "bmr-lmg", budgets)
+        for e, b in zip(entries, budgets):
+            assert e.plan == bmr_lmg_array(g, b).to_plan()
+        assert [e.replayed for e in entries] == [True, True, True]
+        assert entries[0].plan.materialized == frozenset({"a", "b"})
+        assert entries[2].plan.materialized == frozenset({"a"})
