@@ -119,6 +119,8 @@ def brute_force_frontier(
     frontier: list[tuple[float, float]] = []
     best = math.inf
     for s, r in points:
+        # strict-improvement epsilon for frontier extraction, not a
+        # budget feasibility check  # lint-ignore: tolerance-discipline
         if r < best - 1e-12:
             best = r
             if frontier and frontier[-1][0] == s:

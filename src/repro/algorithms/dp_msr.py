@@ -45,7 +45,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.graph import GraphError, Node, VersionGraph
-from ..core.tolerance import within_budget, within_budget_recomputed
+from ..core.tolerance import self_check_tol, within_budget, within_budget_recomputed
 from ..core.problems import PlanScore, evaluate_plan
 from ..core.solution import StoragePlan
 from .dp_bmr import TreeIndex, _map_back, _orient, extract_index
@@ -248,11 +248,11 @@ class DPMSRSolver:
 def _contains_point(f: Frontier, sto: float, ret: float) -> bool:
     if f.is_empty:
         return False
-    i = np.searchsorted(f.sto, sto - _atol(sto))
-    j = np.searchsorted(f.sto, sto + _atol(sto), side="right")
+    i = np.searchsorted(f.sto, sto - self_check_tol(sto))
+    j = np.searchsorted(f.sto, sto + self_check_tol(sto), side="right")
     if i >= j:
         return False
-    return bool(np.any(np.abs(f.ret[i:j] - ret) <= _atol(ret)))
+    return bool(np.any(np.abs(f.ret[i:j] - ret) <= self_check_tol(ret)))
 
 
 def _split_sum(
@@ -262,16 +262,12 @@ def _split_sum(
     ts, tr = target
     s = a.sto[:, None] + b.sto[None, :]
     r = a.ret[:, None] + b.ret[None, :]
-    hit = (np.abs(s - ts) <= _atol(ts)) & (np.abs(r - tr) <= _atol(tr))
+    hit = (np.abs(s - ts) <= self_check_tol(ts)) & (np.abs(r - tr) <= self_check_tol(tr))
     idx = np.argwhere(hit)
     if idx.shape[0] == 0:
         return None
     i, j = idx[0]
     return (float(a.sto[i]), float(a.ret[i])), (float(b.sto[j]), float(b.ret[j]))
-
-
-def _atol(x: float) -> float:
-    return 1e-6 + 1e-9 * abs(x)
 
 
 # ----------------------------------------------------------------------

@@ -213,7 +213,9 @@ def dp_msr_tree_reference(
                 pass
 
             # iterate over the cross product of chosen child states
-            def child_iter(i):
+            # (roles bound as a default: the closure must not track the
+            # loop variable)
+            def child_iter(i, roles=roles):
                 view = views[i]
                 if roles[i] == 0:
                     for rho, sig in view["indep"].items():
@@ -301,6 +303,8 @@ def _prune_mat(states: _Mat) -> _Mat:
     out: _Mat = {}
     for (k, rho), sig in items:
         dominated = any(
+            # DP dominance epsilon over discretized ticks, not a budget
+            # feasibility check  # lint-ignore: tolerance-discipline
             k2 <= k and r2 <= rho + 1e-12 and s2 <= sig + 1e-12
             for (k2, r2), s2 in kept
         )
@@ -316,6 +320,8 @@ def _prune_ret(states: _Ret) -> _Ret:
     out: _Ret = {}
     for (g, rho), sig in items:
         dominated = any(
+            # DP dominance epsilon over discretized ticks, not a budget
+            # feasibility check  # lint-ignore: tolerance-discipline
             g2 <= g + 1e-12 and r2 <= rho + 1e-12 and s2 <= sig + 1e-12
             for (g2, r2), s2 in kept
         )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from ..core.graph import AUX, GraphError, Node, VersionGraph
 from ..core.solution import PlanTree
+from ..core.tolerance import within_budget
 from .arborescence import min_storage_arborescence
 from .spt import single_source_retrieval
 
@@ -70,7 +71,7 @@ def last_tree(
     # bound it stays within it (see tests for the invariant check).
     for v in list(tree.iter_nodes_topological()):
         bound = alpha * dist.get(v, 0.0)
-        if tree.ret[v] > bound + 1e-12:
+        if not within_budget(tree.ret[v], bound):
             p = spt_parent.get(v, AUX)
             if p is not AUX and tree.is_ancestor(v, p):
                 # the SPT parent currently hangs below v; grafting would

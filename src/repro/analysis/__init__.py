@@ -1,0 +1,31 @@
+"""repro.analysis — AST invariant linter for this repository.
+
+A tiny stdlib-only lint framework plus five repo-specific rules
+(tolerance-discipline, spec-routing, registry-discipline, layering,
+lock-discipline) that turn the architectural decisions of earlier PRs
+into CI-enforced invariants.  Run it with ``python -m repro.analysis``
+or ``repro lint``; see ``docs/static_analysis.md`` for the rule
+catalogue, the ``# lint-ignore`` suppression syntax and the
+``# guarded-by`` / ``# holds`` lock annotations.
+"""
+
+from __future__ import annotations
+
+from .core import Finding, Module, Rule, all_rules, get_rule, register
+from .reporters import render_json, render_text
+from .runner import iter_python_files, lint_module, lint_paths, main
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "render_json",
+    "render_text",
+    "iter_python_files",
+    "lint_module",
+    "lint_paths",
+    "main",
+]

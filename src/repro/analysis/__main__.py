@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run the repo linter."""
+
+from .runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

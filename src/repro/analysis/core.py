@@ -1,0 +1,237 @@
+"""Lint-framework core: findings, rules, suppressions, module loading.
+
+The framework is deliberately tiny and stdlib-only: a rule is a class
+with a ``check(module)`` generator, a module is a parsed source file
+plus its raw lines (rules need both — AST for structure, lines for the
+annotation comments), and a finding is a sortable value object the
+reporters render.  Rules register themselves into a process-wide
+registry via the :func:`register` decorator; the runner instantiates
+every registered rule unless a selection is given.
+
+Suppressions
+------------
+A finding is suppressed by a ``# lint-ignore`` comment:
+
+* ``# lint-ignore: rule-name`` on the offending line suppresses that
+  rule there; ``# lint-ignore: a, b`` suppresses several rules; a bare
+  ``# lint-ignore`` suppresses every rule on the line.
+* On a line that holds *only* a comment, the marker applies to the next
+  following code line — use this when the offending line has no room.
+
+Suppressions are per-line and per-rule by design: a violation the team
+decides to tolerate stays visible (and greppable) at the exact spot it
+occurs, with the justification in the surrounding comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+]
+
+_IGNORE_RE = re.compile(
+    r"#\s*lint-ignore(?::\s*(?P<rules>[\w-]+(?:\s*,\s*[\w-]+)*))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: rule: message`` (the human reporter row)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload for the machine reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def _module_name(path: Path) -> str | None:
+    """Dotted module name from the ``__init__.py`` package chain.
+
+    ``src/repro/core/tolerance.py`` resolves to ``repro.core.tolerance``
+    regardless of the working directory; files outside any package
+    (tests, examples) resolve to their bare stem.
+    """
+    path = path.resolve()
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    d = path.parent
+    while (d / "__init__.py").exists():
+        parts.insert(0, d.name)
+        parent = d.parent
+        if parent == d:
+            break
+        d = parent
+    return ".".join(parts) if parts else None
+
+
+class Module:
+    """A parsed source file: AST, raw lines, module name, suppressions."""
+
+    def __init__(
+        self,
+        path: Path,
+        text: str,
+        name: str | None = None,
+        is_package: bool | None = None,
+    ) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self.name = name if name is not None else _module_name(path)
+        self.is_package = (
+            is_package if is_package is not None else path.name == "__init__.py"
+        )
+        self._suppressed = _suppressed_lines(self.lines)
+
+    @classmethod
+    def load(cls, path: Path) -> "Module":
+        """Read and parse ``path`` (raises ``SyntaxError`` on bad source)."""
+        return cls(path, path.read_text())
+
+    @classmethod
+    def from_source(
+        cls,
+        text: str,
+        *,
+        name: str | None = None,
+        path: str = "<snippet>",
+        is_package: bool = False,
+    ) -> "Module":
+        """Build from an in-memory snippet (fixture tests)."""
+        return cls(Path(path), text, name=name, is_package=is_package)
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-indexed source line, or ``""`` past EOF."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def def_region(self, node: ast.AST) -> Iterator[str]:
+        """The source lines of a ``def``'s signature (header through the
+        line before its first body statement) — where method-level
+        annotation comments like ``# holds: <guard>`` live."""
+        body = getattr(node, "body", None)
+        start = getattr(node, "lineno", 1)
+        stop = body[0].lineno if body else start + 1
+        for lineno in range(start, stop):
+            yield self.line_text(lineno)
+
+    def is_suppressed(self, lineno: int, rule: str) -> bool:
+        """True when ``rule`` is lint-ignored on ``lineno``."""
+        rules = self._suppressed.get(lineno)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+
+def _suppressed_lines(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map line number -> suppressed rule names (empty set = all rules).
+
+    Markers on pure-comment lines forward to the next code line, so a
+    long offending line can carry its justification just above.
+    """
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(lines, 1):
+        m = _IGNORE_RE.search(line)
+        if m is None:
+            continue
+        names = m.group("rules")
+        rules = frozenset(
+            n.strip() for n in names.split(",")
+        ) if names else frozenset()
+        target = lineno
+        if line.lstrip().startswith("#"):
+            # pure-comment line: apply to the next code line
+            for nxt in range(lineno + 1, len(lines) + 1):
+                stripped = lines[nxt - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    target = nxt
+                    break
+        out[target] = out.get(target, frozenset()) | rules if names else frozenset()
+    return out
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``name`` / ``description`` and implement
+    :meth:`check` as a generator of findings; :func:`register` puts the
+    class into the process-wide registry the runner instantiates from.
+    """
+
+    #: Registry / suppression / ``--select`` identifier.
+    name: str = ""
+
+    #: One-line summary shown by ``--list-rules``.
+    description: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the process-wide registry."""
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    if rule_cls.name in _REGISTRY and _REGISTRY[rule_cls.name] is not rule_cls:
+        raise ValueError(f"duplicate rule name {rule_cls.name!r}")
+    _REGISTRY[rule_cls.name] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Fresh instances of every registered rule, by name."""
+    from . import rules  # noqa: F401 - importing registers the built-ins
+
+    return {name: cls() for name, cls in sorted(_REGISTRY.items())}
+
+
+def get_rule(name: str) -> Rule:
+    """One rule instance by name (raises ``KeyError`` with options)."""
+    table = all_rules()
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {name!r}; options: {sorted(table)}"
+        ) from None

@@ -1,0 +1,28 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .core import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One ``path:line:col: rule: message`` row per finding + a summary."""
+    if not findings:
+        return "no findings"
+    rows = [f.render() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    rows.append(f"{len(findings)} {noun}")
+    return "\n".join(rows)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """A JSON document: ``{"count": N, "findings": [...]}``."""
+    payload = {
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

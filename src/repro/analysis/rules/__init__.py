@@ -1,0 +1,20 @@
+"""Built-in lint rules for this repository.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.core`'s registry; each rule lives in its own
+module and documents the invariant it enforces.  See
+``docs/static_analysis.md`` for the catalogue and the how-to for
+adding a rule.
+"""
+
+from __future__ import annotations
+
+from . import layering, locks, registry_discipline, spec_routing, tolerance
+
+__all__ = [
+    "layering",
+    "locks",
+    "registry_discipline",
+    "spec_routing",
+    "tolerance",
+]

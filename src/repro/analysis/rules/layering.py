@@ -1,0 +1,208 @@
+"""layering: the package import DAG only points downward.
+
+The repo is layered so the mathematical core stays runnable (and
+testable) without the performance and orchestration machinery above it:
+
+====================================  ====
+layer                                 rank
+====================================  ====
+``repro.core``                           0
+``repro.gen`` / ``repro.vcs`` /         10
+``repro.treewidth``
+``repro.algorithms``                    20
+``repro.fastgraph``                     30
+``repro.algorithms.registry``           35
+``repro.parallel``                      40
+``repro.engine``                        45
+``repro.analysis`` / ``repro.bench``    50
+``repro.cli``                           60
+``repro`` (root facade)                100
+====================================  ====
+
+A module may import from layers with a strictly smaller rank, or from
+anywhere inside its own subpackage (intra-package imports are the
+package's own business).  ``repro.algorithms.registry`` is the one
+sanctioned exception to ``algorithms < fastgraph``: it is the wiring
+hub that binds accelerated implementations into the solver tables, so
+it sits *above* fastgraph while the rest of ``repro.algorithms`` stays
+below.  Modules under ``repro`` that match no layer are flagged too —
+new subpackages must be added to the table deliberately.
+
+Imports inside ``if TYPE_CHECKING:`` blocks are exempt: they never
+execute, so they create no runtime dependency — annotations may name
+types from any layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule, register
+
+__all__ = ["Layering", "LAYERS", "rank_of"]
+
+#: Longest-dotted-prefix-match table of layer ranks.
+LAYERS: dict[str, int] = {
+    "repro.core": 0,
+    "repro.gen": 10,
+    "repro.vcs": 10,
+    "repro.treewidth": 10,
+    "repro.algorithms": 20,
+    "repro.fastgraph": 30,
+    "repro.algorithms.registry": 35,
+    "repro.parallel": 40,
+    "repro.engine": 45,
+    "repro.analysis": 50,
+    "repro.bench": 50,
+    "repro.cli": 60,
+    "repro": 100,
+}
+
+
+def rank_of(module_name: str) -> int | None:
+    """Layer rank by longest dotted-prefix match, or None if unmapped."""
+    parts = module_name.split(".")
+    for i in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:i])
+        if prefix in LAYERS:
+            return LAYERS[prefix]
+    return None
+
+
+def _family(module_name: str) -> str:
+    """The subpackage identity (first two components) intra-package
+    imports are judged by — ``repro.algorithms.lmg`` ->
+    ``repro.algorithms``."""
+    return ".".join(module_name.split(".")[:2])
+
+
+def _type_checking_lines(tree: ast.Module) -> set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` bodies (exempt imports)."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        named = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if not named:
+            continue
+        end = node.end_lineno if node.end_lineno is not None else node.lineno
+        lines.update(range(node.lineno, end + 1))
+    return lines
+
+
+def _resolve_relative(module: Module, node: ast.ImportFrom) -> str | None:
+    """Absolute target of a relative ``from ... import``."""
+    if module.name is None:
+        return None
+    base = module.name.split(".")
+    # level 1 = current package, 2 = parent, ...; a plain module's
+    # package is base[:-1], a package __init__'s package is base itself
+    up = len(base) - node.level + (1 if module.is_package else 0)
+    if up < 0:
+        return None
+    prefix = base[:up]
+    if node.module:
+        prefix = prefix + node.module.split(".")
+    return ".".join(prefix) if prefix else None
+
+
+@register
+class Layering(Rule):
+    """Flag imports that point up the layer DAG."""
+
+    name = "layering"
+    description = "imports must follow core -> algorithms -> fastgraph -> engine -> cli"
+
+    @staticmethod
+    def _worst_candidate(
+        name: str,
+        own_rank: int,
+        own_family: str,
+        candidates: tuple[str, ...],
+    ) -> str:
+        """The candidate target to report, or ``""`` when any reading of
+        the import is layering-clean."""
+        worst = ""
+        for target in candidates:
+            if not (target == "repro" or target.startswith("repro.")):
+                return ""
+            if _family(target) == own_family:
+                return ""
+            rank = rank_of(target)
+            if rank is not None and rank < own_rank:
+                return ""
+            if not worst:
+                worst = target
+        return worst
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield one finding per upward (or unmapped) ``repro`` import."""
+        name = module.name
+        if name is None or not (name == "repro" or name.startswith("repro.")):
+            return
+        own_rank = rank_of(name)
+        if own_rank is None:
+            yield Finding(
+                path=str(module.path),
+                line=1,
+                col=1,
+                rule=self.name,
+                message=(
+                    f"module {name} matches no layer; add its subpackage "
+                    "to repro.analysis.rules.layering.LAYERS"
+                ),
+            )
+            return
+        own_family = _family(name)
+        exempt = _type_checking_lines(module.tree)
+        for node in ast.walk(module.tree):
+            if getattr(node, "lineno", 0) in exempt:
+                continue
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                resolved: str | None
+                if node.level:
+                    resolved = _resolve_relative(module, node)
+                else:
+                    resolved = node.module
+                if resolved is not None:
+                    # ``from pkg import x``: x may be a submodule
+                    # (the effective target is pkg.x) or an attribute
+                    # (the target is pkg); only flag when *every*
+                    # reading is an upward import
+                    targets = [
+                        self._worst_candidate(
+                            name, own_rank, own_family,
+                            (f"{resolved}.{a.name}", resolved),
+                        )
+                        for a in node.names
+                    ]
+                    targets = [t for t in targets if t]
+            for target in targets:
+                if not (target == "repro" or target.startswith("repro.")):
+                    continue
+                if _family(target) == own_family:
+                    continue
+                target_rank = rank_of(target)
+                if module.is_suppressed(node.lineno, self.name):
+                    continue
+                if target_rank is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import of unmapped module {target}; add its "
+                        "subpackage to LAYERS",
+                    )
+                elif target_rank >= own_rank:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"upward import: {name} (rank {own_rank}) must not "
+                        f"import {target} (rank {target_rank})",
+                    )

@@ -1,0 +1,153 @@
+"""lock-discipline: guarded fields are only touched with the guard held.
+
+Shared mutable state is annotated at its declaration site::
+
+    self._outcome = None  # guarded-by: _lock
+    self._log = []        # guarded-by: ingest-thread
+
+and every other attribute access to a guarded field must be covered by
+its guard.  Two coverage forms exist, matching the two guard kinds in
+this repo:
+
+* a real lock — the access is lexically inside ``with self._lock:``
+  (any ``with`` whose context expression ends in the guard token);
+* an owner-thread token (e.g. ``ingest-thread``) — the enclosing
+  ``def`` declares it holds the guard with a ``# holds: <token>``
+  comment in its signature region, meaning the method only ever runs
+  on that owning thread.
+
+``# holds:`` also works for real locks (a helper called with the lock
+already held).  Nested ``def``s do **not** inherit coverage from the
+enclosing function or ``with`` block: a closure may execute on another
+thread long after the lock is released, so each function body must
+establish its own coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import Finding, Module, Rule, register
+
+__all__ = ["LockDiscipline", "DECL_RE", "HOLDS_RE"]
+
+#: Declaration marker on a ``self.<field> = ...`` line.
+DECL_RE = re.compile(r"#\s*guarded-by:\s*(?P<guard>[\w.-]+)")
+
+#: Method-level marker: this def runs with the guard(s) held.
+HOLDS_RE = re.compile(r"#\s*holds:\s*(?P<guards>[\w.-]+(?:\s*,\s*[\w.-]+)*)")
+
+_FuncNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _declared_guards(
+    cls_node: ast.ClassDef, module: Module
+) -> tuple[dict[str, str], set[int]]:
+    """Map guarded field name -> guard token, plus declaration lines."""
+    guards: dict[str, str] = {}
+    decl_lines: set[int] = set()
+    for node in ast.walk(cls_node):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        fields = [
+            t.attr
+            for t in targets
+            if isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+        ]
+        if not fields:
+            continue
+        end = node.end_lineno if node.end_lineno is not None else node.lineno
+        for lineno in range(node.lineno, end + 1):
+            m = DECL_RE.search(module.line_text(lineno))
+            if m is None:
+                continue
+            for field in fields:
+                guards[field] = m.group("guard")
+            decl_lines.update(range(node.lineno, end + 1))
+            break
+    return guards, decl_lines
+
+
+def _holds_tokens(module: Module, func: ast.AST) -> frozenset[str]:
+    """Guard tokens a ``def``'s signature region declares it holds."""
+    held: set[str] = set()
+    for line in module.def_region(func):
+        m = HOLDS_RE.search(line)
+        if m is not None:
+            held.update(t.strip() for t in m.group("guards").split(","))
+    return frozenset(held)
+
+
+def _with_exprs(node: ast.With | ast.AsyncWith) -> frozenset[str]:
+    """Unparsed context expressions of a ``with`` statement."""
+    return frozenset(ast.unparse(item.context_expr) for item in node.items)
+
+
+def _covers(held: frozenset[str], token: str) -> bool:
+    """True when any held expression / token satisfies ``token``."""
+    return any(h == token or h.endswith("." + token) for h in held)
+
+
+@register
+class LockDiscipline(Rule):
+    """Flag guarded-field access outside its lock / owner-thread method."""
+
+    name = "lock-discipline"
+    description = "# guarded-by fields need `with <lock>:` or a `# holds:` method"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield one finding per uncovered guarded-field access."""
+        for cls_node in ast.walk(module.tree):
+            if not isinstance(cls_node, ast.ClassDef):
+                continue
+            guards, decl_lines = _declared_guards(cls_node, module)
+            if not guards:
+                continue
+            for stmt in cls_node.body:
+                yield from self._scan(
+                    module, stmt, guards, decl_lines, frozenset()
+                )
+
+    def _scan(
+        self,
+        module: Module,
+        node: ast.AST,
+        guards: dict[str, str],
+        decl_lines: set[int],
+        held: frozenset[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, _FuncNode):
+            # a nested def runs on its own schedule: coverage resets to
+            # whatever the def itself declares
+            held = _holds_tokens(module, node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            held = held | _with_exprs(node)
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guards
+        ):
+            token = guards[node.attr]
+            if (
+                not _covers(held, token)
+                and node.lineno not in decl_lines
+                and not module.is_suppressed(node.lineno, self.name)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"access to self.{node.attr} (guarded-by: {token}) "
+                    f"outside `with ...{token}:` or a `# holds: {token}` "
+                    "method",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(module, child, guards, decl_lines, held)

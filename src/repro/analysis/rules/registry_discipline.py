@@ -1,0 +1,99 @@
+"""registry-discipline: go through the registry getters, not its tables.
+
+:mod:`repro.algorithms.registry` exposes ``get_solver`` / ``get_sweep``
+/ ``get_engine_solver`` / ``get_backend`` accessors that validate keys
+and produce helpful errors.  Subscripting the underlying ``SOLVERS`` /
+``SWEEPS`` / ``ENGINE_KERNELS`` / ``BACKENDS`` tables directly skips
+that validation (iterating the tables for discovery is fine, and is
+what the CI registry smoke does).  The pre-refactor twin getters and
+twin tables (``get_msr_solver``, ``MSR_SOLVERS``, ...) survive only as
+``DeprecationWarning`` shims for external callers — internal code must
+not use them, or the shims can never be deleted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule, register
+
+__all__ = ["RegistryDiscipline", "TABLES", "DEPRECATED", "ALLOWED_MODULE"]
+
+#: Registry tables that must not be subscripted outside the registry.
+TABLES = frozenset({"SOLVERS", "SWEEPS", "ENGINE_KERNELS", "BACKENDS"})
+
+#: Deprecated twin-getter / twin-table shims kept for external callers.
+DEPRECATED = frozenset(
+    {
+        "get_msr_solver",
+        "get_bmr_solver",
+        "get_msr_sweep",
+        "get_bmr_sweep",
+        "msr_sweep_start_edges",
+        "MSR_SOLVERS",
+        "BMR_SOLVERS",
+        "MSR_SWEEPS",
+        "BMR_SWEEPS",
+        "ENGINE_SOLVERS",
+        "BMR_ENGINE_SOLVERS",
+    }
+)
+
+#: The registry module itself, exempt from both checks.
+ALLOWED_MODULE = "repro.algorithms.registry"
+
+
+def _subscripted_table(node: ast.Subscript) -> str | None:
+    value = node.value
+    if isinstance(value, ast.Name) and value.id in TABLES:
+        return value.id
+    if isinstance(value, ast.Attribute) and value.attr in TABLES:
+        return value.attr
+    return None
+
+
+@register
+class RegistryDiscipline(Rule):
+    """Flag raw table subscripts and deprecated-shim use outside registry."""
+
+    name = "registry-discipline"
+    description = (
+        "use registry getters, not raw table subscripts or deprecated shims"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield one finding per offending subscript / shim reference."""
+        if module.name == ALLOWED_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            message: str | None = None
+            if isinstance(node, ast.Subscript):
+                table = _subscripted_table(node)
+                if table is not None:
+                    message = (
+                        f"direct subscript of registry table {table}; use "
+                        "the registry getters (get_solver, get_sweep, ...)"
+                    )
+            elif isinstance(node, ast.Name) and node.id in DEPRECATED:
+                message = (
+                    f"deprecated registry shim {node.id}; use the unified "
+                    "(problem, name) getters instead"
+                )
+            elif isinstance(node, ast.Attribute) and node.attr in DEPRECATED:
+                message = (
+                    f"deprecated registry shim {node.attr}; use the unified "
+                    "(problem, name) getters instead"
+                )
+            elif isinstance(node, ast.ImportFrom):
+                bad = sorted(
+                    a.name for a in node.names if a.name in DEPRECATED
+                )
+                if bad:
+                    message = (
+                        f"import of deprecated registry shim(s) "
+                        f"{', '.join(bad)}; use the unified getters instead"
+                    )
+            if message is None or module.is_suppressed(node.lineno, self.name):
+                continue
+            yield self.finding(module, node, message)

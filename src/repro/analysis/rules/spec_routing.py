@@ -1,0 +1,71 @@
+"""spec-routing: no ``problem == "msr"`` string branches in the stack.
+
+PR 5 unified MSR/BMR dispatch behind :class:`repro.core.problemspec.ProblemSpec`;
+problem-specific behaviour belongs in the spec object (budget axis,
+lower-bound tracker, sweep policy), not in string comparisons scattered
+through solver and engine code.  This rule flags equality / membership
+tests against the problem-kind literals ``"msr"`` / ``"bmr"`` anywhere
+outside ``repro.core.problemspec`` — the one module that owns the
+mapping from kind strings to spec objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule, register
+
+__all__ = ["SpecRouting", "PROBLEM_LITERALS", "ALLOWED_MODULE"]
+
+#: The problem-kind strings only ``problemspec`` may branch on.
+PROBLEM_LITERALS = frozenset({"msr", "bmr"})
+
+#: The module that owns kind-string dispatch.
+ALLOWED_MODULE = "repro.core.problemspec"
+
+
+def _is_problem_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in PROBLEM_LITERALS
+    )
+
+
+def _is_literal_container(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return False
+    return bool(node.elts) and all(_is_problem_literal(e) for e in node.elts)
+
+
+@register
+class SpecRouting(Rule):
+    """Flag ``== "msr"`` / ``in ("msr", "bmr")`` dispatch outside problemspec."""
+
+    name = "spec-routing"
+    description = 'problem-kind branching ("msr"/"bmr") belongs in ProblemSpec'
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield one finding per offending comparison."""
+        if module.name == ALLOWED_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            hit = False
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    if _is_problem_literal(right) or _is_problem_literal(node.left):
+                        hit = True
+                elif isinstance(op, (ast.In, ast.NotIn)):
+                    if _is_literal_container(right):
+                        hit = True
+            if not hit or module.is_suppressed(node.lineno, self.name):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "problem-kind string branch; route through "
+                "repro.core.problemspec.get_spec() instead",
+            )

@@ -1,0 +1,106 @@
+"""tolerance-discipline: float-tolerance arithmetic stays in one module.
+
+The repo's feasibility and self-check tolerances are unified in
+:mod:`repro.core.tolerance` (``FEAS_REL``/``FEAS_ABS`` for budget
+feasibility, ``RECOMP_REL``/``RECOMP_ABS`` for recomputation drift).
+Inline expressions like ``value <= budget * (1 + 1e-12) + 1e-9`` or
+``math.isclose(a, b, rel_tol=1e-9)`` silently fork the tolerance
+policy, so this rule flags them anywhere outside the tolerance module:
+
+* ``math.isclose`` calls passing a literal ``rel_tol``/``abs_tol``;
+* comparisons whose operands contain one of the canonical tolerance
+  literals (``1e-12``, ``1e-9``, ``1e-6``);
+* arithmetic combining two or more tolerance literals (the classic
+  ``x * (1 + rel) + abs`` shape), even outside a comparison.
+
+Deliberately *not* flagged: default parameter values (``tol: float =
+1e-9`` defines a knob, it doesn't hard-code policy), clamp floors like
+``max(y, 1e-12)``, and single-literal scaling outside comparisons.
+Genuine non-budget epsilons (DP dominance pruning, strict-improvement
+checks) carry ``# lint-ignore: tolerance-discipline`` with a one-line
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Finding, Module, Rule, register
+
+__all__ = ["ToleranceDiscipline", "TOLERANCE_LITERALS", "ALLOWED_MODULE"]
+
+#: The canonical tolerance magnitudes owned by ``repro.core.tolerance``.
+TOLERANCE_LITERALS: tuple[float, ...] = (1e-12, 1e-9, 1e-6)
+
+#: The one module allowed to spell these literals in tolerance logic.
+ALLOWED_MODULE = "repro.core.tolerance"
+
+
+def _is_tolerance_literal(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value in TOLERANCE_LITERALS
+    )
+
+
+def _count_literals(node: ast.AST) -> int:
+    return sum(1 for n in ast.walk(node) if _is_tolerance_literal(n))
+
+
+def _isclose_with_literal_tol(node: ast.Call) -> bool:
+    func = node.func
+    called_isclose = (isinstance(func, ast.Attribute) and func.attr == "isclose") or (
+        isinstance(func, ast.Name) and func.id == "isclose"
+    )
+    if not called_isclose:
+        return False
+    return any(
+        kw.arg in ("rel_tol", "abs_tol")
+        and isinstance(kw.value, ast.Constant)
+        and isinstance(kw.value.value, (int, float))
+        for kw in node.keywords
+    )
+
+
+@register
+class ToleranceDiscipline(Rule):
+    """Flag inline float-tolerance arithmetic outside ``core/tolerance``."""
+
+    name = "tolerance-discipline"
+    description = (
+        "tolerance comparisons/isclose calls belong in repro.core.tolerance"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield one finding per offending source line."""
+        if module.name == ALLOWED_MODULE:
+            return
+        flagged: set[int] = set()
+        for node in ast.walk(module.tree):
+            message: str | None = None
+            if isinstance(node, ast.Call) and _isclose_with_literal_tol(node):
+                message = (
+                    "isclose with a literal tolerance; use the helpers in "
+                    "repro.core.tolerance (close_enough, within_budget, ...)"
+                )
+            elif isinstance(node, ast.Compare) and any(
+                _count_literals(side) for side in (node.left, *node.comparators)
+            ):
+                message = (
+                    "comparison against an inline tolerance literal; use "
+                    "repro.core.tolerance (within_budget, close_enough, ...)"
+                )
+            elif isinstance(node, ast.BinOp) and _count_literals(node) >= 2:
+                message = (
+                    "arithmetic combining tolerance literals; centralize the "
+                    "expression in repro.core.tolerance"
+                )
+            if message is None:
+                continue
+            lineno = node.lineno
+            if lineno in flagged or module.is_suppressed(lineno, self.name):
+                continue
+            flagged.add(lineno)
+            yield self.finding(module, node, message)

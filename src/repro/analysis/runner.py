@@ -1,0 +1,129 @@
+"""File collection, rule execution and the ``python -m repro.analysis`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .core import Finding, Module, Rule, all_rules
+from .reporters import render_json, render_text
+
+__all__ = ["iter_python_files", "lint_module", "lint_paths", "main"]
+
+#: Directories never descended into when collecting files.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".pytest_cache"}
+)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    out.add(sub)
+        else:
+            out.add(path)
+    return sorted(out)
+
+
+def lint_module(module: Module, rules: Iterable[Rule]) -> list[Finding]:
+    """Run ``rules`` over one parsed module."""
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(module))
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Run rules over every Python file under ``paths``.
+
+    Unparseable files surface as findings of the pseudo-rule
+    ``parse-error`` rather than aborting the run.
+    """
+    chosen = list(rules) if rules is not None else list(all_rules().values())
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            module = Module.load(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            lineno = getattr(exc, "lineno", None)
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=lineno if isinstance(lineno, int) else 1,
+                    col=1,
+                    rule="parse-error",
+                    message=f"could not parse: {exc.__class__.__name__}: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_module(module, chosen))
+    return sorted(findings)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: exit 0 when clean, 1 on findings, 2 on bad usage."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST invariant linter for this repository",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    table = all_rules()
+    if args.list_rules:
+        for name, rule in table.items():
+            print(f"{name}: {rule.description}")
+        return 0
+
+    if args.select is not None:
+        names = [n.strip() for n in args.select.split(",") if n.strip()]
+        unknown = [n for n in names if n not in table]
+        if unknown:
+            parser.error(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"options: {', '.join(table)}"
+            )
+        rules: list[Rule] = [table[n] for n in names]
+    else:
+        rules = list(table.values())
+
+    roots = [Path(p) for p in args.paths]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    findings = lint_paths(roots, rules)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

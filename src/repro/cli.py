@@ -339,6 +339,18 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -501,6 +513,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_ing.add_argument("--out", default=None, help="also write the JSON panel here")
     p_ing.set_defaults(func=_cmd_ingest)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant linter",
+        description=(
+            "Run repro.analysis over the given paths (default src/repro): "
+            "tolerance-discipline, spec-routing, registry-discipline, "
+            "layering and lock-discipline.  Exit 0 when clean, 1 on "
+            "findings.  See docs/static_analysis.md."
+        ),
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=[], help="files or directories (default src/repro)"
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    p_lint.add_argument(
+        "--select", default=None, help="comma-separated rule names (default: all)"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 import json
 import math
-from collections.abc import Hashable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Hashable, Iterable, Iterator, Mapping
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from ..fastgraph.compiled import CompiledGraph
 
 __all__ = [
     "AUX",
@@ -171,14 +174,14 @@ class VersionGraph:
         self._edges: dict[tuple[Node, Node], Delta] = {}
         self._succ: dict[Node, dict[Node, Delta]] = {}
         self._pred: dict[Node, dict[Node, Delta]] = {}
-        self._compiled = None  # cached repro.fastgraph.CompiledGraph
-        self._listeners: list = []
+        self._compiled: CompiledGraph | None = None  # cached compiled arrays
+        self._listeners: list[Callable[[GraphMutation], None]] = []
         self.name = name
 
     # ------------------------------------------------------------------
     # mutation events
     # ------------------------------------------------------------------
-    def subscribe(self, listener) -> None:
+    def subscribe(self, listener: Callable[[GraphMutation], None]) -> None:
         """Register ``listener(event: GraphMutation)`` for every mutation.
 
         Listeners are *not* pickled with the graph (worker processes get
@@ -187,7 +190,7 @@ class VersionGraph:
         """
         self._listeners.append(listener)
 
-    def unsubscribe(self, listener) -> None:
+    def unsubscribe(self, listener: Callable[[GraphMutation], None]) -> None:
         """Remove a mutation listener registered by :meth:`subscribe`."""
         self._listeners.remove(listener)
 
@@ -198,14 +201,14 @@ class VersionGraph:
         for fn in tuple(self._listeners):
             fn(event)
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         # bound-method listeners (e.g. an IngestEngine) are unpicklable
         # and meaningless in another process; everything else round-trips
-        state = {s: getattr(self, s) for s in self.__slots__}
+        state: dict[str, Any] = {s: getattr(self, s) for s in self.__slots__}
         state["_listeners"] = []
         return state
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: dict[str, Any]) -> None:
         for s in self.__slots__:
             object.__setattr__(self, s, state[s])
 
@@ -424,7 +427,7 @@ class VersionGraph:
         """True when this is an extended graph (AUX present)."""
         return AUX in self._storage
 
-    def compile(self):
+    def compile(self) -> "CompiledGraph":
         """Compile into flat arrays for the fastgraph solver kernels.
 
         Returns a :class:`repro.fastgraph.CompiledGraph` — node→int
@@ -442,6 +445,9 @@ class VersionGraph:
         instead of a from-scratch recompile per arrival.
         """
         if self._compiled is None:
+            # runtime-lazy bridge: core stays importable without the
+            # accelerated layer; compile() is the one sanctioned hop up
+            # lint-ignore: layering
             from ..fastgraph.compiled import CompiledGraph
 
             self._compiled = CompiledGraph(self)
@@ -461,7 +467,7 @@ class VersionGraph:
         g._pred = {v: dict(nbrs) for v, nbrs in self._pred.items()}
         return g
 
-    def map_deltas(self, fn) -> "VersionGraph":
+    def map_deltas(self, fn: Callable[[Node, Node, Delta], Delta]) -> "VersionGraph":
         """Return a copy with every delta replaced by ``fn(u, v, delta)``."""
         g = VersionGraph(name=self.name)
         for v, s in self._storage.items():
@@ -530,7 +536,7 @@ class VersionGraph:
         triangle inequality.  O(sum of degree products); intended for
         tests and small graphs.
         """
-        bad = []
+        bad: list[tuple[Node, Node, Node]] = []
         for (u, v), d in self._edges.items():
             for w, d_uw in self._succ[u].items():
                 if w == v:
@@ -544,7 +550,7 @@ class VersionGraph:
 
     def check_generalized_triangle_inequality(self, tol: float = 1e-9) -> list[tuple[Node, Node]]:
         """Violations of ``s_u + s_(u,v) >= s_v`` (Section 2.2)."""
-        bad = []
+        bad: list[tuple[Node, Node]] = []
         for (u, v), d in self._edges.items():
             if self._storage[u] + d.storage + tol < self._storage[v]:
                 bad.append((u, v))
@@ -553,7 +559,7 @@ class VersionGraph:
     # ------------------------------------------------------------------
     # interop / io
     # ------------------------------------------------------------------
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export to a ``networkx.DiGraph`` (attributes: storage/retrieval)."""
         import networkx as nx
 
@@ -564,7 +570,7 @@ class VersionGraph:
             g.add_edge(u, v, storage=d.storage, retrieval=d.retrieval)
         return g
 
-    def to_undirected_networkx(self):
+    def to_undirected_networkx(self) -> Any:
         """Underlying undirected graph (for treewidth computations)."""
         import networkx as nx
 

@@ -40,16 +40,42 @@ from __future__ import annotations
 
 import heapq
 import math
+from typing import Any, Protocol
 
+from .graph import Node, VersionGraph
 from .tolerance import within_budget
 
 __all__ = [
     "ProblemSpec",
+    "LowerBoundTracker",
     "MSR_SPEC",
     "BMR_SPEC",
     "SPECS",
     "get_spec",
 ]
+
+
+class LowerBoundTracker(Protocol):
+    """Online lower bound on a problem family's natural budget scale.
+
+    Fed from the :class:`~repro.core.graph.GraphMutation` event stream;
+    ``value()`` must stay O(log) amortized so the ingest engine can
+    evaluate ``budget_factor`` budgets per arrival.
+    """
+
+    def add_version(self, v: Node, storage: float) -> None:
+        """Account a brand-new version."""
+
+    def add_delta(
+        self, v: Node, storage: float, retrieval: float, node_storage: float
+    ) -> None:
+        """Account a new delta into ``v`` (``node_storage`` = ``s_v``)."""
+
+    def rebuild(self, graph: VersionGraph) -> None:
+        """Recompute from scratch (after cost updates / removals)."""
+
+    def value(self) -> float:
+        """The current lower bound."""
 
 
 class _StorageLowerBound:
@@ -66,24 +92,29 @@ class _StorageLowerBound:
     """
 
     def __init__(self) -> None:
-        self._min_in: dict = {}
+        self._reset()
+
+    def _reset(self) -> None:
+        self._min_in: dict[Node, float] = {}
         self._min_in_sum = 0.0
-        self._gap: dict = {}
-        self._heap: list = []
+        self._gap: dict[Node, float] = {}
+        self._heap: list[tuple[float, int, Node]] = []
         self._seq = 0
 
-    def _push_gap(self, v, gap: float) -> None:
+    def _push_gap(self, v: Node, gap: float) -> None:
         self._gap[v] = gap
         heapq.heappush(self._heap, (gap, self._seq, v))
         self._seq += 1
 
-    def add_version(self, v, storage: float) -> None:
+    def add_version(self, v: Node, storage: float) -> None:
         """Account a brand-new version (cheapest in-edge = materialize)."""
         self._min_in[v] = storage
         self._min_in_sum += storage
         self._push_gap(v, 0.0)  # min_in == s_v on arrival
 
-    def add_delta(self, v, storage: float, retrieval: float, node_storage: float) -> None:
+    def add_delta(
+        self, v: Node, storage: float, retrieval: float, node_storage: float
+    ) -> None:
         """Account a new delta into ``v`` (``node_storage`` = ``s_v``)."""
         cur = self._min_in.get(v)
         if cur is not None and storage < cur:
@@ -91,9 +122,9 @@ class _StorageLowerBound:
             self._min_in[v] = storage
             self._push_gap(v, node_storage - storage)
 
-    def rebuild(self, graph) -> None:
+    def rebuild(self, graph: VersionGraph) -> None:
         """Recompute from scratch (after cost updates / removals)."""
-        self.__init__()
+        self._reset()
         for v in graph.versions:
             min_in = min(
                 (d.storage for d in graph.predecessors(v).values()),
@@ -136,15 +167,20 @@ class _RetrievalLowerBound:
     """
 
     def __init__(self) -> None:
-        self._bound: dict = {}  # only versions with a qualifying delta
-        self._heap: list = []
+        self._reset()
+
+    def _reset(self) -> None:
+        self._bound: dict[Node, float] = {}  # only versions with a qualifying delta
+        self._heap: list[tuple[float, int, Node]] = []
         self._seq = 0
 
-    def add_version(self, v, storage: float) -> None:
+    def add_version(self, v: Node, storage: float) -> None:
         """Account a brand-new version (no qualifying deltas yet)."""
         # nothing to track until a strictly-cheaper delta arrives
 
-    def add_delta(self, v, storage: float, retrieval: float, node_storage: float) -> None:
+    def add_delta(
+        self, v: Node, storage: float, retrieval: float, node_storage: float
+    ) -> None:
         """Account a new delta into ``v`` (``node_storage`` = ``s_v``)."""
         if storage >= node_storage:
             return  # not cheaper than materializing: never forces retrieval
@@ -154,9 +190,9 @@ class _RetrievalLowerBound:
             heapq.heappush(self._heap, (-retrieval, self._seq, v))
             self._seq += 1
 
-    def rebuild(self, graph) -> None:
+    def rebuild(self, graph: VersionGraph) -> None:
         """Recompute from scratch (after cost updates / removals)."""
-        self.__init__()
+        self._reset()
         for v in graph.versions:
             s_v = graph.storage_cost(v)
             bound = min(
@@ -209,7 +245,7 @@ class ProblemSpec:
     default_engine_solver: str
 
     #: Default solver list for CLI / harness sweep panels.
-    default_panel_solvers: tuple
+    default_panel_solvers: tuple[str, ...]
 
     #: Default auto-grid span factor for budget grids.
     default_grid_span: float
@@ -223,15 +259,15 @@ class ProblemSpec:
     #: arborescence and can reuse one shared Edmonds run across tasks.
     sweep_uses_start_tree: bool
 
-    def tree_objective(self, tree) -> float:
+    def tree_objective(self, tree: Any) -> float:
         """The objective value of a plan tree (``ArrayPlanTree``-like)."""
         raise NotImplementedError
 
-    def score_objective(self, score) -> float:
+    def score_objective(self, score: Any) -> float:
         """The objective component of a :class:`~repro.core.problems.PlanScore`."""
         raise NotImplementedError
 
-    def score_constrained(self, score) -> float:
+    def score_constrained(self, score: Any) -> float:
         """The budget-capped component of a ``PlanScore``."""
         raise NotImplementedError
 
@@ -246,7 +282,7 @@ class ProblemSpec:
         """
         return within_budget(value, budget)
 
-    def sweep_floor(self, tree) -> float:
+    def sweep_floor(self, tree: Any) -> float:
         """Smallest constrained value reachable from ``tree``'s state.
 
         Grid budgets that fail ``replay_feasible(sweep_floor(start), b)``
@@ -256,7 +292,7 @@ class ProblemSpec:
         raise NotImplementedError
 
     def attach_feasible(
-        self, tree, budget: float, new_retrieval: float, edge_storage: float
+        self, tree: Any, budget: float, new_retrieval: float, edge_storage: float
     ) -> bool:
         """Whether greedy-attaching an arrival through an edge is feasible.
 
@@ -270,7 +306,7 @@ class ProblemSpec:
         """Objective cost a greedy attach adds (the staleness increment)."""
         raise NotImplementedError
 
-    def lower_bound_tracker(self):
+    def lower_bound_tracker(self) -> LowerBoundTracker:
         """A fresh online lower-bound tracker for ``budget_factor`` mode.
 
         The returned object maintains a lower bound on the family's
@@ -294,24 +330,24 @@ class _MSRSpec(ProblemSpec):
     replay_halts_on_budget = True
     sweep_uses_start_tree = True
 
-    def tree_objective(self, tree) -> float:
+    def tree_objective(self, tree: Any) -> float:
         """Total retrieval of the plan tree."""
         return tree.total_retrieval
 
-    def score_objective(self, score) -> float:
+    def score_objective(self, score: Any) -> float:
         """``score.sum_retrieval``."""
         return score.sum_retrieval
 
-    def score_constrained(self, score) -> float:
+    def score_constrained(self, score: Any) -> float:
         """``score.storage`` (what the MSR budget caps)."""
         return score.storage
 
-    def sweep_floor(self, tree) -> float:
+    def sweep_floor(self, tree: Any) -> float:
         """The start tree's total storage (the minimum-storage start)."""
         return tree.total_storage
 
     def attach_feasible(
-        self, tree, budget: float, new_retrieval: float, edge_storage: float
+        self, tree: Any, budget: float, new_retrieval: float, edge_storage: float
     ) -> bool:
         """Plan storage after the attach must stay within the budget."""
         return within_budget(tree.total_storage + edge_storage, budget)
@@ -338,24 +374,24 @@ class _BMRSpec(ProblemSpec):
     replay_halts_on_budget = False
     sweep_uses_start_tree = False
 
-    def tree_objective(self, tree) -> float:
+    def tree_objective(self, tree: Any) -> float:
         """Total storage of the plan tree."""
         return tree.total_storage
 
-    def score_objective(self, score) -> float:
+    def score_objective(self, score: Any) -> float:
         """``score.storage``."""
         return score.storage
 
-    def score_constrained(self, score) -> float:
+    def score_constrained(self, score: Any) -> float:
         """``score.max_retrieval`` (what the BMR budget caps)."""
         return score.max_retrieval
 
-    def sweep_floor(self, tree) -> float:
+    def sweep_floor(self, tree: Any) -> float:
         """0.0 — the all-materialized start has max retrieval zero."""
         return 0.0
 
     def attach_feasible(
-        self, tree, budget: float, new_retrieval: float, edge_storage: float
+        self, tree: Any, budget: float, new_retrieval: float, edge_storage: float
     ) -> bool:
         """The arrival's own retrieval must stay within the budget.
 

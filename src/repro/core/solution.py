@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from .graph import AUX, GraphError, Node, VersionGraph
+from .tolerance import close_enough
 
 __all__ = [
     "StoragePlan",
@@ -185,7 +186,9 @@ class PlanTree:
         "_order_dirty",
     )
 
-    def __init__(self, extended_graph: VersionGraph, parent: dict[Node, Node]):
+    def __init__(
+        self, extended_graph: VersionGraph, parent: dict[Node, Node]
+    ) -> None:
         """Build from a parent map over the *extended* graph.
 
         ``parent[v]`` must be a node with an existing delta
@@ -327,7 +330,7 @@ class PlanTree:
 
         # retrieval costs shift uniformly over the moved subtree
         if shift != 0.0:
-            stack = [v]
+            stack: list[Node] = [v]
             while stack:
                 y = stack.pop()
                 self.ret[y] += shift
@@ -362,8 +365,8 @@ class PlanTree:
 
     def to_plan(self) -> StoragePlan:
         """Export as a general :class:`StoragePlan` over the base graph."""
-        mats = []
-        deltas = []
+        mats: list[Node] = []
+        deltas: list[tuple[Node, Node]] = []
         for v, p in self.parent.items():
             if p is AUX:
                 mats.append(v)
@@ -386,18 +389,16 @@ class PlanTree:
     def check_invariants(self) -> None:
         """Validate cached values against a fresh recomputation (tests)."""
         fresh = PlanTree(self.graph, dict(self.parent))
-        if not math.isclose(fresh.total_storage, self.total_storage, rel_tol=1e-9, abs_tol=1e-6):
+        if not close_enough(self.total_storage, fresh.total_storage):
             raise GraphError(
                 f"storage cache drift: {self.total_storage} vs {fresh.total_storage}"
             )
-        if not math.isclose(
-            fresh.total_retrieval, self.total_retrieval, rel_tol=1e-9, abs_tol=1e-6
-        ):
+        if not close_enough(self.total_retrieval, fresh.total_retrieval):
             raise GraphError(
                 f"retrieval cache drift: {self.total_retrieval} vs {fresh.total_retrieval}"
             )
         for v in self.parent:
-            if not math.isclose(fresh.ret[v], self.ret[v], rel_tol=1e-9, abs_tol=1e-6):
+            if not close_enough(self.ret[v], fresh.ret[v]):
                 raise GraphError(f"retrieval cache drift at {v!r}")
             if fresh.subtree_size[v] != self.subtree_size[v]:
                 raise GraphError(f"subtree size drift at {v!r}")

@@ -12,13 +12,19 @@ budget.  It now lives here, and **only** here:
   when a raw threshold is needed, e.g. ``np.searchsorted``);
 * :func:`within_budget` — the comparison itself; works elementwise on
   NumPy arrays, so vectorized kernels share the scalar solvers' exact
-  semantics.
+  semantics;
+* :func:`self_check_tol` / :func:`close_enough` — the drift tolerance
+  for *self-checks* that re-derive a cached aggregate in a different
+  summation order (``check_invariants``, DP frontier matching).
 
-``tests/test_sweep_trajectory.py`` greps the source tree to enforce
-that no inline copy of the expression reappears.
+The ``tolerance-discipline`` rule of :mod:`repro.analysis` enforces
+that no inline copy of any of these expressions reappears
+(``python -m repro.analysis src/repro``; see docs/static_analysis.md).
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 __all__ = [
     "FEAS_REL",
@@ -28,6 +34,8 @@ __all__ = [
     "budget_cap",
     "within_budget",
     "within_budget_recomputed",
+    "self_check_tol",
+    "close_enough",
 ]
 
 #: Relative feasibility slack (scales with the budget magnitude).
@@ -48,7 +56,29 @@ def budget_cap(budget: float) -> float:
     return budget * (1 + FEAS_REL) + FEAS_ABS
 
 
-def within_budget(value, budget: float):
+def self_check_tol(reference: float) -> float:
+    """Absolute drift allowed when re-deriving ``reference``.
+
+    The recomputation slack as a raw threshold: use it where a
+    comparison needs the tolerance itself (``np.searchsorted`` windows,
+    elementwise ``np.abs(a - b) <= self_check_tol(b)`` masks).
+    """
+    return RECOMP_ABS + RECOMP_REL * abs(reference)
+
+
+def close_enough(value: Any, reference: float) -> Any:
+    """``value == reference`` up to the recomputation drift tolerance.
+
+    For cache self-checks (``check_invariants``) and DP frontier
+    matching, where ``reference`` was re-accumulated in a different
+    association order than ``value``.  ``value`` may be a scalar or a
+    NumPy array (the comparison broadcasts); the returned type mirrors
+    the input.
+    """
+    return abs(value - reference) <= self_check_tol(reference)
+
+
+def within_budget(value: Any, budget: float) -> Any:
     """``value <= budget`` up to the shared tolerance.
 
     ``value`` may be a scalar or a NumPy array (the comparison
@@ -59,7 +89,7 @@ def within_budget(value, budget: float):
     return value <= budget_cap(budget)
 
 
-def within_budget_recomputed(value, budget: float):
+def within_budget_recomputed(value: Any, budget: float) -> Any:
     """``value <= budget`` allowing for cost re-accumulation drift.
 
     For *validation* checks on costs that were re-derived in a

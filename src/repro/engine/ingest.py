@@ -166,9 +166,15 @@ class IngestEngine:
         self._resolves = 0
         self._dirty = self.graph.num_versions > 0  # bookkeeping needs rebuild
         self._bg = BackgroundResolver() if background else None
-        self._bg_gen = 0  # generation token: sync resolves obsolete bg results
-        self._bg_sub_gen = 0  # generation the in-flight bg solve was submitted at
-        self._log: list[tuple[int, list[tuple[int, int, float, float]]]] = []
+        # The engine is single-threaded by contract: only the solver
+        # callable crosses to the BackgroundResolver thread, never the
+        # engine itself.  The re-solve coordination state below is
+        # therefore owned by the ingest thread — declared with the
+        # `ingest-thread` token and checked by the lock-discipline rule
+        # (every method touching these is marked `# holds: ingest-thread`).
+        self._bg_gen = 0  # sync resolves obsolete bg results  # guarded-by: ingest-thread
+        self._bg_sub_gen = 0  # generation of the in-flight bg solve  # guarded-by: ingest-thread
+        self._log: list[tuple[int, list[tuple[int, int, float, float]]]] = []  # guarded-by: ingest-thread
         self.graph.subscribe(self._on_mutation)
 
     # ------------------------------------------------------------------
@@ -362,7 +368,7 @@ class IngestEngine:
     # ------------------------------------------------------------------
     # repair
     # ------------------------------------------------------------------
-    def _attach(
+    def _attach(  # holds: ingest-thread
         self,
         vi: int,
         candidates: list[tuple[int, int, float, float]],
@@ -420,7 +426,7 @@ class IngestEngine:
     # ------------------------------------------------------------------
     # re-solves
     # ------------------------------------------------------------------
-    def _resolve_sync(self):
+    def _resolve_sync(self):  # holds: ingest-thread
         if self._dirty:
             self._rebuild_bookkeeping()
         self._bg_gen += 1  # any in-flight background result is now stale
@@ -447,7 +453,7 @@ class IngestEngine:
         """
         return self._resolve_sync()
 
-    def _trigger_resolve(self) -> bool:
+    def _trigger_resolve(self) -> bool:  # holds: ingest-thread
         """Threshold hit: re-solve now (sync) or kick off a background one."""
         if self._bg is None:
             self._resolve_sync()
@@ -460,7 +466,7 @@ class IngestEngine:
             self._bg.submit(self._solver, snapshot, budget)
         return False
 
-    def _poll_background(self) -> None:
+    def _poll_background(self) -> None:  # holds: ingest-thread
         outcome = self._bg.poll()
         if outcome is None:
             return

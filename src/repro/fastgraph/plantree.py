@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.graph import AUX, GraphError, Node
 from ..core.solution import PlanTree, RetrievalSummary, StoragePlan
+from ..core.tolerance import close_enough
 from .compiled import CompiledGraph
 
 __all__ = ["ArrayPlanTree"]
@@ -437,20 +438,16 @@ class ArrayPlanTree:
     def check_invariants(self) -> None:
         """Validate cached values against the dict implementation."""
         fresh = self.to_plan_tree()
-        if abs(fresh.total_storage - self.total_storage) > 1e-6 + 1e-9 * abs(
-            fresh.total_storage
-        ):
+        if not close_enough(self.total_storage, fresh.total_storage):
             raise GraphError(
                 f"storage cache drift: {self.total_storage} vs {fresh.total_storage}"
             )
-        if abs(fresh.total_retrieval - self.total_retrieval) > 1e-6 + 1e-9 * abs(
-            fresh.total_retrieval
-        ):
+        if not close_enough(self.total_retrieval, fresh.total_retrieval):
             raise GraphError(
                 f"retrieval cache drift: {self.total_retrieval} vs {fresh.total_retrieval}"
             )
         for i, node in enumerate(self.cg.nodes):
-            if abs(fresh.ret[node] - float(self.ret[i])) > 1e-6:
+            if not close_enough(float(self.ret[i]), fresh.ret[node]):
                 raise GraphError(f"retrieval cache drift at {node!r}")
             if fresh.subtree_size[node] != int(self.size[i]):
                 raise GraphError(f"subtree size drift at {node!r}")

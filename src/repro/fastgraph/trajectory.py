@@ -169,11 +169,15 @@ TRAJECTORY_SOLVERS = {
 
 #: MSR solver names the trajectory sweep supports.
 GREEDY_SWEEP_SOLVERS = tuple(
+    # key filter over the (problem, name) table, not behavior dispatch
+    # lint-ignore: spec-routing
     sorted(n for p, n in TRAJECTORY_SOLVERS if p == "msr")
 )
 
 #: BMR solver names the trajectory sweep supports.
 BMR_GREEDY_SWEEP_SOLVERS = tuple(
+    # key filter over the (problem, name) table, not behavior dispatch
+    # lint-ignore: spec-routing
     sorted(n for p, n in TRAJECTORY_SOLVERS if p == "bmr")
 )
 

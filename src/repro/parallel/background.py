@@ -13,6 +13,11 @@ runs against a zero-copy :meth:`~repro.fastgraph.compiled.
 CompiledGraph.snapshot` instead of shipping the whole graph to a
 worker.  Scatter/gather across *independent* tasks (budget sweeps,
 dataset builds) stays with :func:`repro.parallel.pool.parallel_map`.
+
+The slot state (``_thread``, ``_outcome``) is shared between the
+submitting thread and the worker, so both fields are declared
+``# guarded-by: _lock`` and every access is checked by the
+``lock-discipline`` rule of :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -41,44 +46,52 @@ class BackgroundResolver:
     """
 
     def __init__(self) -> None:
-        self._thread: threading.Thread | None = None
-        self._outcome: tuple[bool, Any] | None = None
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None  # guarded-by: _lock
+        self._outcome: tuple[bool, Any] | None = None  # guarded-by: _lock
 
     @property
     def busy(self) -> bool:
         """True while a submitted task has not been collected yet."""
-        return self._thread is not None
+        with self._lock:
+            return self._thread is not None
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> None:
         """Start ``fn(*args)`` in the background; one task at a time."""
-        if self._thread is not None:
-            raise RuntimeError("a background task is already in flight")
-        self._outcome = None
 
         def run() -> None:
             try:
                 result = fn(*args)
             except Exception as err:  # noqa: BLE001 - handed back via poll()
-                self._outcome = (False, err)
+                outcome = (False, err)
             else:
-                self._outcome = (True, result)
+                outcome = (True, result)
+            # publishing the outcome is the worker's last act; the
+            # slot stays occupied (_thread set) until poll() collects
+            with self._lock:
+                self._outcome = outcome
 
-        self._thread = threading.Thread(
-            target=run, name="repro-bg-resolve", daemon=True
-        )
-        self._thread.start()
+        thread = threading.Thread(target=run, name="repro-bg-resolve", daemon=True)
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("a background task is already in flight")
+            self._outcome = None
+            self._thread = thread
+        # start outside the lock: the worker may run (and try to take
+        # the lock to publish) before start() returns
+        thread.start()
 
     def poll(self) -> tuple[bool, Any] | None:
         """``(ok, result_or_exception)`` once finished, else ``None``."""
-        t = self._thread
-        if t is None:
-            return None
-        if t.is_alive():
+        with self._lock:
+            t = self._thread
+        if t is None or t.is_alive():
             return None
         t.join()
-        self._thread = None
-        outcome = self._outcome
-        self._outcome = None
+        with self._lock:
+            self._thread = None
+            outcome = self._outcome
+            self._outcome = None
         return outcome
 
     def wait(self, timeout: float | None = None) -> None:
@@ -88,6 +101,7 @@ class BackgroundResolver:
         so callers with their own integration path (the ingest engine)
         can route the result through it.
         """
-        t = self._thread
+        with self._lock:
+            t = self._thread
         if t is not None:
             t.join(timeout)

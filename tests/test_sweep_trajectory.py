@@ -9,7 +9,6 @@ forces the replay to diverge and resume the live greedy.
 """
 
 import math
-import re
 from pathlib import Path
 
 import numpy as np
@@ -95,20 +94,18 @@ class TestWithinBudget:
         assert out.dtype == bool
         assert out.tolist() == [True, True, False]
 
-    def test_single_expression_in_src(self):
-        """The copy-pasted tolerance expression must not reappear: the
-        `* (1 + eps) + abs` pattern lives in core/tolerance.py only."""
-        pattern = re.compile(r"\*\s*\(1\s*\+\s*1e-\d+\)\s*\+\s*1e-\d+")
-        offenders = []
-        for path in SRC_ROOT.rglob("*.py"):
-            if path.name == "tolerance.py":
-                continue
-            for lineno, line in enumerate(path.read_text().splitlines(), 1):
-                if pattern.search(line):
-                    offenders.append(f"{path}:{lineno}: {line.strip()}")
-        assert not offenders, "inline tolerance expressions:\n" + "\n".join(offenders)
-        hits = pattern.findall((SRC_ROOT / "repro/core/tolerance.py").read_text())
-        assert len(hits) <= 1
+    def test_no_inline_tolerance_in_src(self):
+        """Inline tolerance arithmetic must not reappear outside
+        core/tolerance.py — enforced by the AST rule, which sees every
+        spelling of the pattern (not just one regex)."""
+        from repro.analysis import get_rule, lint_paths
+
+        findings = lint_paths(
+            [SRC_ROOT / "repro"], rules=[get_rule("tolerance-discipline")]
+        )
+        assert not findings, "inline tolerance expressions:\n" + "\n".join(
+            f.render() for f in findings
+        )
 
 
 class TestTrajectorySweep:
