@@ -20,7 +20,8 @@ with ``problem in repro.core.problemspec.SPECS``:
   :class:`~repro.fastgraph.CompiledGraph` qualify; DP/ILP solvers have
   no array-tree form and are deliberately absent);
 * :data:`BACKENDS` — explicit backend requests for the greedy family
-  (``"array"`` kernels vs the ``"dict"`` reference implementations).
+  (``"array"`` kernels, the ``"dict"`` reference implementations, and
+  the optional compiled ``"numba"`` kernels).
 
 Resolution goes through :func:`get_solver`, :func:`get_sweep` and
 :func:`get_engine_solver`, all taking the problem name first.  Plain
@@ -56,13 +57,16 @@ from __future__ import annotations
 
 import warnings
 
-from ..core.graph import VersionGraph
+from ..core.graph import GraphError, VersionGraph
 from ..core.problemspec import SPECS, get_spec
 from ..core.solution import StoragePlan
 from ..fastgraph import (
     bmr_lmg_array,
+    bmr_lmg_native,
     lmg_all_array,
+    lmg_all_native,
     lmg_array,
+    lmg_native,
     mp_array,
     mp_local_array,
     sweep_greedy,
@@ -193,6 +197,33 @@ def _mp_local_array(graph: VersionGraph, budget: float) -> StoragePlan | None:
         return None
 
 
+def _lmg_numba(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return lmg_native(graph, budget).to_plan()
+    except GraphError:
+        raise  # numba missing is an environment problem, not a budget outcome
+    except ValueError:
+        return None
+
+
+def _lmg_all_numba(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return lmg_all_native(graph, budget).to_plan()
+    except GraphError:
+        raise
+    except ValueError:
+        return None
+
+
+def _bmr_lmg_numba(graph: VersionGraph, budget: float) -> StoragePlan | None:
+    try:
+        return bmr_lmg_native(graph, budget).to_plan()
+    except GraphError:
+        raise
+    except ValueError:
+        return None
+
+
 #: ``(problem, name)`` -> plan-level solver; greedy names resolve to
 #: the array kernels.
 SOLVERS = {
@@ -252,16 +283,27 @@ ENGINE_KERNELS = {
 
 
 #: ``(problem, name)`` -> backend -> callable, for explicit backend
-#: requests (greedy family only).
+#: requests (greedy family only).  The ``"numba"`` entries are the
+#: optional compiled kernels of :mod:`repro.fastgraph.native` — they
+#: raise a clear error when numba is not installed; solvers without an
+#: entry for a requested backend resolve to their default.
 BACKENDS = {
-    ("msr", "lmg"): {"array": _lmg_array, "dict": _lmg_dict},
-    ("msr", "lmg-all"): {"array": _lmg_all_array, "dict": _lmg_all_dict},
+    ("msr", "lmg"): {"array": _lmg_array, "dict": _lmg_dict, "numba": _lmg_numba},
+    ("msr", "lmg-all"): {
+        "array": _lmg_all_array,
+        "dict": _lmg_all_dict,
+        "numba": _lmg_all_numba,
+    },
     ("bmr", "mp"): {"array": _mp_array, "dict": _mp_dict},
     ("bmr", "mp-local"): {"array": _mp_local_array, "dict": _mp_local_dict},
-    ("bmr", "bmr-lmg"): {"array": _bmr_lmg_array, "dict": _bmr_lmg_dict},
+    ("bmr", "bmr-lmg"): {
+        "array": _bmr_lmg_array,
+        "dict": _bmr_lmg_dict,
+        "numba": _bmr_lmg_numba,
+    },
 }
 
-_BACKEND_NAMES = ("array", "dict")
+_BACKEND_NAMES = ("array", "dict", "numba")
 
 
 def _names(table: dict, problem: str) -> list[str]:
@@ -278,9 +320,9 @@ def _other_problem(problem: str) -> str | None:
 def get_solver(problem: str, name: str, backend: str | None = None):
     """Look up a plan-level solver for ``problem`` by ``name``.
 
-    ``backend`` picks ``"array"`` or ``"dict"`` for the greedy family;
-    solvers without an array variant resolve to their single
-    implementation.  Raises ``ValueError`` for unknown problems and
+    ``backend`` picks ``"array"``, ``"dict"`` or ``"numba"`` for the
+    greedy family; solvers without that variant resolve to their
+    default implementation.  Raises ``ValueError`` for unknown problems and
     ``KeyError`` — with a cross-family hint when the name belongs to
     the other family — for unknown solver names or backends.
     """

@@ -339,6 +339,16 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from .bench.check import main as check_main
+
+    argv: list[str] = list(args.candidates)
+    argv += ["--baseline-dir", args.baseline_dir, "--margin", str(args.margin)]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    return check_main(argv)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import main as lint_main
 
@@ -513,6 +523,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_ing.add_argument("--out", default=None, help="also write the JSON panel here")
     p_ing.set_defaults(func=_cmd_ingest)
+
+    p_bc = sub.add_parser(
+        "bench-check",
+        help="gate bench payloads against committed baselines",
+        description=(
+            "Compare fresh BENCH_*.json payloads against the committed "
+            "baselines (benchmarks/baselines by default, matched by file "
+            "name) and fail on regressions of the tracked metrics: speedup "
+            "ratios within a noise margin, gate booleans exactly.  Exit 0 "
+            "when clean, 1 on a regression, 2 on missing metrics or bad "
+            "input.  See docs/benchmarks.md."
+        ),
+    )
+    p_bc.add_argument("candidates", nargs="+", help="fresh BENCH_*.json files")
+    p_bc.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="committed baseline directory (default benchmarks/baselines)",
+    )
+    p_bc.add_argument(
+        "--baseline", default=None, help="explicit baseline file (one candidate)"
+    )
+    p_bc.add_argument(
+        "--margin",
+        type=float,
+        default=0.5,
+        help="relative noise margin for speedup ratios (default 0.5)",
+    )
+    p_bc.set_defaults(func=_cmd_bench_check)
 
     p_lint = sub.add_parser(
         "lint",

@@ -39,15 +39,56 @@ deltas first, AUX edges after):
   refresh will assign, so callers that hold AUX edge ids across appends
   must re-query them (the ingest engine re-solves from scratch instead
   of holding them).
+
+Index dtypes (the memory diet)
+------------------------------
+Every index-valued array (endpoints, CSR adjacency, ``aux_edge``) is
+stored in :attr:`index_dtype` — ``int32`` while both the node and edge
+counts fit (halving index memory and cache traffic at the 100k+ bench
+tiers), ``int64`` otherwise.  The dtype is chosen automatically at
+compile time, can be forced via ``index_dtype=``, and is upgraded in
+place by :meth:`refresh` if incremental appends outgrow the 32-bit
+range; forcing ``int32`` past its capacity raises
+:class:`~repro.core.graph.GraphError`.  Index *values* are exact either
+way, so plans are unaffected.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.graph import AUX, GraphMutation, Node, VersionGraph
+from ..core.graph import AUX, GraphError, GraphMutation, Node, VersionGraph
 
 __all__ = ["CompiledGraph"]
+
+#: Largest count an ``int32``-indexed compiled graph can address.
+_INT32_CAPACITY = int(np.iinfo(np.int32).max)
+
+
+def _index_span(num_nodes: int, num_edges: int) -> int:
+    """Largest value the index arrays must represent (AUX id included)."""
+    return max(num_nodes + 1, num_edges)
+
+
+def _auto_index_dtype(num_nodes: int, num_edges: int) -> np.dtype:
+    """Narrowest index dtype that can address the graph."""
+    if _index_span(num_nodes, num_edges) <= _INT32_CAPACITY:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+def _check_index_capacity(
+    num_nodes: int, num_edges: int, dtype: np.dtype
+) -> None:
+    """Raise ``GraphError`` when ``dtype`` cannot address the graph."""
+    span = _index_span(num_nodes, num_edges)
+    limit = int(np.iinfo(dtype).max)
+    if span > limit:
+        raise GraphError(
+            f"index dtype {np.dtype(dtype).name} cannot address "
+            f"{num_nodes} versions / {num_edges} edges "
+            f"(needs {span} > {limit})"
+        )
 
 
 class CompiledGraph:
@@ -67,11 +108,14 @@ class CompiledGraph:
     node_storage:
         ``float64[n + 1]`` materialization costs (0.0 for AUX).
     edge_src / edge_dst:
-        ``int64[m]`` endpoints per edge id.
+        ``index_dtype[m]`` endpoints per edge id.
     edge_storage / edge_retrieval:
         ``float64[m]`` delta costs per edge id.
     aux_edge:
-        ``int64[n]`` — edge id of ``(AUX, v)`` per version index.
+        ``index_dtype[n]`` — edge id of ``(AUX, v)`` per version index.
+    index_dtype:
+        Dtype of every index-valued array (``int32`` while the graph
+        fits, ``int64`` otherwise; see the module docstring).
     out_indptr / out_edges, in_indptr / in_edges:
         CSR adjacency over edge ids, successor/predecessor order
         preserved from the source graph.
@@ -113,9 +157,16 @@ class CompiledGraph:
         "_pend_edges",
         "_owns_graph",
         "_stale",
+        "index_dtype",
+        "_str_order",
     )
 
-    def __init__(self, graph: VersionGraph) -> None:
+    def __init__(
+        self,
+        graph: VersionGraph,
+        *,
+        index_dtype: np.dtype | type | None = None,
+    ) -> None:
         ext = graph if graph.has_aux else graph.extended()
         self.graph = ext
         self.name = ext.name
@@ -139,8 +190,15 @@ class CompiledGraph:
         real = [(u, v, d) for u, v, d in ext.deltas() if u is not AUX]
         m = len(real)
         self._m_real = m
-        src = np.empty(m, dtype=np.int64)
-        dst = np.empty(m, dtype=np.int64)
+        if index_dtype is None:
+            idt = _auto_index_dtype(n, m + n)
+        else:
+            idt = np.dtype(index_dtype)
+            _check_index_capacity(n, m + n, idt)
+        self.index_dtype = idt
+        self._str_order: np.ndarray | None = None
+        src = np.empty(m, dtype=idt)
+        dst = np.empty(m, dtype=idt)
         es = np.empty(m, dtype=np.float64)
         er = np.empty(m, dtype=np.float64)
         edge_index: dict[tuple[int, int], int] = {}
@@ -217,6 +275,11 @@ class CompiledGraph:
         """
         if not self._stale:
             return self
+        if _index_span(self.n, self.num_edges) > np.iinfo(self.index_dtype).max:
+            # appends outgrew int32: upgrade in place before rebuilding
+            self.index_dtype = np.dtype(np.int64)
+            self._r_src = self._r_src.astype(np.int64)
+            self._r_dst = self._r_dst.astype(np.int64)
         if self._pend_nodes:
             self._node_store = np.concatenate(
                 [self._node_store, np.array(self._pend_nodes, dtype=np.float64)]
@@ -224,11 +287,12 @@ class CompiledGraph:
             self._pend_nodes = []
         if self._pend_edges:
             pend = self._pend_edges
+            idt = self.index_dtype
             self._r_src = np.concatenate(
-                [self._r_src, np.array([e[0] for e in pend], dtype=np.int64)]
+                [self._r_src, np.array([e[0] for e in pend], dtype=idt)]
             )
             self._r_dst = np.concatenate(
-                [self._r_dst, np.array([e[1] for e in pend], dtype=np.int64)]
+                [self._r_dst, np.array([e[1] for e in pend], dtype=idt)]
             )
             self._r_es = np.concatenate(
                 [self._r_es, np.array([e[2] for e in pend], dtype=np.float64)]
@@ -239,19 +303,18 @@ class CompiledGraph:
             self._pend_edges = []
         n = self.n
         m = self._m_real
-        arange_n = np.arange(n, dtype=np.int64)
+        idt = self.index_dtype
+        arange_n = np.arange(n, dtype=idt)
         self.node_storage = np.append(self._node_store, 0.0)
-        self.edge_src = np.concatenate(
-            [self._r_src, np.full(n, self.aux, dtype=np.int64)]
-        )
+        self.edge_src = np.concatenate([self._r_src, np.full(n, self.aux, dtype=idt)])
         self.edge_dst = np.concatenate([self._r_dst, arange_n])
         self.edge_storage = np.concatenate([self._r_es, self._node_store])
         self.edge_retrieval = np.concatenate(
             [self._r_er, np.zeros(n, dtype=np.float64)]
         )
-        self.aux_edge = m + arange_n
-        self.out_indptr, self.out_edges = _csr_from_keys(self.edge_src, n + 1)
-        self.in_indptr, self.in_edges = _csr_from_keys(self.edge_dst, n + 1)
+        self.aux_edge = (m + arange_n).astype(idt, copy=False)
+        self.out_indptr, self.out_edges = _csr_from_keys(self.edge_src, n + 1, idt)
+        self.in_indptr, self.in_edges = _csr_from_keys(self.edge_dst, n + 1, idt)
         self._stale = False
         return self
 
@@ -295,6 +358,8 @@ class CompiledGraph:
             setattr(new, attr, getattr(self, attr))
         new._edge_index = dict(self._edge_index)
         new._m_real = self._m_real
+        new.index_dtype = self.index_dtype
+        new._str_order = self._str_order
         new._pend_nodes = []
         new._pend_edges = []
         new._owns_graph = False
@@ -327,18 +392,41 @@ class CompiledGraph:
         """Edge ids entering ``v``, in predecessor insertion order."""
         return self.in_edges[self.in_indptr[v] : self.in_indptr[v + 1]]
 
+    @property
+    def str_order(self) -> np.ndarray:
+        """Version indices sorted by ``str(node)`` — the LMG scan order.
+
+        The greedy LMG kernel and the MP heap both enumerate candidates
+        in string order of the node labels (matching the dict reference
+        solvers' ``sorted`` calls).  Stringifying every node per solve is
+        O(n) interpreter work, so the key array is computed once and
+        cached; appends are detected by length and trigger a re-sort.
+        """
+        # guarded-by: compile-owner (same single-writer discipline as the
+        # flat arrays: ingest mutates only via apply_mutation/refresh on
+        # the owning thread, solvers read a snapshot())
+        cached = self._str_order
+        if cached is None or cached.size != self.n:
+            nodes = self.nodes
+            order = sorted(range(self.n), key=lambda i: str(nodes[i]))
+            cached = np.array(order, dtype=self.index_dtype)
+            self._str_order = cached
+        return cached
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         label = f" {self.name!r}" if self.name else ""
         return f"<CompiledGraph{label}: {self.n} versions, {self.num_edges} edges>"
 
 
-def _csr_from_keys(keys: np.ndarray, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+def _csr_from_keys(
+    keys: np.ndarray, num_nodes: int, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray]:
     """CSR (indptr, edge ids) grouping edge ids by ``keys``.
 
     A stable argsort preserves edge-id order within each node — exactly
     the per-node insertion order the dict adjacency iterates in.
     """
-    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    indptr = np.zeros(num_nodes + 1, dtype=dtype)
     np.cumsum(np.bincount(keys, minlength=num_nodes), out=indptr[1:])
-    indices = np.argsort(keys, kind="stable").astype(np.int64, copy=False)
+    indices = np.argsort(keys, kind="stable").astype(dtype, copy=False)
     return indptr, indices

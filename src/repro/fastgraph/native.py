@@ -1,0 +1,483 @@
+"""Optional numba backend for the greedy family (``backend="numba"``).
+
+The incremental NumPy kernels (:mod:`~repro.fastgraph.solvers`) spend
+their remaining time in per-round full-length array passes; compiled
+scalar loops beat them by skipping every masked intermediate.  This
+module provides nopython re-implementations of the three greedy swap
+loops — LMG, LMG-All, BMR-LMG — registered behind the existing
+``backend=`` seam as ``"numba"``.
+
+Plan identity is preserved the same way as everywhere else in the
+stack: the kernels perform the identical IEEE float operations in the
+identical scan order as the dict reference (and therefore as the array
+kernels), track two selection tiers with strict ``>`` comparisons
+(first maximum wins, matching ``np.argmax``), and compare budgets
+against :func:`~repro.core.tolerance.budget_cap` thresholds computed by
+the one shared tolerance helper.  Rather than teaching the kernels the
+whole :class:`~repro.fastgraph.plantree.ArrayPlanTree` bookkeeping,
+they record the *applied edge sequence*; the wrappers replay it onto
+the start tree through :meth:`~repro.fastgraph.plantree.ArrayPlanTree.
+apply_swap_edge`, so the returned tree's cached state is bit-identical
+to the array kernels' output by construction.
+
+numba is optional and the container may not ship it:
+
+* :data:`HAVE_NUMBA` reports availability;
+* without numba, :func:`njit` degrades to a passthrough decorator, so
+  the kernels still *run* (as slow interpreted loops) — the plan
+  identity tests exercise them either way;
+* the public solvers (:func:`lmg_native`, :func:`lmg_all_native`,
+  :func:`bmr_lmg_native`) raise :class:`~repro.core.graph.GraphError`
+  when numba is missing instead of silently running interpreted — an
+  explicit ``backend="numba"`` request wants compiled speed, and a
+  100x-slower fallback would be a worse surprise than an error.  CI
+  installs numba in one matrix leg and runs the identity suite against
+  the compiled kernels (see docs/benchmarks.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import GraphError, VersionGraph
+from ..core.tolerance import budget_cap
+from .compiled import CompiledGraph
+from .plantree import ArrayPlanTree
+from .solvers import (
+    _bmr_default_rounds,
+    _check_bmr_feasible,
+    _check_msr_feasible,
+    _compiled,
+    _lmg_all_default_rounds,
+    _lmg_candidates,
+    _lmg_default_rounds,
+    _materialized_array_tree,
+    _min_storage_array_tree,
+)
+
+__all__ = [
+    "HAVE_NUMBA",
+    "lmg_native",
+    "lmg_all_native",
+    "bmr_lmg_native",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default container path
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):
+        """Passthrough decorator standing in for ``numba.njit``."""
+
+        def _wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return _wrap
+
+
+def _require_numba(name: str) -> None:
+    if not HAVE_NUMBA:
+        raise GraphError(
+            f"{name} requires the optional numba package "
+            f"(backend='numba'; install numba or use backend='array')"
+        )
+
+
+@njit(cache=True)
+def _build_children(parent, head, nxt):  # pragma: no cover - jitted
+    """First-child / next-sibling lists from the parent array.
+
+    Filled from high to low index so each child list iterates in
+    ascending index order — any order yields a valid preorder (child
+    order is not load-bearing, see the plantree module docstring).
+    """
+    n1 = parent.shape[0]
+    for v in range(n1):
+        head[v] = -1
+    for v in range(n1 - 1, -1, -1):
+        p = parent[v]
+        if p >= 0:
+            nxt[v] = head[p]
+            head[p] = v
+
+
+@njit(cache=True)
+def _build_euler(parent, size, aux, head, nxt, stack, order, tin, tout):  # pragma: no cover
+    """One preorder DFS; ``tout`` derives from the maintained sizes."""
+    _build_children(parent, head, nxt)
+    sp = 0
+    stack[0] = aux
+    t = 0
+    while sp >= 0:
+        x = stack[sp]
+        sp -= 1
+        order[t] = x
+        tin[x] = t
+        t += 1
+        c = head[x]
+        while c != -1:
+            sp += 1
+            stack[sp] = c
+            c = nxt[c]
+    n1 = parent.shape[0]
+    for v in range(n1):
+        tout[v] = tin[v] + size[v] - 1
+
+
+@njit(cache=True)
+def _apply_move(parent, par_edge, ret, size, order, tin, tout, es, er, src, dst, aux, pick):  # pragma: no cover
+    """Apply edge ``pick``; same IEEE updates as the plantree walks.
+
+    Subtree enumeration uses this round's pre-move preorder block.
+    Returns the move's storage delta.
+    """
+    u = src[pick]
+    v = dst[pick]
+    p = parent[v]
+    ds = es[pick] - es[par_edge[v]]
+    shift = ret[u] + er[pick] - ret[v]
+    parent[v] = u
+    par_edge[v] = pick
+    sz = size[v]
+    x = p
+    while True:
+        size[x] -= sz
+        if x == aux:
+            break
+        x = parent[x]
+    x = u
+    while True:
+        size[x] += sz
+        if x == aux:
+            break
+        x = parent[x]
+    if shift != 0.0:
+        for i in range(tin[v], tout[v] + 1):
+            ret[order[i]] += shift
+    return ds
+
+
+@njit(cache=True)
+def _lmg_kernel(parent, par_edge, ret, size, cand, src, dst, es, er, aux_edge, aux, total_storage, budget, cap, rounds, out):  # pragma: no cover
+    """LMG rounds; returns the number of applied materializations."""
+    n1 = parent.shape[0]
+    head = np.empty(n1, np.int64)
+    nxt = np.empty(n1, np.int64)
+    stack = np.empty(n1, np.int64)
+    order = np.empty(n1, np.int64)
+    tin = np.empty(n1, np.int64)
+    tout = np.empty(n1, np.int64)
+    applied = 0
+    neg_inf = -np.inf
+    for _ in range(rounds):
+        if total_storage >= budget:
+            break
+        _build_euler(parent, size, aux, head, nxt, stack, order, tin, tout)
+        best_inf = np.int64(-1)
+        best_inf_red = neg_inf
+        best_rho = np.int64(-1)
+        best_rho_val = neg_inf
+        for i in range(cand.shape[0]):
+            v = cand[i]
+            if parent[v] == aux:
+                continue
+            ds = es[aux_edge[v]] - es[par_edge[v]]
+            red = ret[v] * size[v]
+            if not (total_storage + ds <= cap):
+                continue
+            if not (red > 0.0):
+                continue
+            if ds <= 0.0:
+                if red > best_inf_red:
+                    best_inf_red = red
+                    best_inf = v
+            elif best_inf == -1:
+                rho = red / ds
+                if rho > best_rho_val:
+                    best_rho_val = rho
+                    best_rho = v
+        best_v = best_inf if best_inf != -1 else best_rho
+        if best_v == -1:
+            break
+        pick = aux_edge[best_v]
+        total_storage += _apply_move(
+            parent, par_edge, ret, size, order, tin, tout, es, er, src, dst, aux, pick
+        )
+        out[applied] = pick
+        applied += 1
+    return applied
+
+
+@njit(cache=True)
+def _lmg_all_kernel(parent, par_edge, ret, size, src, dst, es, er, aux, total_storage, budget, cap, rounds, out):  # pragma: no cover
+    """LMG-All rounds; returns the number of applied swaps."""
+    n1 = parent.shape[0]
+    m = src.shape[0]
+    head = np.empty(n1, np.int64)
+    nxt = np.empty(n1, np.int64)
+    stack = np.empty(n1, np.int64)
+    order = np.empty(n1, np.int64)
+    tin = np.empty(n1, np.int64)
+    tout = np.empty(n1, np.int64)
+    applied = 0
+    neg_inf = -np.inf
+    for _ in range(rounds):
+        if total_storage >= budget:
+            break
+        _build_euler(parent, size, aux, head, nxt, stack, order, tin, tout)
+        best_inf = np.int64(-1)
+        best_inf_red = neg_inf
+        best_rho = np.int64(-1)
+        best_rho_val = neg_inf
+        for e in range(m):
+            u = src[e]
+            v = dst[e]
+            if parent[v] == u:
+                continue
+            if u != aux and tin[v] <= tin[u] and tout[u] <= tout[v]:
+                continue  # cycle: u inside subtree(v)
+            dr = (ret[u] + er[e] - ret[v]) * size[v]
+            if not (dr < 0.0):
+                continue
+            ds = es[e] - es[par_edge[v]]
+            if not (total_storage + ds <= cap):
+                continue
+            red = -dr
+            if ds <= 0.0:
+                if red > best_inf_red:
+                    best_inf_red = red
+                    best_inf = e
+            elif best_inf == -1:
+                rho = red / ds
+                if rho > best_rho_val:
+                    best_rho_val = rho
+                    best_rho = e
+        pick = best_inf if best_inf != -1 else best_rho
+        if pick == -1:
+            break
+        total_storage += _apply_move(
+            parent, par_edge, ret, size, order, tin, tout, es, er, src, dst, aux, pick
+        )
+        out[applied] = pick
+        applied += 1
+    return applied
+
+
+@njit(cache=True)
+def _bmr_kernel(parent, par_edge, ret, size, src, dst, es, er, aux, cap, rounds, out):  # pragma: no cover
+    """BMR local-move rounds; returns the number of applied swaps."""
+    n1 = parent.shape[0]
+    m = src.shape[0]
+    head = np.empty(n1, np.int64)
+    nxt = np.empty(n1, np.int64)
+    stack = np.empty(n1, np.int64)
+    order = np.empty(n1, np.int64)
+    tin = np.empty(n1, np.int64)
+    tout = np.empty(n1, np.int64)
+    submax = np.empty(n1, np.float64)
+    applied = 0
+    neg_inf = -np.inf
+    for _ in range(rounds):
+        _build_euler(parent, size, aux, head, nxt, stack, order, tin, tout)
+        # subtree maxima by one reverse-preorder pass (selection only)
+        for v in range(n1):
+            submax[v] = ret[v]
+        for i in range(n1 - 1, 0, -1):
+            w = order[i]
+            p = parent[w]
+            if submax[w] > submax[p]:
+                submax[p] = submax[w]
+        best_inf = np.int64(-1)
+        best_inf_red = neg_inf
+        best_rho = np.int64(-1)
+        best_rho_val = neg_inf
+        for e in range(m):
+            u = src[e]
+            v = dst[e]
+            if parent[v] == u:
+                continue
+            if u != aux and tin[v] <= tin[u] and tout[u] <= tout[v]:
+                continue  # cycle: u inside subtree(v)
+            ds = es[e] - es[par_edge[v]]
+            if not (ds < 0.0):
+                continue  # the BMR objective must strictly improve
+            shift = ret[u] + er[e] - ret[v]
+            if not (submax[v] + shift <= cap):
+                continue
+            red = -ds
+            if shift <= 0.0:
+                if red > best_inf_red:
+                    best_inf_red = red
+                    best_inf = e
+            elif best_inf == -1:
+                rho = red / shift
+                if rho > best_rho_val:
+                    best_rho_val = rho
+                    best_rho = e
+        pick = best_inf if best_inf != -1 else best_rho
+        if pick == -1:
+            break
+        _apply_move(
+            parent, par_edge, ret, size, order, tin, tout, es, er, src, dst, aux, pick
+        )
+        out[applied] = pick
+        applied += 1
+    return applied
+
+
+def _kernel_state(tree: ArrayPlanTree):
+    """int64/float64 working copies of the tree state for a kernel."""
+    return (
+        tree.parent.astype(np.int64),
+        tree.par_edge.astype(np.int64),
+        tree.ret.copy(),
+        tree.size.astype(np.int64),
+    )
+
+
+def _replay(tree: ArrayPlanTree, out: np.ndarray, applied: int) -> ArrayPlanTree:
+    """Apply the kernel's recorded edge sequence onto ``tree``.
+
+    The replay goes through the incremental fresh-path swaps, so every
+    cached float on the returned tree is bit-identical to what the
+    array kernels would have produced for the same move sequence.
+    """
+    tree.ensure_euler()
+    for eid in out[:applied].tolist():
+        tree.apply_swap_edge(eid)
+    return tree
+
+
+def _lmg_native_tree(
+    cg: CompiledGraph, storage_budget: float, rounds: int
+) -> ArrayPlanTree:
+    """LMG via the nopython kernel (runs interpreted without numba)."""
+    tree = _min_storage_array_tree(cg)
+    _check_msr_feasible(tree, storage_budget)
+    cand = _lmg_candidates(cg, tree).astype(np.int64)
+    parent, par_edge, ret, size = _kernel_state(tree)
+    out = np.empty(max(rounds, 0), dtype=np.int64)
+    applied = _lmg_kernel(
+        parent,
+        par_edge,
+        ret,
+        size,
+        cand,
+        cg.edge_src.astype(np.int64),
+        cg.edge_dst.astype(np.int64),
+        cg.edge_storage,
+        cg.edge_retrieval,
+        cg.aux_edge.astype(np.int64),
+        cg.aux,
+        tree.total_storage,
+        storage_budget,
+        budget_cap(storage_budget),
+        rounds,
+        out,
+    )
+    return _replay(tree, out, applied)
+
+
+def _lmg_all_native_tree(
+    cg: CompiledGraph, storage_budget: float, rounds: int
+) -> ArrayPlanTree:
+    """LMG-All via the nopython kernel."""
+    tree = _min_storage_array_tree(cg)
+    _check_msr_feasible(tree, storage_budget)
+    parent, par_edge, ret, size = _kernel_state(tree)
+    out = np.empty(max(rounds, 0), dtype=np.int64)
+    applied = _lmg_all_kernel(
+        parent,
+        par_edge,
+        ret,
+        size,
+        cg.edge_src.astype(np.int64),
+        cg.edge_dst.astype(np.int64),
+        cg.edge_storage,
+        cg.edge_retrieval,
+        cg.aux,
+        tree.total_storage,
+        storage_budget,
+        budget_cap(storage_budget),
+        rounds,
+        out,
+    )
+    return _replay(tree, out, applied)
+
+
+def _bmr_native_tree(
+    cg: CompiledGraph, retrieval_budget: float, rounds: int
+) -> ArrayPlanTree:
+    """BMR-LMG via the nopython kernel."""
+    _check_bmr_feasible(retrieval_budget)
+    tree = _materialized_array_tree(cg)
+    parent, par_edge, ret, size = _kernel_state(tree)
+    out = np.empty(max(rounds, 0), dtype=np.int64)
+    applied = _bmr_kernel(
+        parent,
+        par_edge,
+        ret,
+        size,
+        cg.edge_src.astype(np.int64),
+        cg.edge_dst.astype(np.int64),
+        cg.edge_storage,
+        cg.edge_retrieval,
+        cg.aux,
+        budget_cap(retrieval_budget),
+        rounds,
+        out,
+    )
+    return _replay(tree, out, applied)
+
+
+def lmg_native(
+    graph: VersionGraph | CompiledGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Numba kernel for LMG; plan-identical to :func:`~repro.fastgraph.
+    solvers.lmg_array` and the dict reference.
+
+    Raises :class:`~repro.core.graph.GraphError` when numba is not
+    installed and ``ValueError`` on MSR-infeasible budgets.
+    """
+    _require_numba("lmg_native")
+    cg = _compiled(graph)
+    rounds = max_iterations if max_iterations is not None else _lmg_default_rounds(cg)
+    return _lmg_native_tree(cg, storage_budget, rounds)
+
+
+def lmg_all_native(
+    graph: VersionGraph | CompiledGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Numba kernel for LMG-All; plan-identical to :func:`~repro.
+    fastgraph.solvers.lmg_all_array` and the dict reference."""
+    _require_numba("lmg_all_native")
+    cg = _compiled(graph)
+    rounds = (
+        max_iterations if max_iterations is not None else _lmg_all_default_rounds(cg)
+    )
+    return _lmg_all_native_tree(cg, storage_budget, rounds)
+
+
+def bmr_lmg_native(
+    graph: VersionGraph | CompiledGraph,
+    retrieval_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Numba kernel for BMR-LMG; plan-identical to :func:`~repro.
+    fastgraph.solvers.bmr_lmg_array` and the dict reference."""
+    _require_numba("bmr_lmg_native")
+    cg = _compiled(graph)
+    rounds = max_iterations if max_iterations is not None else _bmr_default_rounds(cg)
+    return _bmr_native_tree(cg, retrieval_budget, rounds)

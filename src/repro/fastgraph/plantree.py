@@ -21,6 +21,25 @@ operations in the same order as ``PlanTree``:
   identical root-first DFS order;
 * :meth:`apply_swap_edge` shifts the moved subtree with one addition
   per node, exactly like ``PlanTree.apply_swap``.
+
+Incremental Euler maintenance
+-----------------------------
+:meth:`apply_swap_edge` has two implementations.  The *python* path is
+the original one: eager child-list surgery, O(depth) size walks, and it
+invalidates the Euler intervals (``_order_dirty``).  The *fresh* path
+runs when the intervals are current and keeps them current: moving
+``v``'s subtree is a contiguous block move inside the preorder (shift
+the nodes between the block and its destination by ``±size(v)``, slide
+the block, rederive ``tout = tin + size - 1``), ancestor size updates
+are two interval-containment masks, and the subtree retrieval shift is
+the existing one-masked-add.  All O(V) vectorized, zero Python walks —
+this is what makes the incremental greedy kernels O(V) per round
+instead of "re-DFS the tree per round".  Child lists are rebuilt lazily
+(``_children_dirty``) in index order; no consumer depends on child
+*order* (a DFS preorder from rebuilt lists is a different but equally
+valid Euler tour, and ``materialized_versions`` callers sort).  Both
+paths apply the identical single IEEE addition per shifted node, so
+plans stay bit-identical whichever path runs.
 """
 
 from __future__ import annotations
@@ -44,9 +63,14 @@ class ArrayPlanTree:
     * ``par_edge`` — edge id of ``(parent[v], v)`` (-1 for AUX);
     * ``ret`` — retrieval cost ``R(v)`` along the unique AUX path;
     * ``size`` — subtree sizes (the paper's "dependency number");
-    * ``children`` — per-node child lists (mutation bookkeeping);
+    * ``children`` — per-node child lists, rebuilt lazily from
+      ``parent`` after vectorized swaps (``_ensure_children``);
     * Euler intervals ``tin``/``tout`` for O(1) ancestor tests,
-      recomputed lazily after mutations.
+      maintained incrementally by fresh-path swaps and recomputed
+      lazily otherwise.
+
+    Index-valued arrays inherit the compiled graph's
+    :attr:`~repro.fastgraph.compiled.CompiledGraph.index_dtype`.
     """
 
     __slots__ = (
@@ -62,6 +86,11 @@ class ArrayPlanTree:
         "_tout",
         "_preorder",
         "_order_dirty",
+        "_children_dirty",
+        "_iota",
+        "_rmq_table",
+        "_rmq_lo",
+        "_rmq_hi",
     )
 
     def __init__(self, cg: CompiledGraph, parent_edges: list[tuple[int, int]]):
@@ -72,18 +101,30 @@ class ArrayPlanTree:
         once; the referenced edge must end at it.
         """
         n = cg.n
+        idt = cg.index_dtype
         self.cg = cg
-        self.parent = np.full(n + 1, -1, dtype=np.int64)
-        self.par_edge = np.full(n + 1, -1, dtype=np.int64)
+        self.parent = np.full(n + 1, -1, dtype=idt)
+        self.par_edge = np.full(n + 1, -1, dtype=idt)
         self.ret = np.zeros(n + 1, dtype=np.float64)
-        self.size = np.ones(n + 1, dtype=np.int64)
+        self.size = np.ones(n + 1, dtype=idt)
         self.children: list[list[int]] = [[] for _ in range(n + 1)]
         self.total_storage = 0.0
         self.total_retrieval = 0.0
-        self._tin = np.zeros(n + 1, dtype=np.int64)
-        self._tout = np.zeros(n + 1, dtype=np.int64)
-        self._preorder = np.zeros(0, dtype=np.int64)
+        self._tin = np.zeros(n + 1, dtype=idt)
+        self._tout = np.zeros(n + 1, dtype=idt)
+        self._preorder = np.zeros(0, dtype=idt)
         self._order_dirty = True
+        self._children_dirty = False
+        self._iota: np.ndarray | None = None
+        # guarded-by: tree-owner (scratch reused across calls; trees are
+        # single-owner objects — clones never share it)
+        self._rmq_table: np.ndarray | None = None
+        # guarded-by: tree-owner — dirty Euler-position window of the
+        # cached sparse table ([lo, hi], lo > hi means clean); fresh-path
+        # swaps only touch a contiguous preorder range, so the table
+        # refresh can be partial
+        self._rmq_lo = 1 << 62
+        self._rmq_hi = -1
 
         seen = 0
         for v, eid in parent_edges:
@@ -133,6 +174,30 @@ class ArrayPlanTree:
             self.size[self.parent[v]] += self.size[v]
         self._order_dirty = True
 
+    def _ensure_children(self) -> None:
+        """Rebuild the per-node child lists from ``parent`` if stale.
+
+        Fresh-path swaps skip child-list surgery (an O(degree)
+        ``list.remove`` per move — AUX holds O(V) children in the BMR
+        all-materialized start tree) and just flip ``_children_dirty``;
+        the lists are rebuilt here in node-index order on the next
+        consumer.  Child order is not load-bearing (module docstring).
+        """
+        if not self._children_dirty:
+            return
+        n1 = len(self.parent)
+        children: list[list[int]] = [[] for _ in range(n1)]
+        for v, p in enumerate(self.parent.tolist()):
+            if p >= 0:
+                children[p].append(v)
+        self.children = children
+        self._children_dirty = False
+
+    def ensure_euler(self) -> None:
+        """Make the Euler intervals current (no-op when already fresh)."""
+        if self._order_dirty:
+            self.refresh_euler()
+
     def refresh_euler(self) -> None:
         """Recompute the subtree intervals used by :meth:`is_ancestor`.
 
@@ -147,6 +212,7 @@ class ArrayPlanTree:
         preorder itself is kept on :attr:`_preorder` for the
         range-max queries of :meth:`subtree_max_retrieval`.
         """
+        self._ensure_children()
         order_list: list[int] = []
         append = order_list.append
         stack = [self.cg.aux]
@@ -159,13 +225,17 @@ class ArrayPlanTree:
             c = children[x]
             if c:
                 extend(c)
-        order = np.array(order_list, dtype=np.int64)
-        pos = np.empty(len(order), dtype=np.int64)
-        pos[order] = np.arange(len(order), dtype=np.int64)
+        idt = self.parent.dtype
+        order = np.array(order_list, dtype=idt)
+        pos = np.empty(len(order), dtype=idt)
+        pos[order] = np.arange(len(order), dtype=idt)
         self._preorder = order
         self._tin = pos
         self._tout = pos + self.size - 1
         self._order_dirty = False
+        # a full reorder invalidates the whole cached range-max table
+        self._rmq_lo = 0
+        self._rmq_hi = len(order) - 1
 
     def is_ancestor(self, a: int, b: int) -> bool:
         """True when node index ``a`` is an ancestor of ``b`` (or equal)."""
@@ -197,19 +267,51 @@ class ArrayPlanTree:
         immediately: the full remove/append plus size/retrieval walks
         would be a semantic no-op but accumulate float churn in
         ``total_storage`` / ``total_retrieval``.
+
+        Dispatches on Euler freshness: with current intervals the move
+        is applied fully vectorized *and leaves them current*
+        (:meth:`_apply_swap_fresh`); otherwise the original Python-walk
+        path runs and the intervals stay invalidated.  Both paths
+        perform identical IEEE float updates (module docstring).
         """
         cg = self.cg
         u = int(cg.edge_src[eid])
         v = int(cg.edge_dst[eid])
         if eid == int(self.par_edge[v]):
             return
-        aux = cg.aux
-        if u != aux and self.is_ancestor(v, u):
+        if u != cg.aux and self.is_ancestor(v, u):
             raise GraphError(f"swap would create a cycle: {u} is in subtree({v})")
+        if self._order_dirty:
+            self._apply_swap_python(eid, u, v)
+        else:
+            self._apply_swap_fresh(eid, u, v)
+
+    def _apply_swap_rescan(self, eid: int) -> None:
+        """Apply a (pre-validated, non-identity) swap via the walk path.
+
+        Entry point for the :mod:`~repro.fastgraph.rescan` baseline
+        kernels, which preserve the pre-incremental behavior — eager
+        child lists, per-move Python walks, Euler invalidation — as a
+        timing and plan-identity reference.  Skips the identity/cycle
+        guards (the rescan kernels' candidate masks already enforce
+        them, exactly like the historical code path did).
+        """
+        cg = self.cg
+        self._apply_swap_python(eid, int(cg.edge_src[eid]), int(cg.edge_dst[eid]))
+
+    def _apply_swap_python(self, eid: int, u: int, v: int) -> None:
+        """Original swap path: child surgery + O(depth) walks.
+
+        Leaves ``_order_dirty`` set; the batch subtree-retrieval shift
+        still applies when the intervals happen to be fresh (same single
+        IEEE addition per node as the walk).
+        """
+        aux = self.cg.aux
         p = int(self.parent[v])
         ds, dr = self.swap_deltas_edge(eid)
-        shift = float(self.ret[u] + cg.edge_retrieval[eid] - self.ret[v])
+        shift = float(self.ret[u] + self.cg.edge_retrieval[eid] - self.ret[v])
 
+        self._ensure_children()
         self.children[p].remove(v)
         self.children[u].append(v)
         self.parent[v] = u
@@ -234,11 +336,9 @@ class ArrayPlanTree:
                 # Batch subtree shift: with fresh Euler intervals the
                 # subtree of ``v`` is exactly the nodes whose entry time
                 # falls inside ``v``'s interval, so the whole shift is
-                # one masked array add instead of a per-node Python walk
-                # (LMG-All refreshes the intervals every round for its
-                # cycle tests, so its moves always take this path; each
-                # element still receives the identical single IEEE
-                # addition, keeping plans bit-identical).
+                # one masked array add instead of a per-node Python walk;
+                # each element still receives the identical single IEEE
+                # addition, keeping plans bit-identical.
                 tin = self._tin
                 mask = (tin >= tin[v]) & (tin <= self._tout[v])
                 self.ret[mask] += shift
@@ -251,6 +351,71 @@ class ArrayPlanTree:
         self.total_storage += ds
         self.total_retrieval += dr
         self._order_dirty = True
+
+    def _apply_swap_fresh(self, eid: int, u: int, v: int) -> None:
+        """Vectorized swap that keeps the Euler intervals current.
+
+        Requires fresh intervals.  The preorder block of ``v``'s
+        subtree ``[a, b]`` slides to just after ``u``'s entry ``pu``
+        (becoming ``u``'s first child — a different but valid preorder
+        of the new tree); the nodes between the block and its
+        destination shift by ``±size(v)``; exits are rederived as
+        ``tout = tin + size - 1`` from the updated sizes.  Ancestor
+        size updates use interval-containment masks over the *old*
+        intervals — ancestors of ``p``/``u`` are never inside ``v``'s
+        subtree (the cycle guard ran), so the masks touch exactly the
+        nodes the Python walks would.  Retrieval gets the same
+        one-masked-add subtree shift as before.  Child lists are left
+        stale (``_children_dirty``).
+        """
+        cg = self.cg
+        p = int(self.parent[v])
+        ds, dr = self.swap_deltas_edge(eid)
+        shift = float(self.ret[u] + cg.edge_retrieval[eid] - self.ret[v])
+
+        tin = self._tin
+        tout = self._tout
+        size = self.size
+        sz = int(size[v])
+        a = int(tin[v])
+        b = int(tout[v])
+        pu = int(tin[u])
+        # masks over the *pre-move* intervals
+        block = (tin >= a) & (tin <= b)
+        anc_p = (tin <= tin[p]) & (tout >= tout[p])
+        anc_u = (tin <= pu) & (tout >= tout[u])
+
+        self.parent[v] = u
+        self.par_edge[v] = eid
+        size[anc_p] -= sz
+        size[anc_u] += sz
+        if shift != 0.0:
+            self.ret[block] += shift
+
+        # slide the preorder block to sit right after u
+        if pu < a:
+            between = (tin > pu) & (tin < a)
+            tin[between] += sz
+            tin[block] += (pu + 1) - a
+            self._rmq_lo = min(self._rmq_lo, pu + 1)
+            self._rmq_hi = max(self._rmq_hi, b)
+        else:  # pu > b: u cannot be inside the block (cycle guard)
+            between = (tin > b) & (tin <= pu)
+            tin[between] -= sz
+            tin[block] += (pu - sz + 1) - a
+            self._rmq_lo = min(self._rmq_lo, a)
+            self._rmq_hi = max(self._rmq_hi, pu)
+        np.add(tin, size, out=tout)
+        tout -= 1
+        iota = self._iota
+        if iota is None or iota.size != tin.size:
+            iota = np.arange(tin.size, dtype=tin.dtype)
+            self._iota = iota
+        self._preorder[tin] = iota
+
+        self._children_dirty = True
+        self.total_storage += ds
+        self.total_retrieval += dr
 
     def materialize(self, v: int) -> None:
         """Shortcut: re-route version index ``v`` through its AUX edge."""
@@ -276,19 +441,43 @@ class ArrayPlanTree:
         n1 = len(self.parent)
         levels = max(1, int(n1).bit_length())  # floor(log2(n1)) + 1 levels
         # sparse table over the preorder sequence, -inf padded so every
-        # level-k lookup at i + 2^(k-1) stays in bounds and inert
-        table = np.full((levels, n1 + (1 << levels)), -np.inf)
-        table[0, :n1] = self.ret[self._preorder]
-        for k in range(1, levels):
-            half = 1 << (k - 1)
-            np.maximum(table[k - 1, :-half], table[k - 1, half:], out=table[k, :-half])
+        # level-k lookup at i + 2^(k-1) stays in bounds and inert.  The
+        # buffer is cached across calls (the BMR kernel queries once per
+        # round) and refreshed *incrementally*: a fresh-path swap only
+        # perturbs the preorder inside one contiguous position window
+        # [_rmq_lo, _rmq_hi], and a row-k entry at position i covers row-0
+        # positions [i, i + 2^k - 1], so exactly the entries with
+        # i in [lo - 2^k + 1, hi] can change — every untouched entry's
+        # window is disjoint from the dirty range and keeps its value.
+        # Since max only *selects*, the partially refreshed table is
+        # bit-identical to a full rebuild.  Row 0's -inf tail is written
+        # once at allocation and never read as stale.
+        width = n1 + (1 << levels)
+        table = self._rmq_table
+        if table is None or table.shape != (levels, width):
+            table = np.full((levels, width), -np.inf)
+            self._rmq_table = table
+            self._rmq_lo, self._rmq_hi = 0, n1 - 1
+        lo, hi = self._rmq_lo, self._rmq_hi
+        if lo <= hi:
+            table[0, lo : hi + 1] = self.ret[self._preorder[lo : hi + 1]]
+            for k in range(1, levels):
+                half = 1 << (k - 1)
+                x0 = max(0, lo - (1 << k) + 1)
+                x1 = min(width - half, hi + 1)
+                np.maximum(
+                    table[k - 1, x0:x1],
+                    table[k - 1, x0 + half : x1 + half],
+                    out=table[k, x0:x1],
+                )
+            self._rmq_lo, self._rmq_hi = 1 << 62, -1
         # per-node query: range [tin, tin + size) as two overlapping
         # power-of-two windows (exact for max)
         k = np.frexp(self.size.astype(np.float64))[1] - 1
         lo = self._tin
-        hi = lo + self.size - (1 << k).astype(np.int64)
-        flat_lo = k * table.shape[1] + lo
-        flat_hi = k * table.shape[1] + hi
+        hi = lo + self.size - (1 << k).astype(lo.dtype)
+        flat_lo = k.astype(np.int64) * width + lo
+        flat_hi = k.astype(np.int64) * width + hi
         return np.maximum(table.ravel()[flat_lo], table.ravel()[flat_hi])
 
     # ------------------------------------------------------------------
@@ -328,25 +517,38 @@ class ArrayPlanTree:
             parent_index = new_aux  # caller said "materialize" pre-renumber
         if not (0 <= parent_index <= new_aux) or parent_index == new_v:
             raise GraphError(f"bad attach parent index {parent_index}")
+        idt = self.parent.dtype
+        if max(new_aux, par_eid) > np.iinfo(idt).max:
+            # the graph outgrew this tree's index dtype (mirrors
+            # CompiledGraph.refresh's in-place upgrade)
+            idt = np.dtype(np.int64)
+            self.parent = self.parent.astype(idt)
+            self.par_edge = self.par_edge.astype(idt)
+            self.size = self.size.astype(idt)
+            self._tin = self._tin.astype(idt)
+            self._tout = self._tout.astype(idt)
+            self._preorder = self._preorder.astype(idt)
+            self._iota = None
 
-        parent = np.append(self.parent, np.int64(-1))
+        parent = np.append(self.parent, idt.type(-1))
         parent[parent == old_aux] = new_aux
         parent[new_aux] = -1
         self.parent = parent
-        par_edge = np.append(self.par_edge, np.int64(-1))
+        par_edge = np.append(self.par_edge, idt.type(-1))
         par_edge[new_aux] = -1
         self.par_edge = par_edge
         ret = np.append(self.ret, 0.0)
         ret[new_aux] = 0.0
         self.ret = ret
-        size = np.append(self.size, np.int64(1))
+        size = np.append(self.size, idt.type(1))
         size[new_aux] = size[old_aux]
         size[new_v] = 1
         self.size = size
+        self._ensure_children()
         self.children.append(self.children[old_aux])  # AUX child list moves up
         self.children[old_aux] = []
-        self._tin = np.append(self._tin, np.int64(0))
-        self._tout = np.append(self._tout, np.int64(0))
+        self._tin = np.append(self._tin, idt.type(0))
+        self._tout = np.append(self._tout, idt.type(0))
 
         p = int(parent_index)
         self.parent[new_v] = p
@@ -380,13 +582,21 @@ class ArrayPlanTree:
         new.par_edge = self.par_edge.copy()
         new.ret = self.ret.copy()
         new.size = self.size.copy()
-        new.children = [list(c) for c in self.children]
+        if self._children_dirty:
+            new.children = []  # rebuilt on demand from the parent array
+        else:
+            new.children = [list(c) for c in self.children]
         new.total_storage = self.total_storage
         new.total_retrieval = self.total_retrieval
         new._tin = self._tin.copy()
         new._tout = self._tout.copy()
         new._preorder = self._preorder.copy()
         new._order_dirty = self._order_dirty
+        new._children_dirty = self._children_dirty
+        new._iota = self._iota  # read-only scatter index, safe to share
+        new._rmq_table = None  # scratch is per-owner (guarded-by above)
+        new._rmq_lo = 1 << 62
+        new._rmq_hi = -1
         return new
 
     # ------------------------------------------------------------------
@@ -408,6 +618,7 @@ class ArrayPlanTree:
 
     def materialized_versions(self) -> list[Node]:
         """Versions stored in full (children of AUX)."""
+        self._ensure_children()
         return [self.cg.nodes[i] for i in self.children[self.cg.aux]]
 
     def parent_map(self) -> dict[Node, Node]:

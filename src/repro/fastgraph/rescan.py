@@ -1,0 +1,211 @@
+"""Frozen rescan-per-round greedy kernels (perf baseline + oracle).
+
+These are the pre-incremental array kernels, preserved verbatim: every
+round re-scores *every* candidate move from the tree's cached vectors,
+re-runs the Euler DFS (LMG-All / BMR), and applies the winning swap
+through the original Python-walk path
+(:meth:`~repro.fastgraph.plantree.ArrayPlanTree._apply_swap_rescan`).
+
+They exist for two reasons:
+
+* **perf baseline** — ``benchmarks/bench_scaling_xl.py`` measures the
+  incremental kernels (:mod:`~repro.fastgraph.solvers`) against these
+  to report the swap-loop speedup at the 20k/100k tiers;
+* **identity oracle** — a third independent implementation (after the
+  dict reference and the incremental kernels) that must produce
+  bit-identical plans; ``tests/test_incremental_kernels.py`` checks all
+  three against each other.
+
+Do not "improve" these loops: their per-round full rescan *is* the
+behavior being measured.  The selection logic must stay in lockstep
+with the incremental kernels' masked argmax — both are clones of the
+dict reference's scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import VersionGraph
+from ..core.tolerance import within_budget
+from .compiled import CompiledGraph
+from .plantree import ArrayPlanTree
+from .solvers import (
+    _NEG_INF,
+    _bmr_default_rounds,
+    _check_bmr_feasible,
+    _check_msr_feasible,
+    _compiled,
+    _lmg_all_default_rounds,
+    _lmg_candidates,
+    _lmg_default_rounds,
+    _materialized_array_tree,
+    _min_storage_array_tree,
+)
+
+__all__ = ["lmg_array_rescan", "lmg_all_array_rescan", "bmr_lmg_array_rescan"]
+
+
+def _lmg_run_rescan(
+    cg: CompiledGraph,
+    tree: ArrayPlanTree,
+    cand: np.ndarray,
+    storage_budget: float,
+    rounds: int,
+) -> None:
+    """LMG rounds, re-scoring every surviving candidate each round."""
+    aux = cg.aux
+    es = cg.edge_storage
+
+    for _ in range(rounds):
+        if tree.total_storage >= storage_budget or cand.size == 0:
+            break
+        live = cand[tree.parent[cand] != aux]
+        if live.size == 0:
+            break
+        # materialization move per candidate: (P(v), v) -> (AUX, v)
+        ds = es[cg.aux_edge[live]] - es[tree.par_edge[live]]
+        reduction = tree.ret[live] * tree.size[live]  # == -dr
+        valid = within_budget(tree.total_storage + ds, storage_budget) & (
+            reduction > 0.0
+        )
+        if not valid.any():
+            break
+        inf_tier = valid & (ds <= 0.0)
+        if inf_tier.any():
+            # rho = inf tier: larger reduction wins, first in order on ties
+            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
+        else:
+            rho = np.full(live.shape, _NEG_INF)
+            np.divide(reduction, ds, out=rho, where=valid)
+            pick = int(np.argmax(rho))
+        best_v = int(live[pick])
+        tree._apply_swap_rescan(int(cg.aux_edge[best_v]))
+        cand = cand[cand != best_v]
+
+
+def lmg_array_rescan(
+    graph: VersionGraph | CompiledGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Rescan-per-round LMG; plan-identical to :func:`~repro.fastgraph.
+    solvers.lmg_array` and the dict reference."""
+    cg = _compiled(graph)
+    tree = _min_storage_array_tree(cg)
+    _check_msr_feasible(tree, storage_budget)
+    cand = _lmg_candidates(cg, tree)
+    rounds = max_iterations if max_iterations is not None else _lmg_default_rounds(cg)
+    _lmg_run_rescan(cg, tree, cand, storage_budget, rounds)
+    return tree
+
+
+def _lmg_all_run_rescan(
+    cg: CompiledGraph,
+    tree: ArrayPlanTree,
+    storage_budget: float,
+    rounds: int,
+) -> None:
+    """LMG-All rounds with a full Euler DFS + edge rescan per round."""
+    aux = cg.aux
+    src, dst = cg.edge_src, cg.edge_dst
+    es, er = cg.edge_storage, cg.edge_retrieval
+
+    for _ in range(rounds):
+        if tree.total_storage >= storage_budget:
+            break
+        tree.refresh_euler()
+        tin, tout = tree._tin, tree._tout
+        # skip current tree edges and moves that would create a cycle
+        # (src inside dst's subtree; AUX sources can never be)
+        valid = tree.parent[dst] != src
+        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
+        ds = es - es[tree.par_edge[dst]]
+        dr = (tree.ret[src] + er - tree.ret[dst]) * tree.size[dst]
+        valid &= dr < 0.0  # Algorithm 7 line 9: retrieval must improve
+        valid &= within_budget(tree.total_storage + ds, storage_budget)
+        if not valid.any():
+            break
+        reduction = -dr
+        inf_tier = valid & (ds <= 0.0)
+        if inf_tier.any():
+            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
+        else:
+            rho = np.full(reduction.shape, _NEG_INF)
+            np.divide(reduction, ds, out=rho, where=valid)
+            pick = int(np.argmax(rho))
+        tree._apply_swap_rescan(pick)
+
+
+def lmg_all_array_rescan(
+    graph: VersionGraph | CompiledGraph,
+    storage_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Rescan-per-round LMG-All; plan-identical to :func:`~repro.
+    fastgraph.solvers.lmg_all_array` and the dict reference."""
+    cg = _compiled(graph)
+    tree = _min_storage_array_tree(cg)
+    _check_msr_feasible(tree, storage_budget)
+    rounds = (
+        max_iterations if max_iterations is not None else _lmg_all_default_rounds(cg)
+    )
+    _lmg_all_run_rescan(cg, tree, storage_budget, rounds)
+    return tree
+
+
+def _bmr_run_rescan(
+    cg: CompiledGraph,
+    tree: ArrayPlanTree,
+    retrieval_budget: float,
+    rounds: int,
+) -> None:
+    """BMR local-move rounds with a full DFS + RMQ + rescan per round."""
+    aux = cg.aux
+    src, dst = cg.edge_src, cg.edge_dst
+    es, er = cg.edge_storage, cg.edge_retrieval
+
+    for _ in range(rounds):
+        tree.refresh_euler()
+        tin, tout = tree._tin, tree._tout
+        submax = tree.subtree_max_retrieval()
+        # skip current tree edges and moves that would create a cycle
+        valid = tree.parent[dst] != src
+        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
+        ds = es - es[tree.par_edge[dst]]
+        valid &= ds < 0.0  # the BMR objective (storage) must strictly improve
+        shift = tree.ret[src] + er - tree.ret[dst]
+        # every version in subtree(dst) shifts by the same amount: the
+        # move is admissible iff the subtree maximum stays within budget
+        valid &= within_budget(submax[dst] + shift, retrieval_budget)
+        if not valid.any():
+            break
+        reduction = -ds
+        inf_tier = valid & (shift <= 0.0)
+        if inf_tier.any():
+            # retrieval-non-increasing tier: larger reduction wins,
+            # first in edge order on ties
+            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
+        else:
+            rho = np.full(reduction.shape, _NEG_INF)
+            np.divide(reduction, shift, out=rho, where=valid)
+            pick = int(np.argmax(rho))
+        tree._apply_swap_rescan(pick)
+
+
+def bmr_lmg_array_rescan(
+    graph: VersionGraph | CompiledGraph,
+    retrieval_budget: float,
+    *,
+    max_iterations: int | None = None,
+) -> ArrayPlanTree:
+    """Rescan-per-round BMR-LMG; plan-identical to :func:`~repro.
+    fastgraph.solvers.bmr_lmg_array` and the dict reference."""
+    cg = _compiled(graph)
+    _check_bmr_feasible(retrieval_budget)
+    tree = _materialized_array_tree(cg)
+    rounds = max_iterations if max_iterations is not None else _bmr_default_rounds(cg)
+    _bmr_run_rescan(cg, tree, retrieval_budget, rounds)
+    return tree

@@ -27,6 +27,26 @@ move sequence.  :mod:`repro.fastgraph.trajectory` builds the single-pass
 budget-grid sweep on top of them: record the trajectory once at the
 loosest budget, replay prefixes for every tighter budget, and resume the
 live greedy from a cloned tree on the rare divergence.
+
+Incremental scoring
+-------------------
+The round runners are *incremental*: instead of re-deriving every
+candidate's gain and feasibility from the tree each round (preserved as
+the :mod:`~repro.fastgraph.rescan` baselines), they hold the per-move
+quantities that feed the masked argmax — ``ds``/``reduction`` per LMG
+candidate, ``ds``/``dr``/``shift``/cycle/tree-edge masks per edge for
+LMG-All and BMR — in live arrays across rounds, and after each applied
+swap recompute only the entries the move invalidated.  A swap of
+``v``'s subtree from ``p`` to ``u`` perturbs retrieval inside
+``subtree(v)`` (one Euler-interval preorder slice), subtree sizes on
+the ancestors of ``p`` and ``u`` (two interval-containment masks), and
+``v``'s own parent edge; the affected *edges* are gathered from the
+CSR adjacency of exactly those nodes.  The recomputed entries use the
+same IEEE expressions on the same cached quantities, so the state
+arrays stay bit-equal to a full rescan and the argmax picks the
+identical move.  :class:`ArrayPlanTree` keeps its Euler intervals
+current across swaps (see the plantree module docstring), so no
+per-round Python DFS remains anywhere in the round loop.
 """
 
 from __future__ import annotations
@@ -37,7 +57,7 @@ import math
 import numpy as np
 
 from ..core.graph import VersionGraph
-from ..core.tolerance import within_budget
+from ..core.tolerance import budget_cap, within_budget
 from .compiled import CompiledGraph
 from .plantree import ArrayPlanTree
 
@@ -82,17 +102,39 @@ def _lmg_all_default_rounds(cg: CompiledGraph) -> int:
     return 4 * cg.n + 64
 
 
+# Re-snapshot the LMG kernel's static Euler copy once the accumulated
+# masked-interval work exceeds this multiple of the node count: numpy
+# passes cost ~ns/element while a refresh is an O(V) Python DFS
+# (~us/element), so refreshes must amortize over far more than one
+# full-array pass of saved work.
+_LMG_RESNAPSHOT_FACTOR = 1024
+
+
 def _lmg_candidates(cg: CompiledGraph, tree: ArrayPlanTree) -> np.ndarray:
     """LMG's remaining-candidate array in the reference scan order
     (versions sorted by str, non-materialized only)."""
-    aux = cg.aux
-    return np.array(
-        sorted(
-            (i for i in range(cg.n) if tree.parent[i] != aux),
-            key=lambda i: str(cg.nodes[i]),
-        ),
-        dtype=np.int64,
-    )
+    order = cg.str_order
+    return order[tree.parent[order] != cg.aux]
+
+
+def _csr_gather(indptr: np.ndarray, edges: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Concatenated CSR rows for ``nodes`` (edge ids, duplicates kept).
+
+    Vectorized equivalent of ``concatenate([edges[indptr[v]:indptr[v+1]]
+    for v in nodes])`` — the incremental kernels use it to gather every
+    edge incident to the node set a swap invalidated.
+    """
+    starts = indptr[nodes].astype(np.int64, copy=False)
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return edges[:0]
+    ends = np.cumsum(counts)
+    # slot i of the output belongs to row r(i) = searchsorted-style rank;
+    # offset every slot by its row's start relative to the running total
+    slots = np.arange(total, dtype=np.int64)
+    slots += np.repeat(starts - (ends - counts), counts)
+    return edges[slots]
 
 
 def _lmg_run(
@@ -108,40 +150,170 @@ def _lmg_run(
     Mutates ``tree`` in place and returns the surviving candidate array.
     When ``record`` is given, each applied move appends
     ``(edge id, total_storage after, total_retrieval after)``.
+
+    Incremental: ``ds`` per candidate is fixed for its lifetime (a
+    candidate's parent edge only changes when it is itself materialized
+    and leaves the pool) and the retrieval ``reduction`` is recomputed
+    only for candidates inside the materialized subtree or above its old
+    parent.
+
+    Selection is lazy greedy (CELF): ``reduction`` is monotone
+    non-increasing for every candidate — materializing a node only
+    lowers ``ret`` inside its subtree and ``size`` on its old ancestor
+    chain — so a max-heap keyed ``(-score, position)`` whose stale tops
+    are re-keyed on pop always surfaces the true maximum, and the
+    position tie-break reproduces ``np.argmax``'s first-maximum rule
+    over the rescan baseline's compacted ``live`` array (compaction
+    preserves order).  The two score tiers stay exact: the inf tier
+    (``ds <= 0``, always within budget while the loop runs) can only
+    lose members, so every inf-tier round precedes every ratio-tier
+    round; once the ratio tier is in charge ``total_storage`` is
+    strictly increasing, so a ratio candidate that exceeds the budget
+    cap never becomes feasible again and may be dropped from the heap
+    (it stays in the returned candidate pool).
     """
     aux = cg.aux
     es = cg.edge_storage
+    er = cg.edge_retrieval
+    if cand.size == 0:
+        return cand
+    # Static Euler snapshot + detach labels.  LMG only ever reattaches a
+    # subtree under AUX, so relative preorder never changes: a node's
+    # *current* subtree is exactly the positions of its snapshot
+    # interval whose deepest materialized-since-snapshot ancestor
+    # (``labels``) matches its own.  That turns every move into an
+    # O(snapshot interval) masked pass instead of the O(V) permutation
+    # maintenance of the generic fresh-swap path; when the accumulated
+    # interval work exceeds ``_LMG_RESNAPSHOT_FACTOR * V`` the snapshot
+    # is refreshed so stale (over-wide) intervals cannot compound.
+    tree.ensure_euler()
+    pre0 = tree._preorder.copy()
+    tin0 = tree._tin.copy()
+    tout0 = tree._tout.copy()
+    labels = np.full(pre0.size, -1, dtype=np.int64)
+    resnapshot_at = _LMG_RESNAPSHOT_FACTOR * pre0.size
+    work = 0
+    ret = tree.ret
+    size = tree.size
+    parent = tree.parent
+    par_edge = tree.par_edge
+
+    alive = np.asarray(tree.parent[cand] != aux)
+    n_alive = int(np.count_nonzero(alive))
+    # materialization move per candidate: (P(v), v) -> (AUX, v)
+    ds = es[cg.aux_edge[cand]] - es[tree.par_edge[cand]]
+    reduction = tree.ret[cand] * tree.size[cand]  # == -dr
+    pos_of = np.full(len(tree.parent), -1, dtype=np.int64)
+    pos_of[cand] = np.arange(cand.size, dtype=np.int64)
+    # within_budget(x, b) is exactly x <= budget_cap(b): hoisting the
+    # cap keeps the identical IEEE comparison across lazy re-checks
+    cap = budget_cap(storage_budget)
+    pos_red = reduction > 0.0
+    ds_le0 = ds <= 0.0  # ds is fixed for a candidate's lifetime
+    # inf tier: larger reduction wins, first position on ties
+    idx_a = np.flatnonzero(alive & ds_le0 & pos_red)
+    heap_a = [(-float(reduction[i]), int(i)) for i in idx_a]
+    heapq.heapify(heap_a)
+    # ratio tier: rho = reduction / ds; cache the reduction the key was
+    # computed from so a pop can tell whether the entry is stale
+    idx_b = np.flatnonzero(alive & ~ds_le0 & pos_red)
+    heap_b = [
+        (-float(r) / float(d), int(i), float(r))
+        for r, d, i in zip(reduction[idx_b], ds[idx_b], idx_b)
+    ]
+    heapq.heapify(heap_b)
 
     for _ in range(rounds):
-        if tree.total_storage >= storage_budget or cand.size == 0:
+        if tree.total_storage >= storage_budget or n_alive == 0:
             break
-        live = cand[tree.parent[cand] != aux]
-        if live.size == 0:
+        pick = -1
+        while heap_a:
+            neg_red, i = heap_a[0]
+            if not alive[i]:
+                heapq.heappop(heap_a)
+                continue
+            r = float(reduction[i])
+            if r != -neg_red:
+                heapq.heappop(heap_a)
+                if r > 0.0:
+                    heapq.heappush(heap_a, (-r, i))
+                continue
+            pick = i
             break
-        # materialization move per candidate: (P(v), v) -> (AUX, v)
-        ds = es[cg.aux_edge[live]] - es[tree.par_edge[live]]
-        reduction = tree.ret[live] * tree.size[live]  # == -dr
-        valid = within_budget(tree.total_storage + ds, storage_budget) & (
-            reduction > 0.0
-        )
-        if not valid.any():
+        if pick < 0:
+            while heap_b:
+                neg_rho, i, red_c = heap_b[0]
+                if not alive[i]:
+                    heapq.heappop(heap_b)
+                    continue
+                r = float(reduction[i])
+                if r != red_c:
+                    heapq.heappop(heap_b)
+                    if r > 0.0:
+                        heapq.heappush(heap_b, (-r / float(ds[i]), i, r))
+                    continue
+                if not ds[i] + tree.total_storage <= cap:
+                    # ratio phase: total_storage only grows from here on
+                    heapq.heappop(heap_b)
+                    continue
+                pick = i
+                break
+        if pick < 0:
             break
-        inf_tier = valid & (ds <= 0.0)
-        if inf_tier.any():
-            # rho = inf tier: larger reduction wins, first in order on ties
-            pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
-        else:
-            rho = np.full(live.shape, _NEG_INF)
-            np.divide(reduction, ds, out=rho, where=valid)
-            pick = int(np.argmax(rho))
-        best_v = int(live[pick])
-        tree.materialize(best_v)
-        cand = cand[cand != best_v]
+        best_v = int(cand[pick])
+        eid = int(cg.aux_edge[best_v])
+        # apply (P(v), v) -> (AUX, v) in place: the same IEEE float
+        # updates as apply_swap_edge specialized to u = AUX, with the
+        # current subtree resolved from the snapshot labels and the old
+        # ancestors walked as P(v)'s parent chain (O(depth))
+        ds_move = float(es[eid] - es[par_edge[best_v]])
+        dscore = ret[aux] + er[eid] - ret[best_v]
+        dr_move = float(dscore * size[best_v])
+        shift = float(dscore)
+        a = int(tin0[best_v])
+        b = int(tout0[best_v])
+        seg_lab = labels[a : b + 1]
+        sel = seg_lab == labels[a]
+        sub = pre0[a : b + 1][sel]
+        p = int(parent[best_v])
+        anc = []
+        x = p
+        while True:
+            anc.append(x)
+            if x == aux:
+                break
+            x = int(parent[x])
+        anc_arr = np.asarray(anc, dtype=np.int64)
+        sz = int(size[best_v])
+        parent[best_v] = aux
+        par_edge[best_v] = eid
+        size[anc_arr] -= sz
+        size[aux] += sz
+        if shift != 0.0:
+            ret[sub] += shift
+        tree.total_storage += ds_move
+        tree.total_retrieval += dr_move
+        seg_lab[sel] = best_v
+        tree._order_dirty = True
+        tree._children_dirty = True
+        alive[pick] = False
+        n_alive -= 1
         if record is not None:
-            record.append(
-                (int(cg.aux_edge[best_v]), tree.total_storage, tree.total_retrieval)
-            )
-    return cand
+            record.append((eid, tree.total_storage, tree.total_retrieval))
+        touched = pos_of[np.concatenate([sub.astype(np.int64, copy=False), anc_arr])]
+        touched = touched[touched >= 0]
+        nodes = cand[touched]
+        reduction[touched] = ret[nodes] * size[nodes]
+        work += b - a + 1
+        if work >= resnapshot_at:
+            tree.refresh_euler()
+            pre0 = tree._preorder.copy()
+            tin0 = tree._tin.copy()
+            tout0 = tree._tout.copy()
+            labels.fill(-1)
+            tree._order_dirty = True
+            work = 0
+    return cand[alive]
 
 
 def lmg_array(
@@ -178,37 +350,89 @@ def _lmg_all_run(
 
     Mutates ``tree`` in place; ``record`` collects applied moves as in
     :func:`_lmg_run`.
+
+    Incremental: the per-edge move quantities (``nontree``/cycle masks,
+    ``ds``, ``dr``) persist across rounds.  Applying edge ``e = (u, v)``
+    invalidates ``ds`` and ``nontree`` for ``v``'s in-edges (its parent
+    edge changed), ``dr`` for edges incident to ``subtree(v)``
+    (retrieval shifted) or entering an old/new ancestor (size changed),
+    and the cycle mask for edges *leaving* ``subtree(v)`` (the only
+    sources whose ancestor chain changed).  All recomputed with the
+    rescan expressions — state stays bit-equal to a full rescan.
     """
     aux = cg.aux
     src, dst = cg.edge_src, cg.edge_dst
     es, er = cg.edge_storage, cg.edge_retrieval
+    out_indptr, out_edges = cg.out_indptr, cg.out_edges
+    in_indptr, in_edges = cg.in_indptr, cg.in_edges
+    if rounds <= 0:
+        return
+    tree.ensure_euler()
+    tin, tout, preorder = tree._tin, tree._tout, tree._preorder
+    ret, size = tree.ret, tree.size
+
+    # skip current tree edges and moves that would create a cycle
+    # (src inside dst's subtree; AUX sources can never be)
+    nontree = tree.parent[dst] != src
+    cyc = (src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst])
+    ds = es - es[tree.par_edge[dst]]
+    dr = (ret[src] + er - ret[dst]) * size[dst]
+    # budget-independent mask parts, maintained at the invalidation
+    # sites of their inputs (recombinations only — no new float ops).
+    # Algorithm 7 line 9: retrieval must improve (dr < 0)
+    static_ok = nontree & ~cyc & (dr < 0.0)
+    ds_le0 = ds <= 0.0
+    reduction = -dr
 
     for _ in range(rounds):
         if tree.total_storage >= storage_budget:
             break
-        tree.refresh_euler()
-        tin, tout = tree._tin, tree._tout
-        # skip current tree edges and moves that would create a cycle
-        # (src inside dst's subtree; AUX sources can never be)
-        valid = tree.parent[dst] != src
-        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
-        ds = es - es[tree.par_edge[dst]]
-        dr = (tree.ret[src] + er - tree.ret[dst]) * tree.size[dst]
-        valid &= dr < 0.0  # Algorithm 7 line 9: retrieval must improve
-        valid &= within_budget(tree.total_storage + ds, storage_budget)
+        valid = static_ok & within_budget(tree.total_storage + ds, storage_budget)
         if not valid.any():
             break
-        reduction = -dr
-        inf_tier = valid & (ds <= 0.0)
+        inf_tier = valid & ds_le0
         if inf_tier.any():
             pick = int(np.argmax(np.where(inf_tier, reduction, _NEG_INF)))
         else:
             rho = np.full(reduction.shape, _NEG_INF)
             np.divide(reduction, ds, out=rho, where=valid)
             pick = int(np.argmax(rho))
+        v = int(dst[pick])
+        u = int(src[pick])
+        p = int(tree.parent[v])
+        # pre-move invalidation sets (Euler arrays mutate in place)
+        sub = preorder[int(tin[v]) : int(tout[v]) + 1].copy()
+        anc = (tin <= tin[p]) & (tout >= tout[p])
+        anc |= (tin <= tin[u]) & (tout >= tout[u])
         tree.apply_swap_edge(pick)
         if record is not None:
             record.append((pick, tree.total_storage, tree.total_retrieval))
+        # v's parent edge changed: ds / nontree for its in-edges
+        ein = cg.in_slice(v)
+        ds[ein] = es[ein] - es[tree.par_edge[v]]
+        nontree[ein] = src[ein] != u
+        ds_le0[ein] = ds[ein] <= 0.0
+        # retrieval shifted inside subtree(v), sizes changed on the old
+        # and new ancestor chains: dr for every edge touching either set
+        e_out = _csr_gather(out_indptr, out_edges, sub)
+        e_in = _csr_gather(in_indptr, in_edges, sub)
+        e_anc = _csr_gather(in_indptr, in_edges, np.nonzero(anc)[0])
+        touched = np.concatenate([e_out, e_in, e_anc])
+        dr[touched] = (ret[src[touched]] + er[touched] - ret[dst[touched]]) * size[
+            dst[touched]
+        ]
+        reduction[touched] = -dr[touched]
+        # only subtree(v) members' ancestor chains changed: cycle mask
+        # for their out-edges, against the post-move intervals
+        cyc[e_out] = (
+            (src[e_out] != aux)
+            & (tin[dst[e_out]] <= tin[src[e_out]])
+            & (tout[src[e_out]] <= tout[dst[e_out]])
+        )
+        # recombine the static mask where any ingredient changed (ein is
+        # a subset of e_in — v is in its own subtree — so dr is current)
+        sidx = np.concatenate([ein, e_out, touched])
+        static_ok[sidx] = nontree[sidx] & ~cyc[sidx] & (dr[sidx] < 0.0)
 
 
 def lmg_all_array(
@@ -260,12 +484,14 @@ def mp_array(
     best_p = np.full(n, aux, dtype=np.int64)
     attached = np.full(n + 1, -1, dtype=np.int64)
     # heap entries: (storage, retrieval, seq, v, parent) — lazy deletion,
-    # initial order sorted by str to match the reference
-    heap: list[tuple[float, float, int, int, int]] = []
-    seq = 0
-    for v in sorted(range(n), key=lambda i: str(cg.nodes[i])):
-        heap.append((float(best_s[v]), 0.0, seq, v, aux))
-        seq += 1
+    # initial order sorted by str to match the reference (the cached key
+    # array replaces an O(n) re-stringify + sort per solve)
+    init_s = best_s[cg.str_order].tolist()
+    heap: list[tuple[float, float, int, int, int]] = [
+        (s, 0.0, seq, v, aux)
+        for seq, (s, v) in enumerate(zip(init_s, cg.str_order.tolist()))
+    ]
+    seq = len(heap)
     heapq.heapify(heap)
     attach_order: list[tuple[int, int]] = []
 
@@ -300,10 +526,12 @@ def mp_array(
         best_s[sel_w] = sel_s
         best_r[sel_w] = sel_r
         best_p[sel_w] = v
-        for j in range(idx.size):
-            heapq.heappush(
-                heap, (float(sel_s[j]), float(sel_r[j]), seq, int(sel_w[j]), v)
-            )
+        # bulk push: one tolist() per array instead of a numpy scalar
+        # conversion per element; push order (CSR order) is unchanged,
+        # so heap ties still resolve identically
+        push = heapq.heappush
+        for s2, r2, w2 in zip(sel_s.tolist(), sel_r.tolist(), sel_w.tolist()):
+            push(heap, (s2, r2, seq, w2, v))
             seq += 1
 
     assert len(attach_order) == n, "materialization keeps MP feasible"
@@ -344,29 +572,48 @@ def _bmr_run(
     after)`` — the first quantity is exactly the move's feasibility
     check value, which the trajectory sweep replays against tighter
     budgets.
+
+    Incremental like :func:`_lmg_all_run`: per-edge ``ds``, ``shift``
+    and the masks persist across rounds, with ``shift`` touched only by
+    retrieval changes (edges incident to the moved subtree — subtree
+    sizes don't enter it).  The admissibility bound
+    ``submax[dst] + shift`` still needs each round's subtree maxima,
+    served by the plan tree's cached sparse table over the live Euler
+    preorder — no per-round DFS.
     """
     aux = cg.aux
     src, dst = cg.edge_src, cg.edge_dst
     es, er = cg.edge_storage, cg.edge_retrieval
+    out_indptr, out_edges = cg.out_indptr, cg.out_edges
+    in_indptr, in_edges = cg.in_indptr, cg.in_edges
     applied = 0
+    if rounds <= 0:
+        return applied
+    tree.ensure_euler()
+    tin, tout, preorder = tree._tin, tree._tout, tree._preorder
+    ret = tree.ret
+
+    # skip current tree edges and moves that would create a cycle
+    nontree = tree.parent[dst] != src
+    cyc = (src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst])
+    ds = es - es[tree.par_edge[dst]]
+    shift = ret[src] + er - ret[dst]
+    # budget-independent parts of the per-round masks, maintained at the
+    # same invalidation sites as their inputs (pure recombinations of
+    # already-exact state — no new float ops, so no identity risk)
+    static_ok = nontree & ~cyc & (ds < 0.0)
+    shift_le0 = shift <= 0.0
+    reduction = -ds
 
     for _ in range(rounds):
-        tree.refresh_euler()
-        tin, tout = tree._tin, tree._tout
         submax = tree.subtree_max_retrieval()
-        # skip current tree edges and moves that would create a cycle
-        valid = tree.parent[dst] != src
-        valid &= ~((src != aux) & (tin[dst] <= tin[src]) & (tout[src] <= tout[dst]))
-        ds = es - es[tree.par_edge[dst]]
-        valid &= ds < 0.0  # the BMR objective (storage) must strictly improve
-        shift = tree.ret[src] + er - tree.ret[dst]
-        # every version in subtree(dst) shifts by the same amount: the
-        # move is admissible iff the subtree maximum stays within budget
-        valid &= within_budget(submax[dst] + shift, retrieval_budget)
+        # storage must strictly improve (static_ok) and every version in
+        # subtree(dst) shifts by the same amount: the move is admissible
+        # iff the subtree maximum stays within budget
+        valid = static_ok & within_budget(submax[dst] + shift, retrieval_budget)
         if not valid.any():
             break
-        reduction = -ds
-        inf_tier = valid & (shift <= 0.0)
+        inf_tier = valid & shift_le0
         if inf_tier.any():
             # retrieval-non-increasing tier: larger reduction wins,
             # first in edge order on ties
@@ -376,10 +623,34 @@ def _bmr_run(
             np.divide(reduction, shift, out=rho, where=valid)
             pick = int(np.argmax(rho))
         new_submax = float(submax[dst[pick]] + shift[pick])
+        v = int(dst[pick])
+        u = int(src[pick])
+        sub = preorder[int(tin[v]) : int(tout[v]) + 1].copy()
         tree.apply_swap_edge(pick)
         applied += 1
         if record is not None:
             record.append((pick, new_submax, tree.total_storage))
+        # v's parent edge changed: ds / nontree for its in-edges
+        ein = cg.in_slice(v)
+        ds[ein] = es[ein] - es[tree.par_edge[v]]
+        nontree[ein] = src[ein] != u
+        reduction[ein] = -ds[ein]
+        # retrieval shifted inside subtree(v) only (sizes don't enter
+        # shift): recompute it for edges touching the subtree, and the
+        # cycle mask for edges leaving it, on the post-move intervals
+        e_out = _csr_gather(out_indptr, out_edges, sub)
+        e_in = _csr_gather(in_indptr, in_edges, sub)
+        touched = np.concatenate([e_out, e_in])
+        shift[touched] = ret[src[touched]] + er[touched] - ret[dst[touched]]
+        shift_le0[touched] = shift[touched] <= 0.0
+        cyc[e_out] = (
+            (src[e_out] != aux)
+            & (tin[dst[e_out]] <= tin[src[e_out]])
+            & (tout[src[e_out]] <= tout[dst[e_out]])
+        )
+        # recombine the static mask where any ingredient changed
+        sidx = np.concatenate([ein, e_out])
+        static_ok[sidx] = nontree[sidx] & ~cyc[sidx] & (ds[sidx] < 0.0)
     return applied
 
 

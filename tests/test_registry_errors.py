@@ -71,7 +71,9 @@ class TestInvalidBackends:
         name = "lmg" if getter is get_msr_solver else "mp"
         with pytest.raises(KeyError) as exc:
             getter(name, backend="gpu")
-        assert "unknown backend 'gpu'; options: ['array', 'dict']" in str(exc.value)
+        assert "unknown backend 'gpu'; options: ['array', 'dict', 'numba']" in str(
+            exc.value
+        )
 
     def test_backend_error_beats_silent_fallback(self):
         # even for solvers without an array variant, a bogus backend
