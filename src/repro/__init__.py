@@ -26,6 +26,10 @@ Subpackages
 ``repro.vcs``
     A miniature version-control substrate (Myers diff, deltas, commits)
     used to derive "natural" version graphs.
+``repro.store``
+    The plan executor: a content-addressed chunk/delta store that
+    materializes a plan's bytes, checks out any version byte-identically,
+    migrates between plans edge-by-edge, and fscks itself.
 ``repro.gen``
     Synthetic workload generators emulating the paper's datasets.
 ``repro.engine``

@@ -9,6 +9,7 @@ layer                                 rank
 ``repro.core``                           0
 ``repro.gen`` / ``repro.vcs`` /         10
 ``repro.treewidth``
+``repro.store``                         15
 ``repro.algorithms``                    20
 ``repro.fastgraph``                     30
 ``repro.algorithms.registry``           35
@@ -48,6 +49,7 @@ LAYERS: dict[str, int] = {
     "repro.gen": 10,
     "repro.vcs": 10,
     "repro.treewidth": 10,
+    "repro.store": 15,
     "repro.algorithms": 20,
     "repro.fastgraph": 30,
     "repro.algorithms.registry": 35,

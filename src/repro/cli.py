@@ -339,6 +339,193 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_store_budget(graph, spec, budget, budget_factor) -> float:
+    """Fixed budget, or ``factor`` x the spec's lower bound on ``graph``."""
+    if (budget is None) == (budget_factor is None):
+        raise ValueError("pass exactly one of --budget / --budget-factor")
+    if budget is not None:
+        return float(budget)
+    lb = spec.lower_bound_tracker()
+    lb.rebuild(graph)
+    return float(budget_factor) * lb.value()
+
+
+def _store_solve(repo, problem: str, solver: str | None, budget, budget_factor):
+    """Solve the repo's version graph; returns ``(plan, params dict)``.
+
+    Raises ``ValueError`` when the budget is infeasible (plan is None).
+    """
+    from .algorithms.registry import get_solver
+    from .core.problemspec import get_spec
+    from .vcs import build_graph_from_repo
+
+    spec = get_spec(problem)
+    solver = solver or spec.default_engine_solver
+    graph = build_graph_from_repo(repo)
+    resolved = _resolve_store_budget(graph, spec, budget, budget_factor)
+    plan = get_solver(spec.name, solver)(graph, resolved)
+    if plan is None:
+        raise ValueError(
+            f"{spec.budget_kind} budget {resolved:g} is below the minimum achievable"
+        )
+    return plan, {
+        "problem": spec.name,
+        "solver": solver,
+        "budget": resolved,
+        "budget_kind": spec.budget_kind,
+    }
+
+
+def _store_summary(store, repo) -> dict:
+    """The JSON panel emitted by ``store materialize`` / ``migrate``."""
+    raw = sum(c.total_bytes() for c in repo.commits)
+    stored = store.total_bytes()
+    versions = store.versions
+    return {
+        "versions": len(versions),
+        "materialized": sum(1 for v in versions if store.is_materialized(v)),
+        "delta_edges": sum(1 for v in versions if not store.is_materialized(v)),
+        "objects": store.objects.count(),
+        "stored_bytes": stored,
+        "raw_bytes": raw,
+        "dedup_ratio": raw / stored if stored else None,
+        "max_chain_depth": max(
+            (store.chain_depth(v) for v in versions), default=0
+        ),
+    }
+
+
+def _store_repo_from_source(source: dict):
+    """Regenerate the deterministic repository a store was built from."""
+    from .vcs import random_repository
+
+    return random_repository(
+        source["commits"],
+        branch_prob=source["branch_prob"],
+        merge_prob=source["merge_prob"],
+        seed=source["seed"],
+    )
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import MaterializationStore, StoreError
+
+    try:
+        if args.store_command == "materialize":
+            store = MaterializationStore.open(args.dir)
+            if store.versions:
+                print(
+                    "error: store already holds a plan; use `store migrate`",
+                    file=sys.stderr,
+                )
+                return 2
+            from .vcs import random_repository
+
+            repo = random_repository(
+                args.commits,
+                branch_prob=args.branch_prob,
+                merge_prob=args.merge_prob,
+                seed=args.seed,
+            )
+            plan, params = _store_solve(
+                repo, args.problem, args.solver, args.budget, args.budget_factor
+            )
+            store.materialize(repo, plan)
+            store.source = {
+                "commits": args.commits,
+                "seed": args.seed,
+                "branch_prob": args.branch_prob,
+                "merge_prob": args.merge_prob,
+                **params,
+            }
+            store.flush()
+            print(json.dumps(
+                {"source": store.source, **_store_summary(store, repo)},
+                indent=1,
+            ))
+            return 0
+
+        store = MaterializationStore.open(args.dir)
+        if args.store_command == "fsck":
+            findings = store.fsck()
+            print(json.dumps(
+                {
+                    "clean": not findings,
+                    "findings": [dataclasses.asdict(f) for f in findings],
+                },
+                indent=1,
+            ))
+            return 1 if findings else 0
+
+        if args.store_command == "checkout":
+            snap = store.checkout(args.version)
+            total = sum(
+                len(p.encode()) + sum(len(ln.encode()) + 1 for ln in lines)
+                for p, lines in snap.items()
+            )
+            if args.out:
+                out_dir = Path(args.out)
+                for path, lines in snap.items():
+                    target = out_dir / path
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    target.write_text("".join(ln + "\n" for ln in lines))
+                print(f"wrote {len(snap)} files to {args.out}", file=sys.stderr)
+            print(json.dumps(
+                {
+                    "version": args.version,
+                    "digest": store.digest(args.version),
+                    "chain_depth": store.chain_depth(args.version),
+                    "files": len(snap),
+                    "bytes": total,
+                },
+                indent=1,
+            ))
+            return 0
+
+        # migrate: re-solve the recorded instance under new parameters
+        if store.source is None:
+            print(
+                "error: store has no recorded source; only stores built by "
+                "`store materialize` can migrate via the CLI",
+                file=sys.stderr,
+            )
+            return 2
+        source = store.source
+        repo = _store_repo_from_source(source)
+        budget, factor = args.budget, args.budget_factor
+        if budget is None and factor is None:
+            budget = source["budget"]
+        plan, params = _store_solve(
+            repo,
+            args.problem or source["problem"],
+            args.solver or source["solver"],
+            budget,
+            factor,
+        )
+        report = store.sync(plan)
+        store.source = {**source, **params}
+        store.flush()
+        print(json.dumps(
+            {
+                "source": store.source,
+                "edges_written": report.edges_written,
+                "edges_deleted": report.edges_deleted,
+                "edges_rewritten": report.edges_rewritten,
+                "objects_written": report.objects_written,
+                "objects_deleted": report.objects_deleted,
+                **_store_summary(store, repo),
+            },
+            indent=1,
+        ))
+        return 0
+    except (OSError, GraphError, StoreError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"infeasible: {err}", file=sys.stderr)
+        return 1
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from .bench.check import main as check_main
 
@@ -552,6 +739,85 @@ def main(argv: list[str] | None = None) -> int:
         help="relative noise margin for speedup ratios (default 0.5)",
     )
     p_bc.set_defaults(func=_cmd_bench_check)
+
+    p_store = sub.add_parser(
+        "store",
+        help="execute a storage plan against a content-addressed store",
+        description=(
+            "Materialize a solved plan into an on-disk content-addressed "
+            "store, check versions back out byte-identically, migrate the "
+            "store to a re-solved plan rewriting only changed edges, and "
+            "verify integrity with fsck.  See docs/storage.md."
+        ),
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    ps_mat = store_sub.add_parser(
+        "materialize",
+        help="generate a repo, solve it, and materialize the plan",
+    )
+    ps_mat.add_argument("--dir", required=True, help="store directory")
+    ps_mat.add_argument(
+        "--commits", type=int, default=100, help="repository size (default 100)"
+    )
+    ps_mat.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    ps_mat.add_argument(
+        "--branch-prob", type=float, default=0.15, help="branch probability"
+    )
+    ps_mat.add_argument(
+        "--merge-prob", type=float, default=0.05, help="merge probability"
+    )
+    ps_mat.add_argument(
+        "--problem", choices=sorted(SPECS), default="msr", help="problem family"
+    )
+    ps_mat.add_argument(
+        "--solver", default=None, help="solver name (default: the spec's engine solver)"
+    )
+    ps_mat.add_argument("--budget", type=float, default=None, help="absolute budget")
+    ps_mat.add_argument(
+        "--budget-factor",
+        type=float,
+        default=None,
+        help="budget as a multiple of the spec's lower bound",
+    )
+    ps_mat.set_defaults(func=_cmd_store)
+
+    ps_co = store_sub.add_parser(
+        "checkout", help="reconstruct one version byte-identically"
+    )
+    ps_co.add_argument("--dir", required=True, help="store directory")
+    ps_co.add_argument("--version", type=int, required=True, help="version id")
+    ps_co.add_argument("--out", default=None, help="write the files into this directory")
+    ps_co.set_defaults(func=_cmd_store)
+
+    ps_mig = store_sub.add_parser(
+        "migrate",
+        help="re-solve the recorded instance and rewrite only changed edges",
+    )
+    ps_mig.add_argument("--dir", required=True, help="store directory")
+    ps_mig.add_argument(
+        "--problem",
+        choices=sorted(SPECS),
+        default=None,
+        help="switch problem family (default: keep the recorded one)",
+    )
+    ps_mig.add_argument(
+        "--solver", default=None, help="switch solver (default: keep the recorded one)"
+    )
+    ps_mig.add_argument("--budget", type=float, default=None, help="absolute budget")
+    ps_mig.add_argument(
+        "--budget-factor",
+        type=float,
+        default=None,
+        help="budget as a multiple of the spec's lower bound",
+    )
+    ps_mig.set_defaults(func=_cmd_store)
+
+    ps_fsck = store_sub.add_parser(
+        "fsck", help="verify every object hash and replay every delta chain"
+    )
+    ps_fsck.add_argument("--dir", required=True, help="store directory")
+    ps_fsck.set_defaults(func=_cmd_store)
 
     p_lint = sub.add_parser(
         "lint",

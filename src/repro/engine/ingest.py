@@ -28,6 +28,12 @@ attach feasibility, the staleness metric, objective extraction, the
 ``"bmr"``: the budget caps every version's retrieval, objective total
 storage).  The engine itself contains no per-problem branches.
 
+An attached :class:`~repro.store.MaterializationStore`
+(:meth:`IngestEngine.attach_store`) is migrated to the live plan after
+every commit ingest and integrated re-solve — only the tree-diff edges
+are rewritten — so the standing plan is always backed by
+byte-reconstructable storage.
+
 The staleness quantity is an upper-bound *estimate* of relative
 objective drift: a full re-solve can recover at most what the greedy
 attaches added (it may also exploit new edges for old versions, which
@@ -45,6 +51,7 @@ from ..core.graph import GraphError, GraphMutation, Node, VersionGraph
 from ..core.problemspec import get_spec
 from ..core.solution import StoragePlan
 from ..parallel.background import BackgroundResolver
+from ..store import MaterializationStore
 
 __all__ = ["ArrivalStats", "IngestEngine"]
 
@@ -175,6 +182,8 @@ class IngestEngine:
         self._bg_gen = 0  # sync resolves obsolete bg results  # guarded-by: ingest-thread
         self._bg_sub_gen = 0  # generation of the in-flight bg solve  # guarded-by: ingest-thread
         self._log: list[tuple[int, list[tuple[int, int, float, float]]]] = []  # guarded-by: ingest-thread
+        self._store: MaterializationStore | None = None
+        self._store_repo = None  # Repository backing snapshot fetches
         self.graph.subscribe(self._on_mutation)
 
     # ------------------------------------------------------------------
@@ -240,6 +249,45 @@ class IngestEngine:
         if self._tree is None:
             raise GraphError("no plan yet: ingest at least one version")
         return self._tree.to_plan()
+
+    # ------------------------------------------------------------------
+    # attached materialization store
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> MaterializationStore | None:
+        """The attached materialization store (None when detached)."""
+        return self._store
+
+    def attach_store(
+        self, store: MaterializationStore, repo=None
+    ) -> None:
+        """Keep ``store`` current with the live plan from now on.
+
+        After every :meth:`ingest_commit` (and every integrated
+        re-solve) the store is migrated to the live tree — new edges
+        written, stale edges dropped, objects garbage-collected — so a
+        background re-solve lands as a cheap storage migration instead
+        of a rewrite.  Snapshot bytes for arriving versions come from
+        the :class:`~repro.vcs.repo.Repository` passed to
+        :meth:`ingest_commit` (or ``repo`` here); the byte-less
+        :meth:`ingest_version` path cannot feed a store and raises
+        :class:`~repro.store.StoreError` on sync if new versions have
+        no snapshot source.  If the engine already holds a plan, the
+        store is brought current immediately.
+        """
+        self._store = store
+        if repo is not None:
+            self._store_repo = repo
+        if self._tree is not None:
+            self._sync_store()
+
+    def _sync_store(self) -> None:  # holds: ingest-thread
+        """Migrate the attached store to the live plan tree."""
+        if self._store is None or self._tree is None:
+            return
+        repo = self._store_repo
+        fetch = None if repo is None else (lambda v: repo.commits[v].snapshot)
+        self._store.sync(self._tree.to_plan(), fetch=fetch)
 
     # ------------------------------------------------------------------
     # ingest
@@ -358,7 +406,11 @@ class IngestEngine:
             # hence solver tie-breaking) byte-identical
             deltas.append((p, c, float(fwd), float(fwd) * ratio))
             deltas.append((c, p, float(bwd), float(bwd) * ratio))
-        return self.ingest_version(c, float(commit.total_bytes()), deltas)
+        self._store_repo = repo
+        stats = self.ingest_version(c, float(commit.total_bytes()), deltas)
+        if self._store is not None:
+            self._sync_store()
+        return stats
 
     def ingest_repository(self, repo):
         """Stream every commit of ``repo`` in order; yields per-arrival stats."""
@@ -451,7 +503,9 @@ class IngestEngine:
         graph: the solver runs on the (refreshed) incremental compiled
         graph, which equals a fresh compile elementwise.
         """
-        return self._resolve_sync()
+        tree = self._resolve_sync()
+        self._sync_store()
+        return tree
 
     def _trigger_resolve(self) -> bool:  # holds: ingest-thread
         """Threshold hit: re-solve now (sync) or kick off a background one."""
@@ -503,7 +557,11 @@ class IngestEngine:
                 return
 
     def wait(self) -> None:
-        """Block until any in-flight background re-solve is integrated."""
+        """Block until any in-flight background re-solve is integrated.
+
+        An attached store is brought current with the integrated tree.
+        """
         if self._bg is not None and self._bg.busy:
             self._bg.wait()
             self._poll_background()
+            self._sync_store()

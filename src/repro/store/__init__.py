@@ -1,0 +1,44 @@
+"""Content-addressed materialization store — the plan *executor*.
+
+Everything below :mod:`repro.algorithms` decides *which* versions to
+materialize; this package stores and reconstructs the actual bytes.  A
+:class:`MaterializationStore` executes a
+:class:`~repro.core.solution.StoragePlan` over a
+:class:`~repro.vcs.repo.Repository`: materialized versions become
+sha256-addressed, deduplicated full objects (blobs + manifest),
+plan-tree edges become Myers delta objects, ``checkout`` reconstructs
+any version byte-identically (verified against recorded digests),
+``migrate``/``sync`` move between plans touching only the tree-diff
+edges, and ``fsck`` detects corruption with stable finding codes.
+
+See ``docs/storage.md`` for the layout and migration workflow, and
+:meth:`repro.engine.IngestEngine.attach_store` for keeping a store
+current while commits stream in.
+"""
+
+from .codec import StoreError, snapshot_digest
+from .objects import FileObjectStore, MemoryObjectStore, ObjectStore
+from .store import (
+    FSCK_CODES,
+    FsckFinding,
+    MaterializationStore,
+    MigrationReport,
+    StoreOps,
+    materialize,
+    plan_parent_map,
+)
+
+__all__ = [
+    "StoreError",
+    "snapshot_digest",
+    "ObjectStore",
+    "MemoryObjectStore",
+    "FileObjectStore",
+    "MaterializationStore",
+    "MigrationReport",
+    "StoreOps",
+    "FsckFinding",
+    "FSCK_CODES",
+    "materialize",
+    "plan_parent_map",
+]

@@ -1,0 +1,164 @@
+"""Content-addressed object backends for the materialization store.
+
+An *object store* is a flat ``key -> bytes`` map whose keys are the
+sha256 of a type-tagged payload (:func:`repro.store.codec.hash_object`).
+Writing the same payload twice is a no-op — that single property is
+where all deduplication in :mod:`repro.store` comes from: identical
+file contents across versions, identical manifests, identical deltas
+all collapse to one stored object.
+
+Two backends ship:
+
+:class:`MemoryObjectStore`
+    A dict.  The default for tests, benchmarks and the engine-attached
+    store.
+
+:class:`FileObjectStore`
+    A git-style fan-out directory (``objects/ab/cdef…``) used by the
+    ``repro-versioning store`` CLI so a store survives across
+    invocations.
+
+Both expose the same five operations (``put`` / ``get`` / ``delete`` /
+``keys`` / ``total_bytes``); :class:`~repro.store.store.
+MaterializationStore` never cares which one it is driving.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ObjectStore", "MemoryObjectStore", "FileObjectStore"]
+
+
+class ObjectStore:
+    """Abstract ``key -> bytes`` map with content-addressed semantics.
+
+    Subclasses implement the five primitives; ``put`` must be an
+    idempotent no-op when the key already exists (returning False), so
+    byte-identical objects are stored exactly once.
+    """
+
+    def put(self, key: str, data: bytes) -> bool:
+        """Store ``data`` under ``key``; True when the key was new."""
+        raise NotImplementedError
+
+    def get(self, key: str) -> bytes | None:
+        """The stored payload, or None when the key is absent."""
+        raise NotImplementedError
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key``; True when it existed."""
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over every stored key (no order guarantee)."""
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def size_of(self, key: str) -> int:
+        """Payload size in bytes (0 for absent keys)."""
+        data = self.get(key)
+        return 0 if data is None else len(data)
+
+    def total_bytes(self) -> int:
+        """Sum of all stored payload sizes — the store's footprint."""
+        return sum(self.size_of(k) for k in self.keys())
+
+    def count(self) -> int:
+        """Number of stored objects."""
+        return sum(1 for _ in self.keys())
+
+
+class MemoryObjectStore(ObjectStore):
+    """In-process object store backed by a plain dict."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytes] = {}
+
+    def put(self, key: str, data: bytes) -> bool:
+        """Store ``data`` under ``key``; no-op when already present."""
+        if key in self._objects:
+            return False
+        self._objects[key] = bytes(data)
+        return True
+
+    def get(self, key: str) -> bytes | None:
+        """The stored payload, or None."""
+        return self._objects.get(key)
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key``; True when it existed."""
+        return self._objects.pop(key, None) is not None
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over stored keys."""
+        return iter(list(self._objects))
+
+    def total_bytes(self) -> int:
+        """Sum of stored payload sizes."""
+        return sum(len(v) for v in self._objects.values())
+
+    def count(self) -> int:
+        """Number of stored objects."""
+        return len(self._objects)
+
+    # test hook: fault injection needs raw access to corrupt payloads
+    def poke(self, key: str, data: bytes) -> None:
+        """Write ``key``'s payload *without* hashing (tests only).
+
+        Unlike ``put`` this overwrites existing payloads and plants
+        keys that do not hash to their content — exactly the corrupt
+        states ``fsck`` exists to detect.
+        """
+        self._objects[key] = bytes(data)
+
+
+class FileObjectStore(ObjectStore):
+    """Fan-out directory store: ``<root>/objects/<k[:2]>/<k[2:]>``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._objects_dir = self.root / "objects"
+        self._objects_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self._objects_dir / key[:2] / key[2:]
+
+    def put(self, key: str, data: bytes) -> bool:
+        """Store ``data`` under ``key``; no-op when the file exists."""
+        path = self._path(key)
+        if path.exists():
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+        return True
+
+    def get(self, key: str) -> bytes | None:
+        """The stored payload, or None."""
+        path = self._path(key)
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key``; True when it existed."""
+        path = self._path(key)
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over stored keys by walking the fan-out directory."""
+        if not self._objects_dir.is_dir():
+            return
+        for bucket in sorted(self._objects_dir.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for obj in sorted(bucket.iterdir()):
+                yield bucket.name + obj.name

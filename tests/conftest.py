@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Consolidates the ad-hoc setup previously duplicated across
+``test_vcs*.py`` / ``test_engine*.py`` / ``test_sweep_*.py``: seeded
+random repositories, the version graphs derived from them, and the
+span-based budget helpers.  The single implementation lives in
+``tests/helpers.py`` (importable by test modules directly); these
+fixtures are the preferred access path.  Factories cache per parameter
+tuple for the whole session — treat their outputs as **read-only**; a
+test that mutates a repo or graph must build its own.
+
+Also registers the ``slow`` marker used to fence the heavy store /
+engine matrix legs into a dedicated CI job (``pytest -m slow``).
+"""
+
+import pytest
+
+import helpers
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: heavy matrix legs, run as a dedicated CI job (pytest -m slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def repo_factory():
+    """Cached ``(commits, seed, branch_prob, merge_prob) -> Repository``.
+
+    ``repo_factory(40, seed=3)`` returns the same object every call, so
+    heavyweight generation happens once per parameter tuple per session.
+    """
+    return helpers.cached_repo
+
+
+@pytest.fixture(scope="session")
+def graph_factory():
+    """Cached version graph built from ``repo_factory``'s repository.
+
+    Same signature and caching key as ``repo_factory``; the returned
+    :class:`~repro.core.graph.VersionGraph` corresponds byte-for-byte to
+    the repository from the same parameters.
+    """
+    return helpers.cached_graph
+
+
+@pytest.fixture(scope="session")
+def storage_budget():
+    """``storage_budget(graph, span=2.0)`` — span x min-storage cost.
+
+    The minimum achievable MSR storage is the min-storage arborescence
+    over the graph's full-version pseudo-root; multiplying by ``span``
+    yields a feasible budget with known slack, the idiom previously
+    re-implemented in each engine test module.
+    """
+    return helpers.storage_span_budget
+
+
+@pytest.fixture(scope="session")
+def retrieval_budget():
+    """``retrieval_budget(graph, span=2.0)`` — span x max retrieval cost.
+
+    The BMR analogue of :func:`storage_budget`: scaling the graph's
+    worst single-edge retrieval cost gives a feasible max-retrieval
+    budget, the idiom previously local to ``test_engine_bmr.py``.
+    """
+    return helpers.retrieval_span_budget

@@ -258,3 +258,99 @@ class TestFigure:
         rc = main(["figure", "theorem1"])
         assert rc == 0
         assert "gap" in capsys.readouterr().out
+
+
+class TestStore:
+    def materialize(self, tmp_path, capsys, extra=()):
+        rc = main([
+            "store", "materialize", "--dir", str(tmp_path / "s"),
+            "--commits", "30", "--seed", "5", "--budget-factor", "4",
+            *extra,
+        ])
+        assert rc == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_materialize_fsck_checkout_cycle(self, tmp_path, capsys):
+        payload = self.materialize(tmp_path, capsys)
+        assert payload["versions"] >= 30
+        assert payload["stored_bytes"] <= payload["raw_bytes"]
+        assert payload["source"]["seed"] == 5
+
+        rc = main(["store", "fsck", "--dir", str(tmp_path / "s")])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["clean"] is True
+
+        out = tmp_path / "wc"
+        rc = main([
+            "store", "checkout", "--dir", str(tmp_path / "s"),
+            "--version", "7", "--out", str(out),
+        ])
+        assert rc == 0
+        co = json.loads(capsys.readouterr().out)
+        assert co["version"] == 7
+        assert co["files"] == len([p for p in out.rglob("*") if p.is_file()])
+
+    def test_materialize_twice_exits_2(self, tmp_path, capsys):
+        self.materialize(tmp_path, capsys)
+        rc = main([
+            "store", "materialize", "--dir", str(tmp_path / "s"),
+            "--commits", "30", "--seed", "5", "--budget-factor", "4",
+        ])
+        assert rc == 2
+        assert "already holds a plan" in capsys.readouterr().err
+
+    def test_materialize_infeasible_budget_exits_1(self, tmp_path, capsys):
+        rc = main([
+            "store", "materialize", "--dir", str(tmp_path / "s"),
+            "--commits", "30", "--seed", "5", "--budget", "1",
+        ])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_both_budget_flags_exit_1(self, tmp_path, capsys):
+        rc = main([
+            "store", "materialize", "--dir", str(tmp_path / "s"),
+            "--commits", "30", "--budget", "1e9", "--budget-factor", "4",
+        ])
+        assert rc == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_migrate_rewrites_only_diff(self, tmp_path, capsys):
+        self.materialize(tmp_path, capsys)
+        rc = main([
+            "store", "migrate", "--dir", str(tmp_path / "s"),
+            "--budget-factor", "8",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["edges_rewritten"] == (
+            payload["edges_written"] + payload["edges_deleted"]
+        )
+        assert payload["edges_rewritten"] < 2 * payload["versions"]
+        assert payload["source"]["budget_kind"] == "storage"
+
+        rc = main(["store", "fsck", "--dir", str(tmp_path / "s")])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_fsck_detects_on_disk_corruption(self, tmp_path, capsys):
+        self.materialize(tmp_path, capsys)
+        objects = sorted((tmp_path / "s" / "objects").rglob("*"))
+        victim = next(p for p in objects if p.is_file())
+        data = victim.read_bytes()
+        victim.write_bytes(bytes([data[0] ^ 0xFF]) + data[1:])
+
+        rc = main(["store", "fsck", "--dir", str(tmp_path / "s")])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert any(f["code"] == "object-corrupt" for f in payload["findings"])
+
+    def test_checkout_unknown_version_exits_2(self, tmp_path, capsys):
+        self.materialize(tmp_path, capsys)
+        rc = main([
+            "store", "checkout", "--dir", str(tmp_path / "s"),
+            "--version", "999999",
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

@@ -19,7 +19,10 @@ from repro.fastgraph import ArrayPlanTree, CompiledGraph, lmg_array
 from repro.fastgraph.arborescence import min_storage_parent_edges
 from repro.gen import random_digraph
 from repro.parallel import BackgroundResolver
-from repro.vcs import build_graph_from_repo, random_repository
+
+# shared instance/budget helpers live in tests/helpers.py (see conftest)
+from helpers import cached_repo, repo_graph_budget
+from helpers import storage_span_budget as repo_budget
 
 COMPARED_ARRAYS = (
     "node_storage",
@@ -41,12 +44,6 @@ def assert_compiled_equal(a: CompiledGraph, b: CompiledGraph):
     assert a.index == b.index
     for attr in COMPARED_ARRAYS:
         assert np.array_equal(getattr(a, attr), getattr(b, attr)), attr
-
-
-def repo_budget(graph, span=2.0):
-    cg = CompiledGraph(graph)
-    tree = ArrayPlanTree(cg, min_storage_parent_edges(cg))
-    return span * tree.total_storage
 
 
 class TestGraphMutationEvents:
@@ -229,9 +226,7 @@ class TestIngestEngineEquivalence:
     @pytest.mark.parametrize("solver", ["lmg", "lmg-all"])
     @pytest.mark.parametrize("seed", [0, 3])
     def test_post_resolve_plan_identical_to_batch(self, solver, seed):
-        repo = random_repository(60, seed=seed)
-        batch = build_graph_from_repo(repo)
-        budget = repo_budget(batch)
+        repo, batch, budget = repo_graph_budget(60, seed=seed)
         engine = IngestEngine(
             budget=budget, solver=solver, staleness_threshold=0.1
         )
@@ -245,11 +240,12 @@ class TestIngestEngineEquivalence:
         assert_compiled_equal(engine.graph.compile(), CompiledGraph(batch))
 
     def test_ingest_graph_byte_identical_to_batch_graph(self):
-        repo = random_repository(80, seed=5, merge_prob=0.15, branch_prob=0.25)
+        repo, batch, budget = repo_graph_budget(
+            80, seed=5, merge_prob=0.15, branch_prob=0.25
+        )
         assert any(len(c.parents) == 2 for c in repo.commits)  # merges exercised
-        batch = build_graph_from_repo(repo)
         engine = IngestEngine(
-            budget=repo_budget(batch), staleness_threshold=float("inf"), name="repo"
+            budget=budget, staleness_threshold=float("inf"), name="repo"
         )
         for _ in engine.ingest_repository(repo):
             pass
@@ -257,11 +253,8 @@ class TestIngestEngineEquivalence:
         assert_compiled_equal(engine.graph.compile(), CompiledGraph(batch))
 
     def test_live_plan_tree_invariants_hold_between_resolves(self):
-        repo = random_repository(50, seed=6)
-        batch = build_graph_from_repo(repo)
-        engine = IngestEngine(
-            budget=repo_budget(batch), staleness_threshold=float("inf")
-        )
+        repo, _, budget = repo_graph_budget(50, seed=6)
+        engine = IngestEngine(budget=budget, staleness_threshold=float("inf"))
         for _ in engine.ingest_repository(repo):
             pass
         # only one bootstrap solve happened; every other arrival was a
@@ -273,9 +266,8 @@ class TestIngestEngineEquivalence:
         assert plan.is_feasible(engine.graph)
 
     def test_plan_tree_view_roundtrip(self):
-        repo = random_repository(30, seed=7)
-        batch = build_graph_from_repo(repo)
-        engine = IngestEngine(budget=repo_budget(batch))
+        repo, _, budget = repo_graph_budget(30, seed=7)
+        engine = IngestEngine(budget=budget)
         for _ in engine.ingest_repository(repo):
             pass
         cg = engine.graph.compile()
@@ -287,9 +279,8 @@ class TestIngestEngineEquivalence:
 
 class TestIngestEngineBehavior:
     def test_staleness_resets_on_resolve(self):
-        repo = random_repository(60, seed=8)
-        batch = build_graph_from_repo(repo)
-        engine = IngestEngine(budget=repo_budget(batch), staleness_threshold=0.02)
+        repo, _, budget = repo_graph_budget(60, seed=8)
+        engine = IngestEngine(budget=budget, staleness_threshold=0.02)
         saw_reset = False
         prev = 0.0
         for stats in engine.ingest_repository(repo):
@@ -301,7 +292,7 @@ class TestIngestEngineBehavior:
         assert engine.resolves > 1
 
     def test_budget_factor_mode_stays_feasible(self):
-        repo = random_repository(60, seed=9)
+        repo = cached_repo(60, seed=9)
         engine = IngestEngine(budget_factor=4.0, staleness_threshold=0.1)
         for stats in engine.ingest_repository(repo):
             assert stats.storage <= stats.budget * (1 + 1e-9) + 1e-6
@@ -310,7 +301,7 @@ class TestIngestEngineBehavior:
         assert engine.resolves >= 1
 
     def test_infeasible_budget_raises(self):
-        repo = random_repository(20, seed=10)
+        repo = cached_repo(20, seed=10)
         engine = IngestEngine(budget=1.0, staleness_threshold=float("inf"))
         with pytest.raises(ValueError, match="infeasible"):
             for _ in engine.ingest_repository(repo):
@@ -373,9 +364,7 @@ class TestIngestEngineBehavior:
         assert engine.graph.num_versions == 3
 
     def test_out_of_band_mutation_triggers_rebuild(self):
-        repo = random_repository(40, seed=12)
-        batch = build_graph_from_repo(repo)
-        budget = repo_budget(batch)
+        repo, _, budget = repo_graph_budget(40, seed=12)
         engine = IngestEngine(budget=budget, staleness_threshold=float("inf"))
         commits = iter(repo.commits)
         for _ in range(30):
@@ -438,9 +427,7 @@ class TestBackgroundMode:
         # a background solve that fails AFTER a sync resolve superseded
         # it (its captured budget no longer applies) must not abort the
         # ingest stream
-        repo = random_repository(30, seed=14)
-        batch = build_graph_from_repo(repo)
-        budget = repo_budget(batch)
+        repo, batch, budget = repo_graph_budget(30, seed=14)
         engine = IngestEngine(
             budget=budget, staleness_threshold=float("inf"), background=True
         )
@@ -481,9 +468,7 @@ class TestBackgroundMode:
         engine.tree.check_invariants()
 
     def test_background_engine_converges_to_batch_plan(self):
-        repo = random_repository(60, seed=13)
-        batch = build_graph_from_repo(repo)
-        budget = repo_budget(batch)
+        repo, batch, budget = repo_graph_budget(60, seed=13)
         engine = IngestEngine(
             budget=budget,
             solver="lmg",

@@ -14,20 +14,15 @@ from repro.algorithms.registry import get_engine_solver
 from repro.core.tolerance import within_budget, within_budget_recomputed
 from repro.engine import IngestEngine
 from repro.fastgraph import mp_local_array
-from repro.vcs import build_graph_from_repo, random_repository
-
-
-def repo_retrieval_budget(graph, span=2.0):
-    return graph.max_retrieval_cost() * span
+# shared instance/budget helpers live in tests/helpers.py (see conftest)
+from helpers import cached_repo, repo_graph_budget
 
 
 class TestBMREngineEquivalence:
     @pytest.mark.parametrize("solver", ["mp", "mp-local", "bmr-lmg"])
     @pytest.mark.parametrize("seed", [0, 3])
     def test_post_resolve_plan_identical_to_batch(self, solver, seed):
-        repo = random_repository(60, seed=seed)
-        batch = build_graph_from_repo(repo)
-        budget = repo_retrieval_budget(batch)
+        repo, batch, budget = repo_graph_budget(60, seed=seed, problem="bmr")
         engine = IngestEngine(
             problem="bmr", budget=budget, solver=solver, staleness_threshold=0.1
         )
@@ -40,9 +35,7 @@ class TestBMREngineEquivalence:
         assert tree.total_retrieval == ref.total_retrieval
 
     def test_every_arrival_plan_feasible_in_pure_repair_mode(self):
-        repo = random_repository(50, seed=6)
-        batch = build_graph_from_repo(repo)
-        budget = repo_retrieval_budget(batch)
+        repo, _, budget = repo_graph_budget(50, seed=6, problem="bmr")
         engine = IngestEngine(
             problem="bmr", budget=budget, staleness_threshold=float("inf")
         )
@@ -57,9 +50,7 @@ class TestBMREngineEquivalence:
         assert within_budget_recomputed(score_max, budget)
 
     def test_background_engine_converges_to_batch_plan(self):
-        repo = random_repository(60, seed=13)
-        batch = build_graph_from_repo(repo)
-        budget = repo_retrieval_budget(batch)
+        repo, batch, budget = repo_graph_budget(60, seed=13, problem="bmr")
         engine = IngestEngine(
             problem="bmr",
             budget=budget,
@@ -77,12 +68,9 @@ class TestBMREngineEquivalence:
 
 class TestBMREngineBehavior:
     def test_staleness_accumulates_storage_and_resets(self):
-        repo = random_repository(60, seed=8)
-        batch = build_graph_from_repo(repo)
+        repo, _, budget = repo_graph_budget(60, seed=8, problem="bmr")
         engine = IngestEngine(
-            problem="bmr",
-            budget=repo_retrieval_budget(batch),
-            staleness_threshold=0.02,
+            problem="bmr", budget=budget, staleness_threshold=0.02
         )
         saw_reset = False
         prev = 0.0
@@ -153,7 +141,7 @@ class TestBMRBudgetFactor:
     @pytest.mark.parametrize("factor", [1.0, 3.0])
     @pytest.mark.parametrize("seed", [0, 7])
     def test_dynamic_budget_tracks_online_lower_bound(self, factor, seed):
-        repo = random_repository(50, seed=seed)
+        repo = cached_repo(50, seed=seed)
         engine = IngestEngine(
             problem="bmr", budget_factor=factor, staleness_threshold=0.1
         )

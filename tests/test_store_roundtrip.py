@@ -1,0 +1,189 @@
+"""Byte-identity roundtrips through the materialization store.
+
+The acceptance bar for the store executor: for seeded random
+repositories solved under BOTH problem families (MSR storage budget,
+BMR retrieval budget) and BOTH solver backends (dict reference, array
+kernels), materializing the plan and checking out EVERY version must
+reproduce the committed snapshot byte-for-byte, and the store must
+never hold more bytes than the sum of raw snapshots (dedup engaged).
+"""
+
+import pytest
+
+from repro.algorithms.registry import get_solver
+from repro.store import (
+    MaterializationStore,
+    materialize,
+    plan_parent_map,
+    snapshot_digest,
+)
+
+SOLVER = {"msr": "lmg", "bmr": "mp-local"}
+
+#: The fast leg: one instance per (problem, backend) cell.
+FAST_CASES = [
+    ("msr", "dict", 40, 3),
+    ("msr", "array", 40, 3),
+    ("bmr", "dict", 40, 3),
+    ("bmr", "array", 40, 3),
+]
+
+#: The heavy matrix: more commits, more seeds, branchier histories.
+SLOW_CASES = [
+    (problem, backend, commits, seed)
+    for problem in ("msr", "bmr")
+    for backend in ("dict", "array")
+    for commits, seed in ((60, 0), (80, 7))
+]
+
+
+def solve_plan(graph, problem, backend, budget_fn):
+    """A feasible plan for ``graph`` under ``problem`` via ``backend``."""
+    plan = get_solver(problem, SOLVER[problem], backend=backend)(
+        graph, budget_fn(graph)
+    )
+    assert plan is not None, "budget helper produced an infeasible budget"
+    return plan
+
+
+def budget_for(problem, storage_budget, retrieval_budget):
+    return storage_budget if problem == "msr" else retrieval_budget
+
+
+def assert_roundtrip(repo, plan):
+    """Materialize ``plan`` and verify every version byte-identically."""
+    store = materialize(repo, plan)
+    raw_bytes = sum(c.total_bytes() for c in repo.commits)
+    for commit in repo.commits:
+        snap = store.checkout(commit.id)
+        assert snap == commit.snapshot, f"version {commit.id} differs"
+        # dict equality on dict[str, tuple[str, ...]] IS byte identity:
+        # the blob codec encodes exactly these lines joined by newlines
+        assert snapshot_digest(snap) == store.digest(commit.id)
+    assert store.total_bytes() <= raw_bytes, (
+        f"store holds {store.total_bytes()} bytes > "
+        f"{raw_bytes} raw snapshot bytes"
+    )
+    assert store.fsck() == []
+    return store
+
+
+@pytest.mark.parametrize("problem,backend,commits,seed", FAST_CASES)
+def test_roundtrip_fast(
+    problem,
+    backend,
+    commits,
+    seed,
+    repo_factory,
+    graph_factory,
+    storage_budget,
+    retrieval_budget,
+):
+    repo = repo_factory(commits, seed=seed)
+    graph = graph_factory(commits, seed=seed)
+    budget_fn = budget_for(problem, storage_budget, retrieval_budget)
+    plan = solve_plan(graph, problem, backend, budget_fn)
+    assert_roundtrip(repo, plan)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("problem,backend,commits,seed", SLOW_CASES)
+def test_roundtrip_matrix(
+    problem,
+    backend,
+    commits,
+    seed,
+    repo_factory,
+    graph_factory,
+    storage_budget,
+    retrieval_budget,
+):
+    repo = repo_factory(commits, seed=seed, branch_prob=0.25, merge_prob=0.1)
+    graph = graph_factory(commits, seed=seed, branch_prob=0.25, merge_prob=0.1)
+    budget_fn = budget_for(problem, storage_budget, retrieval_budget)
+    plan = solve_plan(graph, problem, backend, budget_fn)
+    assert_roundtrip(repo, plan)
+
+
+def test_dict_and_array_materialize_identically(
+    repo_factory, graph_factory, storage_budget
+):
+    """Plan-identical backends produce object-identical stores."""
+    repo = repo_factory(40, seed=3)
+    graph = graph_factory(40, seed=3)
+    stores = {}
+    for backend in ("dict", "array"):
+        plan = solve_plan(graph, "msr", backend, storage_budget)
+        stores[backend] = materialize(repo, plan)
+    a, b = stores["dict"], stores["array"]
+    assert a.edge_set() == b.edge_set()
+    assert set(a.objects.keys()) == set(b.objects.keys())
+
+
+def test_plan_structure_respected(repo_factory, graph_factory, storage_budget):
+    """Materialized/delta split in the store mirrors the plan exactly."""
+    repo = repo_factory(40, seed=3)
+    graph = graph_factory(40, seed=3)
+    plan = solve_plan(graph, "msr", "dict", storage_budget)
+    store = materialize(repo, plan)
+    parent = plan_parent_map(plan)
+    for v, p in parent.items():
+        assert store.is_materialized(v) == (p is None)
+    assert store.edge_set() == {(p, v) for v, p in parent.items()}
+
+
+def test_file_store_survives_reopen(
+    tmp_path, repo_factory, graph_factory, storage_budget
+):
+    """A directory-backed store reopens byte-identically from disk."""
+    repo = repo_factory(30, seed=5)
+    graph = graph_factory(30, seed=5)
+    plan = solve_plan(graph, "msr", "dict", storage_budget)
+    store = MaterializationStore.open(tmp_path)
+    store.materialize(repo, plan)
+
+    reopened = MaterializationStore.open(tmp_path)
+    for commit in repo.commits:
+        assert reopened.checkout(commit.id) == commit.snapshot
+    assert reopened.fsck() == []
+
+
+def test_checkout_unknown_version_raises(
+    repo_factory, graph_factory, storage_budget
+):
+    from repro.store import StoreError
+
+    repo = repo_factory(30, seed=5)
+    graph = graph_factory(30, seed=5)
+    plan = solve_plan(graph, "msr", "dict", storage_budget)
+    store = materialize(repo, plan)
+    with pytest.raises(StoreError):
+        store.checkout(10**9)
+
+
+def test_engine_attached_store_stays_current(
+    repo_factory, graph_factory, storage_budget
+):
+    """An attached store mirrors the engine's plan after every sync."""
+    from repro.engine import IngestEngine
+    from repro.store import MaterializationStore
+
+    repo = repo_factory(60, seed=3)
+    graph = graph_factory(60, seed=3)
+    budget = storage_budget(graph)
+    engine = IngestEngine(budget=budget, staleness_threshold=0.1)
+    store = MaterializationStore()
+    engine.attach_store(store, repo)
+    for _ in engine.ingest_repository(repo):
+        pass
+    engine.resolve()
+
+    plan = engine.plan()
+    assert store.edge_set() == {
+        (p, v) for v, p in plan_parent_map(plan).items()
+    }
+    for commit in repo.commits:
+        assert store.checkout(commit.id) == commit.snapshot
+    assert store.fsck() == []
+    scratch = materialize(repo, plan)
+    assert set(store.objects.keys()) == set(scratch.objects.keys())

@@ -23,7 +23,8 @@ from repro.fastgraph import (
     lmg_array,
     sweep_greedy,
 )
-from repro.gen import natural_graph
+# shared cached instances live in tests/helpers.py (see conftest)
+from helpers import cached_natural_graph as natural_graph
 from repro.gen.presets import PRESETS
 
 FRESH = {

@@ -25,7 +25,10 @@ from repro.fastgraph import (
     lmg_array,
     sweep_greedy_msr,
 )
-from repro.gen import natural_graph, random_digraph
+from repro.gen import random_digraph
+
+# shared cached instances live in tests/helpers.py (see conftest)
+from helpers import cached_natural_graph as natural_graph
 from repro.gen.presets import PRESETS
 
 SRC_ROOT = Path(__file__).resolve().parents[1] / "src"

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import validate_graph
+from helpers import cached_graph, cached_repo
 from repro.vcs import (
     DeltaScript,
     Repository,
@@ -137,7 +138,7 @@ class TestRepository:
             repo.commit({"f": ("b",)}, branch="ghost")
 
     def test_total_bytes_positive(self):
-        repo = random_repository(10, seed=1)
+        repo = cached_repo(10, seed=1)
         for c in repo.commits:
             assert c.total_bytes() > 0
 
@@ -149,7 +150,7 @@ class TestRandomRepository:
         assert [c.snapshot for c in a.commits] == [c.snapshot for c in b.commits]
 
     def test_size_and_parents(self):
-        repo = random_repository(40, seed=6)
+        repo = cached_repo(40, seed=6)
         assert repo.num_commits >= 40
         for c in repo.commits[1:]:
             assert c.parents
@@ -157,14 +158,14 @@ class TestRandomRepository:
                 assert p < c.id
 
     def test_merges_occur(self):
-        repo = random_repository(120, merge_prob=0.15, branch_prob=0.25, seed=7)
+        repo = cached_repo(120, merge_prob=0.15, branch_prob=0.25, seed=7)
         assert any(len(c.parents) == 2 for c in repo.commits)
 
 
 class TestBuildGraph:
     def test_structure_matches_history(self):
-        repo = random_repository(25, seed=8)
-        g = build_graph_from_repo(repo)
+        repo = cached_repo(25, seed=8)
+        g = cached_graph(25, seed=8)
         validate_graph(g)
         assert g.num_versions == repo.num_commits
         links = sum(len(c.parents) for c in repo.commits)
@@ -184,15 +185,13 @@ class TestBuildGraph:
         assert snapshot_delta_bytes(a, dict(a)) == 1
 
     def test_deltas_cheaper_than_materialization(self):
-        repo = random_repository(30, seed=9)
-        g = build_graph_from_repo(repo)
+        g = cached_graph(30, seed=9)
         assert g.average_delta_storage() < g.average_version_storage()
 
     def test_end_to_end_with_solver(self):
         from repro.algorithms import lmg_all, min_storage_plan_tree
 
-        repo = random_repository(25, seed=10)
-        g = build_graph_from_repo(repo)
+        g = cached_graph(25, seed=10)
         base = min_storage_plan_tree(g).total_storage
         tree = lmg_all(g, base * 1.5)
         assert tree.total_storage <= base * 1.5 + 1e-6

@@ -10,6 +10,7 @@ to two independent diff runs on the preset repositories.
 import pytest
 
 from repro.core import validate_graph
+from helpers import cached_graph, cached_repo
 from repro.vcs import (
     Repository,
     build_graph_from_repo,
@@ -28,7 +29,7 @@ def legacy_pair(a, b):
 class TestPairEqualsTwoRuns:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
     def test_random_repositories(self, seed):
-        repo = random_repository(80, seed=seed)
+        repo = cached_repo(80, seed=seed)
         for c in repo.commits:
             for p in c.parents:
                 a = repo.commits[p].snapshot
@@ -36,7 +37,7 @@ class TestPairEqualsTwoRuns:
                 assert snapshot_delta_bytes_pair(a, b) == legacy_pair(a, b)
 
     def test_branchy_repository_with_merges(self):
-        repo = random_repository(120, merge_prob=0.15, branch_prob=0.25, seed=7)
+        repo = cached_repo(120, merge_prob=0.15, branch_prob=0.25, seed=7)
         assert any(len(c.parents) == 2 for c in repo.commits)
         for c in repo.commits:
             for p in c.parents:
@@ -72,8 +73,8 @@ class TestPairEqualsTwoRuns:
     def test_build_graph_costs_unchanged(self):
         # the graph builder switched to the pair function: costs on a
         # seeded repo must equal the two-run reference edge by edge
-        repo = random_repository(40, seed=9)
-        g = build_graph_from_repo(repo)
+        repo = cached_repo(40, seed=9)
+        g = cached_graph(40, seed=9)
         for c in repo.commits:
             for p in c.parents:
                 fwd, bwd = legacy_pair(repo.commits[p].snapshot, c.snapshot)
