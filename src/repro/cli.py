@@ -339,10 +339,15 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+class _StoreUsageError(Exception):
+    """Invalid store-command flag combination — a usage error (exit 2),
+    distinct from ValueError so it is never reported as infeasible."""
+
+
 def _resolve_store_budget(graph, spec, budget, budget_factor) -> float:
     """Fixed budget, or ``factor`` x the spec's lower bound on ``graph``."""
     if (budget is None) == (budget_factor is None):
-        raise ValueError("pass exactly one of --budget / --budget-factor")
+        raise _StoreUsageError("pass exactly one of --budget / --budget-factor")
     if budget is not None:
         return float(budget)
     lb = spec.lower_bound_tracker()
@@ -464,9 +469,17 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 for p, lines in snap.items()
             )
             if args.out:
-                out_dir = Path(args.out)
+                out_dir = Path(args.out).resolve()
                 for path, lines in snap.items():
-                    target = out_dir / path
+                    # Manifest paths come from the store's own records;
+                    # a tampered store must not escape the output dir.
+                    target = (out_dir / path).resolve()
+                    if Path(path).is_absolute() or not target.is_relative_to(
+                        out_dir
+                    ):
+                        raise StoreError(
+                            f"refusing to write outside {out_dir}: {path!r}"
+                        )
                     target.parent.mkdir(parents=True, exist_ok=True)
                     target.write_text("".join(ln + "\n" for ln in lines))
                 print(f"wrote {len(snap)} files to {args.out}", file=sys.stderr)
@@ -518,7 +531,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
             indent=1,
         ))
         return 0
-    except (OSError, GraphError, StoreError, KeyError) as err:
+    except (OSError, GraphError, StoreError, KeyError, _StoreUsageError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
     except ValueError as err:

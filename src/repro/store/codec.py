@@ -139,15 +139,18 @@ def encode_delta(
     """
     entries: dict[str, object] = {}
     for path in sorted(set(base) | set(target)):
-        old = tuple(base.get(path, ()))
-        new = tuple(target.get(path, ()))
-        if old == new:
-            continue
-        if not new and path not in target:
+        # Presence decides create/delete before content is compared:
+        # an empty file appearing or vanishing has old == new == (), and
+        # a content-first check would silently drop the change.
+        if path not in target:
             entries[path] = {"op": "delete"}
         elif path not in base:
             entries[path] = {"op": "create", "blob": blob_hash_of(path)}
         else:
+            old = tuple(base[path])
+            new = tuple(target[path])
+            if old == new:
+                continue
             script = compute_delta(list(old), list(new))
             ops: list[object] = []
             for op in script.ops:

@@ -25,6 +25,8 @@ MaterializationStore` never cares which one it is driving.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterator
 
@@ -128,12 +130,28 @@ class FileObjectStore(ObjectStore):
         return self._objects_dir / key[:2] / key[2:]
 
     def put(self, key: str, data: bytes) -> bool:
-        """Store ``data`` under ``key``; no-op when the file exists."""
+        """Store ``data`` under ``key``; no-op when the file exists.
+
+        Writes go to a dot-prefixed temp file in the final bucket and
+        are ``os.replace``d into place, so a crash mid-write can never
+        leave a truncated object at its content-addressed key (which
+        the exists-check would otherwise freeze in forever).
+        """
         path = self._path(key)
         if path.exists():
             return False
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(data)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return True
 
     def get(self, key: str) -> bytes | None:
@@ -161,4 +179,6 @@ class FileObjectStore(ObjectStore):
             if not bucket.is_dir():
                 continue
             for obj in sorted(bucket.iterdir()):
+                if obj.name.startswith("."):  # orphaned temp write
+                    continue
                 yield bucket.name + obj.name

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -307,13 +308,39 @@ class TestStore:
         assert rc == 1
         assert "infeasible" in capsys.readouterr().err
 
-    def test_both_budget_flags_exit_1(self, tmp_path, capsys):
+    def test_both_budget_flags_exit_2(self, tmp_path, capsys):
+        # passing both flags is a usage error (exit 2, "error:"), not an
+        # infeasible-budget outcome (exit 1, "infeasible:")
         rc = main([
             "store", "materialize", "--dir", str(tmp_path / "s"),
             "--commits", "30", "--budget", "1e9", "--budget-factor", "4",
         ])
-        assert rc == 1
-        assert "exactly one" in capsys.readouterr().err
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "exactly one" in captured.err
+        assert "infeasible" not in captured.err
+
+    @pytest.mark.parametrize("evil", ["../escape.txt", "/tmp/escape.txt"])
+    def test_checkout_out_refuses_path_escape(
+        self, tmp_path, capsys, monkeypatch, evil
+    ):
+        # a tampered store whose manifest holds absolute or ..-relative
+        # paths must not write outside --out
+        self.materialize(tmp_path, capsys)
+        from repro.store import MaterializationStore
+
+        monkeypatch.setattr(
+            MaterializationStore, "checkout", lambda self, v: {evil: ("pwned",)}
+        )
+        out = tmp_path / "wc"
+        rc = main([
+            "store", "checkout", "--dir", str(tmp_path / "s"),
+            "--version", "7", "--out", str(out),
+        ])
+        assert rc == 2
+        assert "refusing to write outside" in capsys.readouterr().err
+        assert not (tmp_path / "escape.txt").exists()
+        assert not Path("/tmp/escape.txt").exists()
 
     def test_migrate_rewrites_only_diff(self, tmp_path, capsys):
         self.materialize(tmp_path, capsys)
