@@ -28,6 +28,7 @@ max-retrieval budget instead of a storage budget)::
     repro-versioning ingest --problem bmr --commits 200 --budget 900 \
         --solver mp-local
     repro-versioning ingest --problem bmr --commits 200 --budget-factor 3
+    repro-versioning ingest --commits 400 --shards 4 --stitch-every 100
 
 Inspect a dataset preset::
 
@@ -219,12 +220,131 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sharded_ingest(args, repo, budget, budget_factor) -> int:
+    """The ``ingest --shards N`` path: route arrivals across shard engines.
+
+    Commits are diffed against their parents exactly like the
+    single-engine path, then handed to a
+    :class:`~repro.engine.sharded.ShardRouter`; a final cross-shard
+    stitch produces the globally feasible plan the payload reports.
+    """
+    from .engine import ShardRouter
+    from .vcs.build import snapshot_delta_bytes_pair
+
+    try:
+        router = ShardRouter(
+            args.shards,
+            problem=args.problem,
+            solver=args.solver,
+            budget=budget,
+            budget_factor=budget_factor,
+            staleness_threshold=args.staleness,
+            background=args.background,
+            stitch_interval=args.stitch_every,
+            name=f"ingest-{args.seed}",
+        )
+    except (KeyError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    every = max(1, args.every)
+    entries = []
+    total_seconds = 0.0
+    try:
+        with router:
+            for commit in repo.commits:
+                deltas = []
+                for p in commit.parents:
+                    fwd, bwd = snapshot_delta_bytes_pair(
+                        repo.commits[p].snapshot, commit.snapshot
+                    )
+                    deltas.append((p, commit.id, float(fwd), float(fwd)))
+                    deltas.append((commit.id, p, float(bwd), float(bwd)))
+                stats = router.ingest_version(
+                    commit.id, float(commit.total_bytes()), deltas
+                )
+                total_seconds += stats.seconds
+                if commit.id % every == 0 or commit.id == repo.num_commits - 1:
+                    entry = dataclasses.asdict(stats)
+                    entry["shard"] = router.shard_of(commit.id)
+                    entries.append(entry)
+            plan = router.stitch()
+    except GraphError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except ValueError as err:
+        print(f"infeasible: {err}", file=sys.stderr)
+        return 1
+
+    union = router.union_graph()
+    payload = {
+        "problem": router.spec.name,
+        "mode": "online-sharded",
+        "budget_kind": router.spec.budget_kind,
+        "solver": router.solver_name,
+        "commits": repo.num_commits,
+        "seed": args.seed,
+        "budget": budget,
+        "budget_factor": budget_factor,
+        "shards": args.shards,
+        "stitch_every": args.stitch_every,
+        "staleness_threshold": (
+            None if args.staleness == float("inf") else args.staleness
+        ),
+        "background": args.background,
+        "entries": entries,
+        "summary": {
+            "versions": union.num_versions,
+            "deltas": union.num_deltas,
+            "shard_versions": [s.graph.num_versions for s in router.shards],
+            "resolves": sum(s.resolves for s in router.shards),
+            "stitches": router.stitches,
+            "stitched_objective": router.stitched_objective,
+            "stitched_feasible": plan.is_feasible(union),
+            "materialized": len(plan.materialized),
+            "stored_deltas": len(plan.stored_deltas),
+            "total_seconds": total_seconds,
+            "mean_arrival_seconds": total_seconds / max(1, repo.num_commits),
+        },
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=1, allow_nan=False))
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.format in ("markdown", "both"):
+        from .bench.harness import markdown_table
+
+        headers = ["index", "shard", "storage", "retrieval", "staleness", "resolved"]
+        rows = [
+            [e["index"], e["shard"], e["storage"], e["retrieval"],
+             round(e["staleness"], 6), e["resolved"]]
+            for e in entries
+        ]
+        s = payload["summary"]
+        print(
+            f"## {router.spec.name.upper()} sharded ingest — "
+            f"{args.shards} shards\n"
+        )
+        print(markdown_table(headers, rows))
+        print()
+        print(
+            f"{s['versions']} versions, {s['deltas']} deltas, "
+            f"{s['resolves']} shard re-solves, {s['stitches']} stitches, "
+            f"stitched objective {s['stitched_objective']}"
+        )
+    if args.format in ("json", "both"):
+        print(json.dumps(payload, indent=1, allow_nan=False))
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from .engine import IngestEngine
     from .vcs import random_repository
 
     if args.budget is not None and args.budget_factor is not None:
         print("error: pass --budget or --budget-factor, not both", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
     budget = args.budget
     budget_factor = args.budget_factor if budget is None else None
@@ -239,6 +359,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         merge_prob=args.merge_prob,
         seed=args.seed,
     )
+    if args.shards > 1:
+        return _run_sharded_ingest(args, repo, budget, budget_factor)
     try:
         engine = IngestEngine(
             problem=args.problem,
@@ -708,6 +830,20 @@ def main(argv: list[str] | None = None) -> int:
         "--background",
         action="store_true",
         help="run threshold re-solves on a background thread",
+    )
+    p_ing.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the stream across N shard engines and stitch a "
+        "global plan at the end (default 1 = single engine)",
+    )
+    p_ing.add_argument(
+        "--stitch-every",
+        type=int,
+        default=None,
+        help="with --shards > 1: also re-stitch the global plan every "
+        "K arrivals (default: only the final stitch)",
     )
     p_ing.add_argument(
         "--every",

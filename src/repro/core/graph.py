@@ -122,14 +122,18 @@ class GraphMutation:
         ``"add_version"`` (a brand-new version), ``"update_version"``
         (storage cost of an existing version changed), ``"add_delta"``
         (a brand-new edge), ``"update_delta"`` (an existing edge's costs
-        changed, e.g. ``keep_cheapest`` merges) or ``"remove_delta"``.
+        changed, e.g. ``keep_cheapest`` merges), ``"remove_delta"`` or
+        ``"remove_version"`` (retirement; only emitted once every
+        incident delta has already been removed).
     u:
         Edge source for delta events; ``None`` for version events.
     v:
-        The version added/updated, or the edge destination.
+        The version added/updated/removed, or the edge destination.
     storage / retrieval:
         The costs now in effect (``retrieval`` is 0.0 for version
-        events; both are 0.0 for ``remove_delta``).
+        events).  Detach events carry the costs that *were* in effect so
+        incremental listeners (online lower bounds, compiled tombstones)
+        can undo per-node aggregates without rescanning the graph.
     """
 
     kind: str
@@ -141,6 +145,11 @@ class GraphMutation:
     #: Event kinds that only ever *append* state (never touch existing
     #: nodes/edges) — the kinds an incremental compile can absorb.
     APPEND_KINDS = frozenset({"add_version", "add_delta"})
+
+    #: Event kinds that *remove* state.  The compiled cache absorbs
+    #: these too (tombstone + lazy compaction); only in-place cost
+    #: updates still invalidate it wholesale.
+    DETACH_KINDS = frozenset({"remove_version", "remove_delta"})
 
 
 class VersionGraph:
@@ -162,9 +171,11 @@ class VersionGraph:
     listeners (:meth:`subscribe`).  The compiled-array cache is the
     built-in consumer: pure append events (new versions, new deltas) are
     applied to the cached :class:`~repro.fastgraph.compiled.
-    CompiledGraph` *in place*, so online ingest keeps one compiled
-    snapshot alive across thousands of arrivals; any other mutation
-    (cost updates, removals) still invalidates the cache.
+    CompiledGraph` *in place*, and detach events (retired versions,
+    removed deltas) are absorbed as tombstones compacted lazily at the
+    next :meth:`compile`, so online ingest keeps one compiled snapshot
+    alive across thousands of arrivals and retirements; in-place cost
+    updates still invalidate the cache.
     """
 
     __slots__ = ("_storage", "_edges", "_succ", "_pred", "_compiled", "_listeners", "name")
@@ -295,14 +306,40 @@ class VersionGraph:
         )
 
     def remove_delta(self, u: Node, v: Node) -> None:
-        """Delete the delta ``u -> v``; raises :class:`GraphError` when absent."""
+        """Delete the delta ``u -> v``; raises :class:`GraphError` when absent.
+
+        The emitted event carries the removed edge's old costs so
+        incremental listeners can undo per-node aggregates.
+        """
         try:
-            del self._edges[(u, v)]
+            old = self._edges.pop((u, v))
         except KeyError:
             raise GraphError(f"no delta {u!r}->{v!r}") from None
         del self._succ[u][v]
         del self._pred[v][u]
-        self._mutated(GraphMutation("remove_delta", u, v))
+        self._mutated(GraphMutation("remove_delta", u, v, old.storage, old.retrieval))
+
+    def remove_version(self, v: Node) -> None:
+        """Retire version ``v``: drop its incident deltas, then the node.
+
+        Incident deltas are removed first through :meth:`remove_delta`
+        (each emitting its own event with the old costs), then a final
+        ``"remove_version"`` event is emitted carrying the retired
+        node's storage cost.  Raises :class:`GraphError` when ``v`` is
+        unknown or is :data:`AUX`.
+        """
+        if v is AUX:
+            raise GraphError("cannot remove the auxiliary root")
+        if v not in self._storage:
+            raise GraphError(f"unknown version {v!r}")
+        for u in list(self._pred[v]):
+            self.remove_delta(u, v)
+        for w in list(self._succ[v]):
+            self.remove_delta(v, w)
+        old_storage = self._storage.pop(v)
+        del self._succ[v]
+        del self._pred[v]
+        self._mutated(GraphMutation("remove_version", None, v, old_storage))
 
     # ------------------------------------------------------------------
     # queries
@@ -453,6 +490,18 @@ class VersionGraph:
             self._compiled = CompiledGraph(self)
         else:
             self._compiled.refresh()
+        return self._compiled
+
+    @property
+    def compiled_cache(self) -> "CompiledGraph | None":
+        """The cached compiled graph *without* refreshing it.
+
+        Mid-stream consumers (the ingest engine's plan repair) read
+        pending-state accessors off the live compiled object between
+        re-solves; calling :meth:`compile` there would compact slot
+        numbering under the live plan tree.  ``None`` when no compile
+        has happened or the cache was invalidated.
+        """
         return self._compiled
 
     # ------------------------------------------------------------------

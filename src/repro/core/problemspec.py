@@ -71,8 +71,21 @@ class LowerBoundTracker(Protocol):
     ) -> None:
         """Account a new delta into ``v`` (``node_storage`` = ``s_v``)."""
 
+    def remove_delta(
+        self, v: Node, storage: float, retrieval: float, graph: VersionGraph
+    ) -> None:
+        """Un-account the removed delta into ``v`` with the given old costs.
+
+        ``graph`` is the post-removal graph, consulted only when the
+        removed edge was the one backing ``v``'s tracked aggregate (a
+        bounded rescan of ``v``'s surviving predecessors).
+        """
+
+    def remove_version(self, v: Node) -> None:
+        """Un-account retired version ``v`` (its deltas already removed)."""
+
     def rebuild(self, graph: VersionGraph) -> None:
-        """Recompute from scratch (after cost updates / removals)."""
+        """Recompute from scratch (after cost updates)."""
 
     def value(self) -> float:
         """The current lower bound."""
@@ -122,8 +135,38 @@ class _StorageLowerBound:
             self._min_in[v] = storage
             self._push_gap(v, node_storage - storage)
 
+    def remove_delta(
+        self, v: Node, storage: float, retrieval: float, graph: VersionGraph
+    ) -> None:
+        """Un-account a removed delta into ``v`` (old costs supplied).
+
+        Only a removal of the *current* cheapest in-edge can move the
+        bound; then ``v``'s surviving predecessors are rescanned
+        (bounded by ``in_degree(v)``, not the graph).
+        """
+        cur = self._min_in.get(v)
+        if cur is None or storage > cur:
+            return  # removed edge was not the tracked minimum
+        s_v = graph.storage_cost(v)
+        new_min = min(
+            (d.storage for d in graph.predecessors(v).values()),
+            default=math.inf,
+        )
+        new_min = min(new_min, s_v)
+        if new_min != cur:
+            self._min_in_sum += new_min - cur
+            self._min_in[v] = new_min
+            self._push_gap(v, s_v - new_min)
+
+    def remove_version(self, v: Node) -> None:
+        """Un-account retired version ``v`` (its deltas already removed)."""
+        cur = self._min_in.pop(v, None)
+        if cur is not None:
+            self._min_in_sum -= cur
+        self._gap.pop(v, None)  # heap entries go stale; value() skips them
+
     def rebuild(self, graph: VersionGraph) -> None:
-        """Recompute from scratch (after cost updates / removals)."""
+        """Recompute from scratch (after cost updates)."""
         self._reset()
         for v in graph.versions:
             min_in = min(
@@ -190,8 +233,40 @@ class _RetrievalLowerBound:
             heapq.heappush(self._heap, (-retrieval, self._seq, v))
             self._seq += 1
 
+    def remove_delta(
+        self, v: Node, storage: float, retrieval: float, graph: VersionGraph
+    ) -> None:
+        """Un-account a removed delta into ``v`` (old costs supplied).
+
+        Only a removal matching ``v``'s tracked minimum can move the
+        bound; then the surviving qualifying predecessors are rescanned
+        (bounded by ``in_degree(v)``).
+        """
+        if self._bound.get(v) != retrieval:
+            return  # removed edge was not (tied with) the tracked minimum
+        s_v = graph.storage_cost(v)
+        bound = min(
+            (
+                d.retrieval
+                for d in graph.predecessors(v).values()
+                if d.storage < s_v
+            ),
+            default=math.inf,
+        )
+        if math.isfinite(bound):
+            if bound != self._bound[v]:
+                self._bound[v] = bound
+                heapq.heappush(self._heap, (-bound, self._seq, v))
+                self._seq += 1
+        else:
+            del self._bound[v]  # heap entries go stale; value() skips them
+
+    def remove_version(self, v: Node) -> None:
+        """Un-account retired version ``v`` (its deltas already removed)."""
+        self._bound.pop(v, None)  # heap entries go stale; value() skips them
+
     def rebuild(self, graph: VersionGraph) -> None:
-        """Recompute from scratch (after cost updates / removals)."""
+        """Recompute from scratch (after cost updates)."""
         self._reset()
         for v in graph.versions:
             s_v = graph.storage_cost(v)

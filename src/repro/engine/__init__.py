@@ -17,14 +17,28 @@ into a staged online one:
     new version via its cheapest feasible edge, and tracks a staleness
     bound that triggers full re-solves (LMG family via the solver
     registry) — synchronously or on a background thread
-    (:class:`repro.parallel.BackgroundResolver`).
+    (:class:`repro.parallel.BackgroundResolver`).  Versions can also
+    *leave*: :meth:`IngestEngine.retire_version` removes a version
+    incrementally (compiled-graph tombstones + O(depth) plan repair
+    that re-homes orphaned children) instead of invalidating the
+    compiled arrays wholesale.
+
+:class:`ShardRouter`
+    Partitions the arrival stream across independent per-shard engines
+    so concurrent writers ingest in parallel, journals every operation,
+    and periodically stitches the shard plans into one globally
+    feasible plan by re-solving the union instance — identical to what
+    a single engine would produce from the same traffic
+    (:mod:`repro.engine.sharded`).
 
 The equivalence contract: after any ingest sequence followed by
 :meth:`IngestEngine.resolve`, the plan is identical to a from-scratch
 solve on the final graph, and the incrementally extended compiled graph
 equals a fresh ``compile()`` elementwise (``tests/test_engine.py``).
+Retirement keeps both halves of the contract (``tests/test_retire.py``).
 """
 
 from .ingest import ArrivalStats, IngestEngine
+from .sharded import ShardRouter, default_shard_key
 
-__all__ = ["ArrivalStats", "IngestEngine"]
+__all__ = ["ArrivalStats", "IngestEngine", "ShardRouter", "default_shard_key"]

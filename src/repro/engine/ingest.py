@@ -182,6 +182,8 @@ class IngestEngine:
         self._bg_gen = 0  # sync resolves obsolete bg results  # guarded-by: ingest-thread
         self._bg_sub_gen = 0  # generation of the in-flight bg solve  # guarded-by: ingest-thread
         self._log: list[tuple[int, list[tuple[int, int, float, float]]]] = []  # guarded-by: ingest-thread
+        self._compact_pending = False  # dead compiled slots await compaction  # guarded-by: ingest-thread
+        self._retiring = False  # inside retire_version's graph surgery  # guarded-by: ingest-thread
         self._store: MaterializationStore | None = None
         self._store_repo = None  # Repository backing snapshot fetches
         self.graph.subscribe(self._on_mutation)
@@ -189,9 +191,12 @@ class IngestEngine:
     # ------------------------------------------------------------------
     # event-driven bookkeeping
     # ------------------------------------------------------------------
-    def _on_mutation(self, event: GraphMutation) -> None:
+    def _on_mutation(self, event: GraphMutation) -> None:  # holds: ingest-thread
         if event.kind == "add_version":
-            self._index[event.v] = len(self._index)
+            # slot = len(_nodes), not len(_index): retired versions keep
+            # their (dead) slot until compaction, matching the compiled
+            # graph's slot assignment exactly
+            self._index[event.v] = len(self._nodes)
             self._nodes.append(event.v)
             self._lb.add_version(event.v, event.storage)
         elif event.kind == "add_delta":
@@ -202,13 +207,40 @@ class IngestEngine:
                 event.retrieval,
                 self.graph.storage_cost(event.v),
             )
+        elif event.kind in GraphMutation.DETACH_KINDS:
+            # retirement: the lower bound undoes the detached
+            # contribution incrementally and the compiled slot / edge id
+            # stays allocated (dead) until the next re-solve compacts,
+            # so no bookkeeping rebuild is needed.  _num_real_edges is a
+            # monotone edge-id counter (mirroring the compiled graph's
+            # pre-compaction `_m_real`), so removals leave it alone.
+            if event.kind == "remove_delta":
+                self._lb.remove_delta(
+                    event.v, event.storage, event.retrieval, self.graph
+                )
+            else:
+                self._index.pop(event.v, None)  # _nodes keeps the dead slot
+                self._lb.remove_version(event.v)
+            self._compact_pending = True
+            if not self._retiring:
+                # out-of-band removal (straight on the graph): the live
+                # tree was not repaired — force a re-solve next ingest
+                self._dirty = True
         else:
-            # cost updates / removals shift edge ids and the lower
+            # cost updates shift the compiled arrays and the lower
             # bound — rebuild from the graph before the next decision
             self._dirty = True
 
-    def _rebuild_bookkeeping(self) -> None:
+    def _rebuild_bookkeeping(self) -> None:  # holds: ingest-thread
         g = self.graph
+        if self._compact_pending:
+            # compact retired slots out of the compiled arrays first, so
+            # the interning rebuilt below (live versions only) matches
+            # the compiled slot space exactly
+            cached = g.compiled_cache
+            if cached is not None:
+                cached.refresh()
+            self._compact_pending = False
         self._nodes = g.versions
         self._index = {v: i for i, v in enumerate(self._nodes)}
         self._num_real_edges = g.num_deltas
@@ -363,9 +395,15 @@ class IngestEngine:
             self._resolve_sync()
             resolved = True
         else:
+            covered = False
             if self._bg is not None:
-                self._poll_background()
-            if not self._attach(self._index[v], candidates):
+                # a replay-infeasible integration re-solves the whole
+                # graph, which already includes this arrival: attaching
+                # it again would double-append
+                covered = self._poll_background()
+            if covered:
+                resolved = True
+            elif not self._attach(self._index[v], candidates):
                 self._resolve_sync()  # repair infeasible under the budget
                 resolved = True
             elif self.staleness_bound > self.staleness_threshold:
@@ -416,6 +454,142 @@ class IngestEngine:
         """Stream every commit of ``repo`` in order; yields per-arrival stats."""
         for commit in repo.commits:
             yield self.ingest_commit(repo, commit)
+
+    # ------------------------------------------------------------------
+    # retirement
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _in_subtree(tree, u: int, root: int) -> bool:
+        """True when slot ``u`` lies inside ``root``'s subtree.
+
+        An O(depth) parent walk — the tree's Euler intervals may be
+        stale mid-repair, so they cannot be trusted here.
+        """
+        aux = tree.num_versions
+        x = u
+        while 0 <= x != aux:
+            if x == root:
+                return True
+            x = int(tree.parent[x])
+        return False
+
+    def retire_version(self, v: Node) -> None:  # holds: ingest-thread
+        """Retire version ``v``: remove it from the graph, repair the plan.
+
+        The graph removal is incremental — the compiled arrays tombstone
+        the slot (compaction waits for the next full re-solve) and the
+        budget lower bound undoes ``v``'s contribution event by event.
+        Plan repair re-homes each tree child of ``v`` (subtree and all)
+        through its cheapest feasible surviving edge — lexicographic
+        ``(edge storage, resulting retrieval)``, parents in graph order,
+        materialization last, the same rule as arrival repair — then
+        detaches ``v``'s row in O(depth).  Cost: O(depth) per size walk
+        plus O(|subtree|) per re-homed child; independent of graph size.
+
+        Falls back to a synchronous full re-solve when a child cannot be
+        re-homed within the budget (mirroring arrival repair), and
+        raises :class:`GraphError` for unknown or still-unsolved
+        versions only via the graph's own validation.  An attached store
+        is migrated afterwards, garbage-collecting ``v``'s objects.
+        An in-flight background solve still contains ``v``, so its
+        result is obsoleted; the next threshold re-solve runs
+        synchronously (it also compacts the tombstoned slots).
+        """
+        g = self.graph
+        if v not in g:
+            raise GraphError(f"unknown version {v!r}")
+        tree = self._tree
+        if tree is None or self._dirty:
+            # no coherent live plan to repair: plain graph removal — the
+            # next ingest re-solves from scratch anyway
+            self._retiring = True
+            try:
+                g.remove_version(v)
+            finally:
+                self._retiring = False
+            self._dirty = True
+            self._tree = None
+            return
+        vi = self._index[v]
+        aux = tree.num_versions
+        cg = g.compiled_cache  # eager id lookups; compile() would compact
+        assert cg is not None, "live tree without a compiled cache"
+        # capture everything the repair needs before the edges vanish
+        par_slot = int(tree.parent[vi])
+        if par_slot == aux:
+            par_edge_storage = float(g.storage_cost(v))
+        else:
+            par_edge_storage = float(
+                g.predecessors(v)[self._nodes[par_slot]].storage
+            )
+        tree._ensure_children()
+        child_slots = list(tree.children[vi])
+        old_edge_storage = {
+            ci: float(g.predecessors(self._nodes[ci])[v].storage)
+            for ci in child_slots
+        }
+        self._retiring = True
+        try:
+            g.remove_version(v)
+        finally:
+            self._retiring = False
+        self._bg_gen += 1  # an in-flight background solve still contains v
+        budget = self.current_budget()
+        spec = self.spec
+        for ci in child_slots:
+            node_c = self._nodes[ci]
+            old_ret = float(tree.ret[ci])
+            old_s = old_edge_storage[ci]
+            # max retrieval inside the moving subtree (BMR feasibility:
+            # every member shifts by the same delta)
+            sub_max = old_ret
+            stack = [ci]
+            while stack:
+                y = stack.pop()
+                r = float(tree.ret[y])
+                if r > sub_max:
+                    sub_max = r
+                stack.extend(tree.children[y])
+            options = [
+                (self._index[u], d.storage, d.retrieval)
+                for u, d in g.predecessors(node_c).items()
+            ]
+            options.append((aux, float(g.storage_cost(node_c)), 0.0))
+            best = None
+            best_key = None
+            for p_idx, s, r in options:
+                if p_idx != aux and self._in_subtree(tree, p_idx, ci):
+                    continue  # re-homing under a descendant = a cycle
+                new_ret = 0.0 if p_idx == aux else float(tree.ret[p_idx]) + r
+                feas = spec.attach_feasible(
+                    tree, budget, sub_max + (new_ret - old_ret), s - old_s
+                )
+                if not feas:
+                    continue
+                key = (s, new_ret)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (p_idx, s, r)
+            if best is None:
+                # no surviving edge fits the budget: re-solve everything
+                self._resolve_sync()
+                self._sync_store()
+                return
+            p_idx, s, r = best
+            eid = cg.edge_id(p_idx, ci)  # tree aux slot == cg.aux
+            sz = int(tree.size[ci])
+            new_ret = 0.0 if p_idx == aux else float(tree.ret[p_idx]) + r
+            new_max = tree.rehome_subtree(ci, p_idx, eid, s, r, old_s)
+            drift = spec.attach_cost(s - old_s, (new_ret - old_ret) * sz)
+            if drift > 0.0:
+                self._pending_obj += drift
+            if new_max > self._max_ret:
+                self._max_ret = new_max
+        tree.detach_version(vi, par_edge_storage)
+        self._max_ret = tree.max_retrieval()
+        if self.staleness_bound > self.staleness_threshold:
+            self._trigger_resolve()  # sync: compacts the tombstones too
+        self._sync_store()
 
     # ------------------------------------------------------------------
     # repair
@@ -479,7 +653,7 @@ class IngestEngine:
     # re-solves
     # ------------------------------------------------------------------
     def _resolve_sync(self):  # holds: ingest-thread
-        if self._dirty:
+        if self._dirty or self._compact_pending:
             self._rebuild_bookkeeping()
         self._bg_gen += 1  # any in-flight background result is now stale
         cg = self.graph.compile()
@@ -509,7 +683,11 @@ class IngestEngine:
 
     def _trigger_resolve(self) -> bool:  # holds: ingest-thread
         """Threshold hit: re-solve now (sync) or kick off a background one."""
-        if self._bg is None:
+        if self._bg is None or self._compact_pending:
+            # retirement tombstones pending: snapshotting would compact
+            # the live compiled arrays while the live tree still speaks
+            # the pre-compaction slot space — resolve synchronously,
+            # which rebuilds tree and bookkeeping together
             self._resolve_sync()
             return True
         if not self._bg.busy:
@@ -520,15 +698,22 @@ class IngestEngine:
             self._bg.submit(self._solver, snapshot, budget)
         return False
 
-    def _poll_background(self) -> None:  # holds: ingest-thread
+    def _poll_background(self) -> bool:  # holds: ingest-thread
+        """Collect and integrate a finished background solve, if any.
+
+        Returns True when integration fell back to a synchronous full
+        re-solve: the fresh tree then already covers *every* graph
+        version — including an arrival the caller added just before
+        polling — so the caller must skip its own attach.
+        """
         outcome = self._bg.poll()
         if outcome is None:
-            return
+            return False
         if self._bg_sub_gen != self._bg_gen:
             # a sync resolve superseded this solve while it ran: its
             # result — and in particular its *failure* against a budget
             # that no longer applies — is obsolete either way
-            return
+            return False
         ok, value = outcome
         if not ok:
             # mirror _resolve_sync's failure contract: null the tree so
@@ -554,7 +739,8 @@ class IngestEngine:
                 # state and a synchronous solve over everything
                 self._tree = old_tree
                 self._resolve_sync()
-                return
+                return True
+        return False
 
     def wait(self) -> None:
         """Block until any in-flight background re-solve is integrated.
@@ -565,3 +751,28 @@ class IngestEngine:
             self._bg.wait()
             self._poll_background()
             self._sync_store()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Shut down the background resolver; idempotent.
+
+        Joins the resolver thread (bounded by ``timeout``) and discards
+        any uncollected outcome — the live tree already covers every
+        arrival, so nothing is lost.  A closed engine keeps working in
+        synchronous-resolve mode; closing an engine that never had a
+        background resolver is a no-op.
+        """
+        bg = self._bg
+        if bg is None:
+            return
+        self._bg = None  # further resolves go synchronous
+        bg.shutdown(timeout)
+
+    def __enter__(self) -> "IngestEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Deterministic teardown: no resolver thread outlives the block."""
+        self.close()

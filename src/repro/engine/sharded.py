@@ -1,0 +1,318 @@
+"""Sharded multi-writer ingest: per-shard engines + cross-shard stitch.
+
+One :class:`~repro.engine.ingest.IngestEngine` owns one global graph,
+so every writer serializes through it and every re-solve runs over the
+whole instance.  :class:`ShardRouter` partitions the version stream
+into ``num_shards`` independent engines — each with its own
+:class:`~repro.core.graph.VersionGraph`, compiled arrays and (optional)
+background resolver — so concurrent writers make progress in parallel:
+
+* **Routing** — a version lands on ``shard_key(v) % num_shards``
+  (CRC32 of the version's repr by default; pass ``shard_key`` to route
+  by branch / subtree / tenant so related versions share a shard and
+  their deltas stay local).
+* **Local vs cross deltas** — a delta whose endpoints share a shard is
+  ingested into that shard's graph and participates in its standing
+  plan.  A *cross-shard* delta cannot live in either shard's graph;
+  it is journaled and only the periodic stitch exploits it.
+* **Journal** — every arrival / retirement is appended to a global
+  ordered journal under the router lock.  The journal is the single
+  source of truth for the union instance: replaying it builds the
+  exact graph a single engine would have built from the same traffic.
+* **Stitch** — :meth:`ShardRouter.stitch` replays the journal into a
+  union :class:`VersionGraph` and runs the registered solver on it at
+  the union budget, producing one *globally feasible*
+  :class:`~repro.core.solution.StoragePlan` that may route through
+  cross-shard deltas the per-shard plans cannot see.  Because the
+  journal preserves arrival order (the kernels' tie-breaking order),
+  the stitched plan is **identical** to a single-engine re-solve over
+  the same traffic — pinned by tests, not just "within tolerance".
+  The stitch runs from a journal snapshot without holding any shard
+  lock, so writers keep ingesting while it solves; readers get the
+  last stitched plan from :meth:`global_plan` (an immutable snapshot —
+  reads never block writes).
+
+Locking: the router state (journal, placement map, stitched plan) is
+``# guarded-by: _lock`` and checked by the ``lock-discipline`` rule;
+each shard engine is additionally serialized by its own writer lock in
+``_shard_locks`` (engines are single-threaded by contract — see the
+``ingest-thread`` token in :mod:`repro.engine.ingest`).  Lock order is
+always router lock first, shard lock second, never both ways.
+"""
+
+from __future__ import annotations
+
+import zlib
+import threading
+from typing import Callable, Iterable
+
+from ..core.graph import GraphError, Node, VersionGraph
+from ..core.problemspec import get_spec
+from ..core.solution import StoragePlan
+from ..algorithms.registry import get_engine_solver
+from .ingest import ArrivalStats, IngestEngine
+
+__all__ = ["ShardRouter", "default_shard_key"]
+
+
+def default_shard_key(v: Node) -> int:
+    """Stable content hash of a version id (CRC32 of its ``repr``)."""
+    return zlib.crc32(repr(v).encode("utf-8"))
+
+
+class ShardRouter:
+    """Route a mixed arrival/retirement stream across shard engines.
+
+    Parameters mirror :class:`~repro.engine.ingest.IngestEngine` (each
+    shard engine is constructed with them) plus:
+
+    num_shards:
+        Number of independent shard engines (≥ 1).
+    shard_key:
+        ``Node -> int`` routing hash; same key ⇒ same shard.  Defaults
+        to :func:`default_shard_key`.  Route by branch/tenant here to
+        keep related versions (and their deltas) on one shard.
+    stitch_interval:
+        Run :meth:`stitch` automatically every this-many arrivals
+        (``None`` disables; call :meth:`stitch` yourself).
+    budget:
+        A fixed budget applies to the *union* instance; each shard
+        engine runs under an equal ``budget / num_shards`` slice (the
+        stitch re-solve uses the full budget).  ``budget_factor`` needs
+        no split — every shard scales its own online lower bound.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        *,
+        problem: str = "msr",
+        solver: str | None = None,
+        budget: float | None = None,
+        budget_factor: float | None = None,
+        staleness_threshold: float = 0.1,
+        background: bool = False,
+        retrieval_ratio: float = 1.0,
+        shard_key: Callable[[Node], int] | None = None,
+        stitch_interval: int | None = None,
+        name: str = "sharded",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        if (budget is None) == (budget_factor is None):
+            raise ValueError("pass exactly one of budget / budget_factor")
+        if stitch_interval is not None and stitch_interval < 1:
+            raise ValueError(f"bad stitch interval {stitch_interval!r}")
+        self.spec = get_spec(problem)
+        self.num_shards = int(num_shards)
+        self.solver_name = (
+            solver if solver is not None else self.spec.default_engine_solver
+        )
+        self._solver = get_engine_solver(self.spec.name, self.solver_name)
+        self._budget = None if budget is None else float(budget)
+        self._budget_factor = (
+            None if budget_factor is None else float(budget_factor)
+        )
+        self._shard_key = shard_key if shard_key is not None else default_shard_key
+        self.stitch_interval = stitch_interval
+        self.name = name
+        shard_budget = None if budget is None else float(budget) / num_shards
+        self._shards = [
+            IngestEngine(
+                problem=problem,
+                solver=self.solver_name,
+                budget=shard_budget,
+                budget_factor=budget_factor,
+                staleness_threshold=staleness_threshold,
+                background=background,
+                retrieval_ratio=retrieval_ratio,
+                name=f"{name}-{i}",
+            )
+            for i in range(num_shards)
+        ]
+        self._shard_locks = [threading.Lock() for _ in range(num_shards)]
+        self._lock = threading.Lock()
+        # the global arrival/retirement journal: ("add", v, storage,
+        # deltas) / ("retire", v) in router-observed order — replaying
+        # it rebuilds the union instance a single engine would hold
+        self._journal: list[tuple] = []  # guarded-by: _lock
+        self._where: dict[Node, int] = {}  # version -> shard id  # guarded-by: _lock
+        self._stitched: StoragePlan | None = None  # guarded-by: _lock
+        self._stitched_obj = float("nan")  # guarded-by: _lock
+        self._since_stitch = 0  # arrivals since the last stitch  # guarded-by: _lock
+        self._stitches = 0  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, v: Node) -> int:
+        """The shard index version ``v`` routes to."""
+        return self._shard_key(v) % self.num_shards
+
+    @property
+    def shards(self) -> list[IngestEngine]:
+        """The shard engines (index == shard id)."""
+        return list(self._shards)
+
+    @property
+    def num_versions(self) -> int:
+        """Live versions across all shards."""
+        with self._lock:
+            return len(self._where)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def ingest_version(
+        self,
+        v: Node,
+        storage: float,
+        deltas: Iterable[tuple[Node, Node, float, float]] = (),
+    ) -> ArrivalStats:
+        """Ingest one version; safe to call from concurrent writers.
+
+        Same-shard deltas go straight into the shard engine (attach
+        candidates, standing plan); cross-shard deltas are journaled
+        for the next :meth:`stitch`.  Raises
+        :class:`~repro.core.graph.GraphError` on duplicate versions or
+        deltas referencing versions the router has never seen.
+        """
+        deltas = [(u, w, float(s), float(r)) for u, w, s, r in deltas]
+        sid = self.shard_of(v)
+        with self._lock:
+            if v in self._where:
+                raise GraphError(f"version {v!r} already ingested")
+            for u, w, _s, _r in deltas:
+                other = w if u == v else u
+                if v not in (u, w):
+                    raise GraphError(f"delta {u!r}->{w!r} is not incident to {v!r}")
+                if other not in self._where:
+                    raise GraphError(
+                        f"unknown version {other!r}; ingest it first"
+                    )
+            local = [
+                d for d in deltas if self._where.get(d[0] if d[0] != v else d[1], sid) == sid
+            ]
+            self._where[v] = sid
+            self._journal.append(("add", v, float(storage), tuple(deltas)))
+            self._since_stitch += 1
+            due = (
+                self.stitch_interval is not None
+                and self._since_stitch >= self.stitch_interval
+            )
+        try:
+            with self._shard_locks[sid]:
+                stats = self._shards[sid].ingest_version(v, storage, local)
+        except Exception:
+            with self._lock:
+                # roll the journal entry back so the stitch never sees
+                # a version its shard rejected
+                self._where.pop(v, None)
+                for i in range(len(self._journal) - 1, -1, -1):
+                    if self._journal[i][1] == v:
+                        del self._journal[i]
+                        break
+            raise
+        if due:
+            self.stitch()
+        return stats
+
+    def retire_version(self, v: Node) -> None:
+        """Retire ``v`` from its shard; safe under concurrent writers.
+
+        The shard engine repairs its plan incrementally
+        (:meth:`IngestEngine.retire_version`); journaled cross-shard
+        deltas touching ``v`` die with it at the next stitch replay.
+        """
+        with self._lock:
+            sid = self._where.pop(v, None)
+            if sid is None:
+                raise GraphError(f"unknown version {v!r}")
+            self._journal.append(("retire", v))
+        with self._shard_locks[sid]:
+            self._shards[sid].retire_version(v)
+
+    # ------------------------------------------------------------------
+    # cross-shard stitch
+    # ------------------------------------------------------------------
+    def union_graph(self) -> VersionGraph:
+        """Replay the journal into the union :class:`VersionGraph`.
+
+        The graph a *single* engine would hold after the same traffic:
+        every live version, every delta (cross-shard ones included),
+        in journal order — so compiled interning and solver
+        tie-breaking match a single-engine run exactly.
+        """
+        with self._lock:
+            journal = list(self._journal)
+        g = VersionGraph(name=f"{self.name}-union")
+        for entry in journal:
+            if entry[0] == "add":
+                _, v, storage, deltas = entry
+                g.add_version(v, storage)
+                for u, w, s, r in deltas:
+                    g.add_delta(u, w, s, r)
+            else:
+                g.remove_version(entry[1])
+        return g
+
+    def stitch(self) -> StoragePlan:
+        """Cross-shard re-solve: one globally feasible plan.
+
+        Replays the journal into the union graph and solves it with the
+        registered kernel at the union budget.  Runs without shard
+        locks — writers keep ingesting; arrivals that land mid-stitch
+        appear in the *next* stitch.  The result (and its objective)
+        replaces the :meth:`global_plan` snapshot atomically.
+        """
+        g = self.union_graph()
+        cg = g.compile()
+        if self._budget is not None:
+            budget = self._budget
+        else:
+            lb = self.spec.lower_bound_tracker()
+            lb.rebuild(g)
+            budget = self._budget_factor * lb.value()
+        tree = self._solver(cg, budget)
+        plan = tree.to_plan()
+        obj = self.spec.tree_objective(tree)
+        with self._lock:
+            self._stitched = plan
+            self._stitched_obj = obj
+            self._since_stitch = 0
+            self._stitches += 1
+        return plan
+
+    def global_plan(self) -> StoragePlan | None:
+        """The last stitched plan (immutable snapshot; never blocks
+        writers), or ``None`` before the first stitch."""
+        with self._lock:
+            return self._stitched
+
+    @property
+    def stitched_objective(self) -> float:
+        """Objective of the last stitched plan (NaN before the first)."""
+        with self._lock:
+            return self._stitched_obj
+
+    @property
+    def stitches(self) -> int:
+        """Number of cross-shard stitches performed so far."""
+        with self._lock:
+            return self._stitches
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Shut down every shard's background resolver; idempotent."""
+        for i, shard in enumerate(self._shards):
+            with self._shard_locks[i]:
+                shard.close(timeout)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Deterministic teardown: no resolver thread outlives the block."""
+        self.close()

@@ -16,8 +16,8 @@ attribute lookup is one array load.  Within a source node the CSR slice
 preserves successor insertion order, matching
 ``VersionGraph.successors(u)`` iteration.
 
-Incremental appends
--------------------
+Incremental appends and detaches
+--------------------------------
 Online ingest grows a graph one version at a time, and recompiling the
 whole thing per arrival is O(V + E) *interpreter* work.  A compiled
 graph therefore absorbs pure append mutations in place
@@ -28,6 +28,17 @@ pending buffers, the integer-keyed lookups (``index``, :meth:`edge_id`,
 are rebuilt lazily by :meth:`refresh` with vectorized NumPy passes
 (concatenate + stable argsort CSR) — identical, elementwise, to a
 from-scratch compile of the final graph.
+
+Detach mutations (``remove_delta`` / ``remove_version`` — version
+retirement) are absorbed too: the removed edge ids / node slots are
+*tombstoned* and the next :meth:`refresh` compacts them out with
+vectorized masks, renumbering survivors while preserving relative
+insertion order.  The compacted result is elementwise-equal to a fresh
+compile of the post-retirement graph.  Between refreshes the scalar
+lookups stay coherent with a *slot* numbering that still includes dead
+slots (``n`` / ``aux`` count them; ``index`` does not resolve retired
+nodes; ``num_edges`` counts live edges only), so plan repair can keep
+working in the pre-compaction id space and re-solve after the compile.
 
 Two id-stability rules follow from the canonical edge layout (real
 deltas first, AUX edges after):
@@ -155,6 +166,8 @@ class CompiledGraph:
         "_node_store",
         "_pend_nodes",
         "_pend_edges",
+        "_dead_nodes",
+        "_dead_edges",
         "_owns_graph",
         "_stale",
         "index_dtype",
@@ -218,6 +231,8 @@ class CompiledGraph:
 
         self._pend_nodes: list[float] = []
         self._pend_edges: list[tuple[int, int, float, float]] = []
+        self._dead_nodes: set[int] = set()
+        self._dead_edges: set[int] = set()
         self.num_edges = m + n
         self._stale = True
         self.refresh()
@@ -226,16 +241,23 @@ class CompiledGraph:
     # incremental appends
     # ------------------------------------------------------------------
     def apply_mutation(self, event: GraphMutation) -> bool:
-        """Absorb a pure append mutation; False = cache must be dropped.
+        """Absorb an append or detach mutation; False = cache dropped.
 
         ``add_version`` interns the new node (taking over the old AUX
         index, AUX moves to ``n + 1``) and schedules its storage cost and
         materialization edge; ``add_delta`` assigns the next real edge id
-        eagerly and buffers the costs.  Every other mutation kind — cost
-        updates, removals — returns False so the owning graph falls back
-        to full invalidation.
+        eagerly and buffers the costs.  ``remove_delta`` /
+        ``remove_version`` tombstone the edge id / node slot for the
+        next :meth:`refresh` to compact out (lazily — removals are
+        amortized into the next re-solve's compile).  Cost updates
+        (``update_version`` / ``update_delta``) return False so the
+        owning graph falls back to full invalidation.
         """
-        if not self._owns_graph or event.kind not in GraphMutation.APPEND_KINDS:
+        if not self._owns_graph:
+            return False
+        if event.kind in GraphMutation.DETACH_KINDS:
+            return self._apply_detach(event)
+        if event.kind not in GraphMutation.APPEND_KINDS:
             return False
         ext = self.graph
         if event.kind == "add_version":
@@ -263,15 +285,46 @@ class CompiledGraph:
         self._stale = True
         return True
 
-    def refresh(self) -> "CompiledGraph":
-        """Fold pending appends into the flat arrays.
+    def _apply_detach(self, event: GraphMutation) -> bool:
+        """Tombstone a removed edge / retired version for lazy compaction.
 
-        Amortized O(V + E) *vectorized* work (array concatenation plus a
-        stable argsort per CSR direction), against the O(V + E)
-        interpreter loops of a from-scratch compile.  No-op when nothing
-        is pending.  The rebuilt arrays are fresh objects — previously
-        returned arrays (e.g. held by a :meth:`snapshot`) are never
-        mutated in place.
+        The pre-compaction *slot* numbering is left intact (``n`` /
+        ``aux`` still count dead slots; real edge ids keep their eager
+        assignment) so mid-stream consumers holding node indices stay
+        coherent until the next :meth:`refresh`.  ``num_edges`` drops
+        eagerly to the live count.
+        """
+        ext = self.graph
+        if event.kind == "remove_delta":
+            ui = self.index[event.u]
+            vi = self.index[event.v]
+            eid = self._edge_index.pop((ui, vi))
+            self._dead_edges.add(eid)
+            self.num_edges -= 1
+            ext.remove_delta(event.u, event.v)
+        else:  # remove_version — incident deltas already removed upstream
+            vi = self.index.pop(event.v)
+            self._dead_nodes.add(vi)
+            self.num_edges -= 1  # the (AUX, v) materialization edge
+            self._str_order = None  # dead slots must drop out of scan order
+            ext.remove_version(event.v)
+        self._stale = True
+        return True
+
+    def refresh(self) -> "CompiledGraph":
+        """Fold pending appends and compact tombstones into the arrays.
+
+        Amortized O(V + E) *vectorized* work (array concatenation, mask
+        compaction when detaches are pending, plus a stable argsort per
+        CSR direction), against the O(V + E) interpreter loops of a
+        from-scratch compile.  No-op when nothing is pending.  The
+        rebuilt arrays are fresh objects — previously returned arrays
+        (e.g. held by a :meth:`snapshot`) are never mutated in place.
+
+        Compaction renumbers surviving nodes and edges densely while
+        preserving relative insertion order, which keeps the result
+        elementwise-equal to a fresh compile of the post-retirement
+        graph (dicts preserve survivor order under deletion).
         """
         if not self._stale:
             return self
@@ -301,6 +354,35 @@ class CompiledGraph:
                 [self._r_er, np.array([e[3] for e in pend], dtype=np.float64)]
             )
             self._pend_edges = []
+        compacted = False
+        if self._dead_edges:
+            keep = np.ones(len(self._r_src), dtype=bool)
+            keep[np.fromiter(self._dead_edges, dtype=np.int64)] = False
+            self._r_src = self._r_src[keep]
+            self._r_dst = self._r_dst[keep]
+            self._r_es = self._r_es[keep]
+            self._r_er = self._r_er[keep]
+            self._m_real = len(self._r_src)
+            self._dead_edges = set()
+            compacted = True
+        if self._dead_nodes:
+            alive = np.ones(self.n, dtype=bool)
+            alive[np.fromiter(self._dead_nodes, dtype=np.int64)] = False
+            remap = np.cumsum(alive) - 1  # old slot -> compacted index
+            idt = self.index_dtype
+            self._r_src = remap[self._r_src].astype(idt, copy=False)
+            self._r_dst = remap[self._r_dst].astype(idt, copy=False)
+            self._node_store = self._node_store[alive]
+            self.nodes = [v for i, v in enumerate(self.nodes) if alive[i]]
+            self.n = len(self.nodes)
+            self.aux = self.n
+            self.index = {v: i for i, v in enumerate(self.nodes)}
+            self.index[AUX] = self.n
+            self._dead_nodes = set()
+            self._str_order = None
+            compacted = True
+        if compacted:
+            self._rebuild_edge_index()
         n = self.n
         m = self._m_real
         idt = self.index_dtype
@@ -317,6 +399,19 @@ class CompiledGraph:
         self.in_indptr, self.in_edges = _csr_from_keys(self.edge_dst, n + 1, idt)
         self._stale = False
         return self
+
+    def _rebuild_edge_index(self) -> None:
+        """Renumber ``(src, dst) -> eid`` after a compaction pass.
+
+        O(m) interpreter work, paid only when detaches were pending —
+        the same cost a fresh compile's interning loop pays.
+        """
+        self._edge_index = {
+            (int(u), int(v)): eid
+            for eid, (u, v) in enumerate(
+                zip(self._r_src.tolist(), self._r_dst.tolist())
+            )
+        }
 
     def snapshot(self) -> "CompiledGraph":
         """Frozen shallow copy for off-thread solves.
@@ -362,6 +457,8 @@ class CompiledGraph:
         new._str_order = self._str_order
         new._pend_nodes = []
         new._pend_edges = []
+        new._dead_nodes = set()
+        new._dead_edges = set()
         new._owns_graph = False
         new._stale = False
         return new

@@ -91,6 +91,13 @@ class ArrayPlanTree:
         "_rmq_table",
         "_rmq_lo",
         "_rmq_hi",
+        "_cap",
+        "_parent_buf",
+        "_par_edge_buf",
+        "_ret_buf",
+        "_size_buf",
+        "_tin_buf",
+        "_tout_buf",
     )
 
     def __init__(self, cg: CompiledGraph, parent_edges: list[tuple[int, int]]):
@@ -125,6 +132,15 @@ class ArrayPlanTree:
         # refresh can be partial
         self._rmq_lo = 1 << 62
         self._rmq_hi = -1
+        # guarded-by: tree-owner — amortized-growth backing buffers for
+        # the six per-node arrays (see append_version); 0 = not buffered
+        self._cap = 0
+        self._parent_buf: np.ndarray | None = None
+        self._par_edge_buf: np.ndarray | None = None
+        self._ret_buf: np.ndarray | None = None
+        self._size_buf: np.ndarray | None = None
+        self._tin_buf: np.ndarray | None = None
+        self._tout_buf: np.ndarray | None = None
 
         seen = 0
         for v, eid in parent_edges:
@@ -227,7 +243,9 @@ class ArrayPlanTree:
                 extend(c)
         idt = self.parent.dtype
         order = np.array(order_list, dtype=idt)
-        pos = np.empty(len(order), dtype=idt)
+        # detached (dead) rows are unreachable from AUX: their positions
+        # stay -1, which every interval-containment mask excludes
+        pos = np.full(len(self.parent), -1, dtype=idt)
         pos[order] = np.arange(len(order), dtype=idt)
         self._preorder = order
         self._tin = pos
@@ -281,7 +299,9 @@ class ArrayPlanTree:
             return
         if u != cg.aux and self.is_ancestor(v, u):
             raise GraphError(f"swap would create a cycle: {u} is in subtree({v})")
-        if self._order_dirty:
+        # the fresh path's preorder scatter assumes every slot is live;
+        # with detached (dead) rows present the python walk runs instead
+        if self._order_dirty or len(self._preorder) != len(self.parent):
             self._apply_swap_python(eid, u, v)
         else:
             self._apply_swap_fresh(eid, u, v)
@@ -421,6 +441,124 @@ class ArrayPlanTree:
         """Shortcut: re-route version index ``v`` through its AUX edge."""
         self.apply_swap_edge(int(self.cg.aux_edge[v]))
 
+    # ------------------------------------------------------------------
+    # retirement (online version removal)
+    # ------------------------------------------------------------------
+    def detach_version(self, v: int, edge_storage: float) -> None:
+        """Remove leaf version index ``v`` from the plan (retirement).
+
+        ``edge_storage`` is the storage cost of ``v``'s current parent
+        edge, passed explicitly because the compiled arrays may already
+        have tombstoned it.  ``v`` must be a leaf — the caller re-homes
+        its children first (:meth:`rehome_subtree`).  O(depth): one size
+        walk up to AUX.
+
+        The slot becomes a *dead row* (``parent[v] == -1`` with ``v !=
+        aux``): it keeps its position so every other slot's numbering —
+        shared with the engine's bookkeeping and the pre-compaction
+        compiled graph — stays intact until the next full re-solve.
+        Dead rows are skipped by the exporters (:meth:`to_plan`,
+        :meth:`parent_map`, :meth:`retrieval_summary`) and excluded
+        from the Euler order; trees carrying dead rows support appends,
+        detaches, re-homes and exports, but not the fresh swap path or
+        :meth:`subtree_max_retrieval` (re-solves rebuild the tree on a
+        compacted graph first).
+        """
+        aux = len(self.parent) - 1
+        p = int(self.parent[v])
+        if not (0 <= v < aux) or p < 0:
+            raise GraphError(f"cannot detach index {v}: not a live version")
+        if int(self.size[v]) != 1:
+            raise GraphError(
+                f"cannot detach index {v}: {int(self.size[v]) - 1} "
+                "dependants still attach through it"
+            )
+        self._ensure_children()
+        self.children[p].remove(v)
+        self.total_retrieval -= float(self.ret[v])
+        self.total_storage -= float(edge_storage)
+        x = p
+        while True:
+            self.size[x] -= 1
+            if x == aux:
+                break
+            x = int(self.parent[x])
+        self.parent[v] = -1
+        self.par_edge[v] = -1
+        self.ret[v] = 0.0
+        self.size[v] = 1
+        self._order_dirty = True
+
+    def rehome_subtree(
+        self,
+        v: int,
+        new_parent: int,
+        par_eid: int,
+        edge_storage: float,
+        edge_retrieval: float,
+        old_edge_storage: float,
+    ) -> float:
+        """Re-route ``v`` (subtree and all) under ``new_parent``.
+
+        The plan-repair move for retirement: when a retired version's
+        tree child must find a new parent, the whole child subtree moves
+        with it.  All edge costs are passed explicitly (the compiled
+        arrays may be mid-tombstone); ``par_eid`` is recorded for
+        bookkeeping only.  The caller must ensure ``new_parent`` is not
+        inside ``v``'s subtree (an O(depth) parent walk — the Euler
+        intervals may be stale here).
+
+        O(depth) size walks plus an O(|subtree(v)|) retrieval shift
+        walk.  Returns the maximum retrieval cost inside the moved
+        subtree after the move, which is exactly the quantity BMR
+        feasibility checks need.
+        """
+        aux = len(self.parent) - 1
+        p = int(self.parent[v])
+        u = int(new_parent)
+        if p < 0 or not (0 <= v < aux):
+            raise GraphError(f"cannot re-home index {v}: not a live version")
+        if u == v or not (0 <= u <= aux) or (u != aux and self.parent[u] < 0):
+            raise GraphError(f"bad re-home parent index {u}")
+        shift = float(self.ret[u] + edge_retrieval - self.ret[v])
+
+        self._ensure_children()
+        self.children[p].remove(v)
+        self.children[u].append(v)
+        self.parent[v] = u
+        self.par_edge[v] = par_eid
+
+        sz = int(self.size[v])
+        x = p
+        while True:
+            self.size[x] -= sz
+            if x == aux:
+                break
+            x = int(self.parent[x])
+        x = u
+        while True:
+            self.size[x] += sz
+            if x == aux:
+                break
+            x = int(self.parent[x])
+
+        sub_max = -np.inf
+        stack = [v]
+        children = self.children
+        ret = self.ret
+        while stack:
+            y = stack.pop()
+            if shift != 0.0:
+                ret[y] += shift
+            r = float(ret[y])
+            if r > sub_max:
+                sub_max = r
+            stack.extend(children[y])
+        self.total_storage += float(edge_storage) - float(old_edge_storage)
+        self.total_retrieval += shift * sz
+        self._order_dirty = True
+        return sub_max
+
     def subtree_max_retrieval(self) -> np.ndarray:
         """Per-node max retrieval cost over each node's subtree.
 
@@ -506,8 +644,12 @@ class ArrayPlanTree:
         reads the (possibly snapshotted or mid-append) compiled arrays;
         ``par_eid`` is recorded for bookkeeping only.
 
-        O(V) for the AUX renumber + array growth, O(depth) for subtree
-        sizes — no full recompute.  Returns the new version's index.
+        Amortized O(1) array growth (the six per-node arrays are views
+        into capacity-doubling backing buffers), O(#materialized) for
+        the AUX renumber (a fancy-index over AUX's child list instead
+        of a full-array mask scan), O(depth) for subtree sizes — this
+        is what keeps per-arrival ingest latency flat as the graph
+        grows.  Returns the new version's index.
         """
         old_len = len(self.parent)
         old_aux = old_len - 1  # AUX slot == old version count
@@ -520,7 +662,8 @@ class ArrayPlanTree:
         idt = self.parent.dtype
         if max(new_aux, par_eid) > np.iinfo(idt).max:
             # the graph outgrew this tree's index dtype (mirrors
-            # CompiledGraph.refresh's in-place upgrade)
+            # CompiledGraph.refresh's in-place upgrade); the narrow
+            # backing buffers are dropped and re-allocated below
             idt = np.dtype(np.int64)
             self.parent = self.parent.astype(idt)
             self.par_edge = self.par_edge.astype(idt)
@@ -529,26 +672,54 @@ class ArrayPlanTree:
             self._tout = self._tout.astype(idt)
             self._preorder = self._preorder.astype(idt)
             self._iota = None
+            self._cap = 0
 
-        parent = np.append(self.parent, idt.type(-1))
-        parent[parent == old_aux] = new_aux
+        self._ensure_children()  # before growth: built from the old parent
+        aux_children = self.children[old_aux]
+
+        new_len = old_len + 1
+        if self._cap < new_len:
+            cap = max(2 * old_len, new_len, 8)
+            for name in (
+                "parent",
+                "par_edge",
+                "ret",
+                "size",
+                "_tin",
+                "_tout",
+            ):
+                cur = getattr(self, name)
+                buf = np.empty(cap, dtype=cur.dtype)
+                buf[:old_len] = cur
+                setattr(self, ("" if name[0] == "_" else "_") + name + "_buf", buf)
+            self._cap = cap
+        # the public arrays are always views of the buffers once capped,
+        # so extending a view preserves all previously written slots
+        parent = self._parent_buf[:new_len]
+        par_edge = self._par_edge_buf[:new_len]
+        ret = self._ret_buf[:new_len]
+        size = self._size_buf[:new_len]
+        self._tin = self._tin_buf[:new_len]
+        self._tout = self._tout_buf[:new_len]
+
+        # AUX moves up one slot: re-parent exactly its children (the
+        # materialized versions) instead of mask-scanning every node
+        if aux_children:
+            parent[np.asarray(aux_children, dtype=idt)] = new_aux
         parent[new_aux] = -1
+        parent[new_v] = -1
         self.parent = parent
-        par_edge = np.append(self.par_edge, idt.type(-1))
         par_edge[new_aux] = -1
+        par_edge[new_v] = -1
         self.par_edge = par_edge
-        ret = np.append(self.ret, 0.0)
         ret[new_aux] = 0.0
+        ret[new_v] = 0.0
         self.ret = ret
-        size = np.append(self.size, idt.type(1))
         size[new_aux] = size[old_aux]
         size[new_v] = 1
         self.size = size
-        self._ensure_children()
-        self.children.append(self.children[old_aux])  # AUX child list moves up
+        self.children.append(aux_children)  # AUX child list moves up
         self.children[old_aux] = []
-        self._tin = np.append(self._tin, idt.type(0))
-        self._tout = np.append(self._tout, idt.type(0))
 
         p = int(parent_index)
         self.parent[new_v] = p
@@ -597,6 +768,13 @@ class ArrayPlanTree:
         new._rmq_table = None  # scratch is per-owner (guarded-by above)
         new._rmq_lo = 1 << 62
         new._rmq_hi = -1
+        new._cap = 0  # clones re-buffer lazily on their first append
+        new._parent_buf = None
+        new._par_edge_buf = None
+        new._ret_buf = None
+        new._size_buf = None
+        new._tin_buf = None
+        new._tout_buf = None
         return new
 
     # ------------------------------------------------------------------
@@ -608,8 +786,15 @@ class ArrayPlanTree:
         return float(self.ret[:n].max()) if n else 0.0
 
     def retrieval_summary(self) -> RetrievalSummary:
-        """Aggregate retrieval statistics of the current tree."""
-        per = {self.cg.nodes[i]: float(self.ret[i]) for i in range(self.cg.n)}
+        """Aggregate retrieval statistics of the current tree.
+
+        Dead (detached) rows are skipped, like every exporter here.
+        """
+        per = {
+            self.cg.nodes[i]: float(self.ret[i])
+            for i in range(self.cg.n)
+            if self.parent[i] >= 0
+        }
         return RetrievalSummary(
             total=self.total_retrieval,
             maximum=max(per.values(), default=0.0),
@@ -622,10 +807,14 @@ class ArrayPlanTree:
         return [self.cg.nodes[i] for i in self.children[self.cg.aux]]
 
     def parent_map(self) -> dict[Node, Node]:
-        """Node-keyed parent map (AUX parents for materialized nodes)."""
+        """Node-keyed parent map (AUX parents for materialized nodes).
+
+        Dead (detached) rows are skipped.
+        """
         return {
             self.cg.nodes[v]: self.cg.node_of(int(self.parent[v]))
             for v in range(self.cg.n)
+            if self.parent[v] >= 0
         }
 
     def to_plan(self) -> StoragePlan:
@@ -638,7 +827,7 @@ class ArrayPlanTree:
             p = int(self.parent[v])
             if p == aux:
                 mats.append(nodes[v])
-            else:
+            elif p >= 0:  # dead (detached) rows are skipped
                 deltas.append((nodes[p], nodes[v]))
         return StoragePlan.of(mats, deltas)
 
@@ -658,6 +847,8 @@ class ArrayPlanTree:
                 f"retrieval cache drift: {self.total_retrieval} vs {fresh.total_retrieval}"
             )
         for i, node in enumerate(self.cg.nodes):
+            if self.parent[i] < 0:
+                continue  # dead (detached) row
             if not close_enough(float(self.ret[i]), fresh.ret[node]):
                 raise GraphError(f"retrieval cache drift at {node!r}")
             if fresh.subtree_size[node] != int(self.size[i]):

@@ -105,3 +105,27 @@ class BackgroundResolver:
             t = self._thread
         if t is not None:
             t.join(timeout)
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Join and discard any in-flight task; idempotent.
+
+        Returns True when the slot is free afterwards (no task was
+        running, or it finished within ``timeout``).  A False return
+        means the worker is still running past the timeout — it is a
+        daemon thread, so process exit will not hang on it, but the
+        resolver must not accept new work (``submit`` still sees the
+        slot occupied).  Callers that want the result should use
+        :meth:`wait` + :meth:`poll` instead; shutdown is for teardown
+        paths where the outcome no longer matters.
+        """
+        with self._lock:
+            t = self._thread
+        if t is None:
+            return True
+        t.join(timeout)
+        if t.is_alive():
+            return False
+        with self._lock:
+            self._thread = None
+            self._outcome = None
+        return True

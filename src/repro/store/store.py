@@ -30,6 +30,7 @@ of content addressing; all integrity falls out of re-hashing on read.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -192,7 +193,12 @@ class MaterializationStore:
         :meth:`open`) for a store that persists across processes.
     """
 
-    def __init__(self, objects: ObjectStore | None = None) -> None:
+    def __init__(
+        self,
+        objects: ObjectStore | None = None,
+        *,
+        checkout_cache: int = 64,
+    ) -> None:
         self.objects: ObjectStore = (
             objects if objects is not None else MemoryObjectStore()
         )
@@ -201,6 +207,13 @@ class MaterializationStore:
         self._records: dict[Node, _Record] = {}
         self._digests: dict[Node, str] = {}
         self._meta_path: Path | None = None
+        # LRU of digest-verified snapshots: repeated checkouts of nearby
+        # versions replay only the chain suffix below the nearest cached
+        # ancestor instead of re-decoding from the materialized root.
+        # 0 disables.  Every mutating op (materialize/sync/migrate)
+        # clears it — records and digests may change underneath.
+        self._cache_slots = int(checkout_cache)
+        self._snap_cache: OrderedDict[Node, Snapshot] = OrderedDict()
 
     # ------------------------------------------------------------------
     # persistence
@@ -373,35 +386,77 @@ class MaterializationStore:
             load_blob=lambda bh: self._load_object("blob", bh),
         )
 
+    def _cache_get(self, v: Node) -> Snapshot | None:
+        snap = self._snap_cache.get(v)
+        if snap is not None:
+            self._snap_cache.move_to_end(v)
+        return snap
+
+    def _cache_put(self, v: Node, snap: Snapshot) -> None:
+        if self._cache_slots <= 0:
+            return
+        # a private copy: callers may mutate the snapshot they receive
+        # (values are immutable line tuples, so shallow is enough)
+        self._snap_cache[v] = dict(snap)
+        self._snap_cache.move_to_end(v)
+        while len(self._snap_cache) > self._cache_slots:
+            self._snap_cache.popitem(last=False)
+
     def checkout(self, v: Node) -> Snapshot:
         """Reconstruct ``v``'s snapshot, verifying every byte on the way.
 
-        Walks up to the nearest materialized ancestor, loads its full
-        object, replays the delta chain down to ``v``, and compares the
-        result's digest against the one recorded at materialization.
-        Any missing object, hash mismatch, unreplayable delta or digest
-        mismatch raises :class:`StoreError` — wrong bytes are never
-        returned.
+        Walks up to the nearest materialized — or LRU-cached — ancestor,
+        loads/reuses its snapshot, replays the delta chain down to
+        ``v``, and compares the result's digest against the one recorded
+        at materialization.  Any missing object, hash mismatch,
+        unreplayable delta or digest mismatch raises :class:`StoreError`
+        — wrong bytes are never returned.
+
+        Only digest-verified snapshots enter the cache (sized by the
+        ``checkout_cache`` constructor argument), so a cached base is
+        exactly as trustworthy as a freshly replayed one; repeated
+        checkouts of nearby versions replay only the chain suffix
+        instead of re-decoding from the materialized root.
         """
-        chain: list[_Record] = []
+        cached = self._cache_get(v)
+        if cached is not None:
+            return dict(cached)
+        chain: list[tuple[Node, _Record]] = []
         x = v
         seen: set[Node] = set()
         rec = self._get_record(x)
+        base: Snapshot | None = None
         while rec.parent is not None:
             if x in seen:
                 raise StoreError(f"parent chain of {v!r} contains a cycle")
             seen.add(x)
-            chain.append(rec)
+            chain.append((x, rec))
             x = rec.parent
+            hit = self._cache_get(x)
+            if hit is not None:
+                base = dict(hit)  # verified when it entered the cache
+                break
             rec = self._get_record(x)
-        snap = self._load_full(rec)
-        for rec in reversed(chain):
+        caching = self._cache_slots > 0
+        if base is None:
+            base = self._load_full(rec)
+            d = self._digests.get(x) if caching else None
+            if d is not None and snapshot_digest(base) == d:
+                self._cache_put(x, base)
+        snap = base
+        for y, rec in reversed(chain):
             snap = self._apply_delta_record(rec, snap)
+            if y == v:
+                break  # the final digest check below gates caching v
+            d = self._digests.get(y) if caching else None
+            if d is not None and snapshot_digest(snap) == d:
+                self._cache_put(y, snap)
         if snapshot_digest(snap) != self._digests[v]:
             raise StoreError(
                 f"checkout of {v!r} does not match its recorded digest",
                 code="digest-mismatch",
             )
+        self._cache_put(v, snap)
         return snap
 
     # ------------------------------------------------------------------
@@ -461,6 +516,9 @@ class MaterializationStore:
                 records[v] = self._records[v]
         self._records = records
         self._digests = {v: self._digests[v] for v in new_parent}
+        # drop cached snapshots: versions may have left the plan, and a
+        # cache hit must never resurrect a version the store dropped
+        self._snap_cache.clear()
         self.ops.edges_written += len(added)
         self.ops.edges_deleted += len(removed)
         deleted = self._gc()

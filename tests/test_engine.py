@@ -139,11 +139,25 @@ class TestIncrementalCompile:
         tree = lmg_array(snap, repo_budget(random_digraph(6, seed=4)))
         assert tree.num_versions == n0
 
-    def test_non_append_mutations_invalidate(self):
+    def test_detach_mutations_are_absorbed(self):
+        # removals tombstone + compact in place instead of invalidating
         g = random_digraph(6, seed=5)
         cg = g.compile()
         u, v, _ = next(g.deltas())
         g.remove_delta(u, v)
+        cg2 = g.compile()
+        assert cg2 is cg
+        assert_compiled_equal(cg2, CompiledGraph(g))
+        g.remove_version(g.versions[-1])
+        cg3 = g.compile()
+        assert cg3 is cg
+        assert_compiled_equal(cg3, CompiledGraph(g))
+
+    def test_update_mutations_invalidate(self):
+        g = random_digraph(6, seed=5)
+        cg = g.compile()
+        u, v, d = next(g.deltas())
+        g.add_delta(u, v, d.storage / 2, d.retrieval / 2, keep_cheapest=True)
         cg2 = g.compile()
         assert cg2 is not cg
         assert_compiled_equal(cg2, CompiledGraph(g))

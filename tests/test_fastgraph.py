@@ -97,18 +97,26 @@ class TestCompiledGraph:
         assert cg2.n == 7
         assert np.array_equal(cg2.node_storage, CompiledGraph(g).node_storage)
 
-    def test_compile_invalidated_on_non_append_mutation(self):
+    def test_compile_absorbs_removals_as_tombstones(self):
         g = random_digraph(6, seed=4)
         cg1 = g.compile()
+        before = cg1.num_edges
         u, v, _ = next(g.deltas())
-        g.remove_delta(u, v)  # not an append: cache must be dropped
+        g.remove_delta(u, v)  # a detach: tombstoned, compacted on compile
+        cg2 = g.compile()
+        assert cg2 is cg1
+        assert cg2.num_edges == before - 1
+        fresh = CompiledGraph(g)
+        assert np.array_equal(cg2.edge_storage, fresh.edge_storage)
+        assert np.array_equal(cg2.edge_retrieval, fresh.edge_retrieval)
+
+    def test_compile_invalidated_on_cost_update(self):
+        g = random_digraph(6, seed=4)
+        cg1 = g.compile()
+        g.add_version(g.versions[0], 123.0)  # storage update, same node
         cg2 = g.compile()
         assert cg2 is not cg1
-        assert cg2.num_edges == cg1.num_edges - 1
-        g.add_version(g.versions[0], 123.0)  # storage update, same node
-        cg3 = g.compile()
-        assert cg3 is not cg2
-        assert cg3.node_storage[0] == 123.0
+        assert cg2.node_storage[0] == 123.0
 
     def test_compiled_graph_pickles(self):
         g = random_digraph(6, seed=5)
